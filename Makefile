@@ -1,0 +1,43 @@
+# numaio — build / test / reproduce targets.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper table/figure (custom metrics carry the Gb/s).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the paper-vs-measured document.
+experiments:
+	$(GO) run ./cmd/paperbench -md > EXPERIMENTS.md
+
+# Smoke-run every example.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/topology
+	$(GO) run ./examples/multiuser
+	$(GO) run ./examples/scheduler
+	$(GO) run ./examples/datamover
+	$(GO) run ./examples/cluster
+	$(GO) run ./examples/calibrate
+
+clean:
+	$(GO) clean ./...

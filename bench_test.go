@@ -1,0 +1,401 @@
+// Package numaio's repository-root benchmarks regenerate every table and
+// figure of the paper (one testing.B target per artifact; see the
+// per-experiment index in DESIGN.md §4). Each benchmark reports the
+// headline bandwidths as custom metrics so `go test -bench` output can be
+// compared against the paper directly.
+package numaio
+
+import (
+	"fmt"
+	"testing"
+
+	"numaio/internal/device"
+	"numaio/internal/experiments"
+	"numaio/internal/fabric"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func newLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	l, err := experiments.NewLab()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkTable1NUMAFactor regenerates Table I.
+func BenchmarkTable1NUMAFactor(b *testing.B) {
+	var last *experiments.Table1Result
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Measured, "factor:"+row.Server)
+	}
+}
+
+// BenchmarkFigure3StreamMatrix regenerates the 8×8 STREAM matrix of Fig. 3.
+func BenchmarkFigure3StreamMatrix(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Fig3Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Matrix.BW[7][4].Gbps(), "Gbps:cpu7/mem4")
+	b.ReportMetric(last.Matrix.BW[4][7].Gbps(), "Gbps:cpu4/mem7")
+}
+
+// BenchmarkFigure4NodeModels regenerates the CPU/memory-centric models.
+func BenchmarkFigure4NodeModels(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Fig4Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.CPUCentric[7].Gbps(), "Gbps:local")
+}
+
+// BenchmarkFigure5TCP regenerates the TCP stream-scaling figure.
+func BenchmarkFigure5TCP(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Fig5Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	s6, _ := last.Send.BWFor(6, 4)
+	r4, _ := last.Recv.BWFor(4, 4)
+	b.ReportMetric(s6.Gbps(), "Gbps:send-node6")
+	b.ReportMetric(r4.Gbps(), "Gbps:recv-node4")
+}
+
+// BenchmarkFigure6RDMA regenerates the RDMA figure.
+func BenchmarkFigure6RDMA(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	w2, _ := last.Write.BWFor(2, 2)
+	r4, _ := last.Read.BWFor(4, 2)
+	b.ReportMetric(w2.Gbps(), "Gbps:write-node2")
+	b.ReportMetric(r4.Gbps(), "Gbps:read-node4")
+}
+
+// BenchmarkFigure7Disk regenerates the SSD figure.
+func BenchmarkFigure7Disk(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure7()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	w7, _ := last.Write.BWFor(7, 2)
+	r7, _ := last.Read.BWFor(7, 2)
+	b.ReportMetric(w7.Gbps(), "Gbps:write-node7")
+	b.ReportMetric(r7.Gbps(), "Gbps:read-node7")
+}
+
+// BenchmarkFigure10IOModel regenerates the proposed model (Algorithm 1).
+func BenchmarkFigure10IOModel(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Figure10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Write.NumClasses()), "classes:write")
+	b.ReportMetric(float64(last.Read.NumClasses()), "classes:read")
+}
+
+// BenchmarkTable4WriteModel regenerates Table IV.
+func BenchmarkTable4WriteModel(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Table45Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Stats["RDMA_WRITE"].Avg.Gbps(), fmt.Sprintf("Gbps:rdmaw-c%d", row.Rank))
+	}
+}
+
+// BenchmarkTable5ReadModel regenerates Table V.
+func BenchmarkTable5ReadModel(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Table45Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Table5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Stats["RDMA_READ"].Avg.Gbps(), fmt.Sprintf("Gbps:rdmar-c%d", row.Rank))
+	}
+}
+
+// BenchmarkEq1Prediction regenerates the Eq. 1 validation.
+func BenchmarkEq1Prediction(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.Eq1Result
+	for i := 0; i < b.N; i++ {
+		r, err := l.Eq1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Predicted.Gbps(), "Gbps:predicted")
+	b.ReportMetric(last.Measured.Gbps(), "Gbps:measured")
+	b.ReportMetric(last.RelErr*100, "relerr-pct")
+}
+
+// BenchmarkSchedulerPlacement regenerates the Sec. V-B scheduler example.
+func BenchmarkSchedulerPlacement(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.SchedResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.Scheduler()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Memcpy.Aggregate[sched.LocalOnly].Gbps(), "Gbps:local-only")
+	b.ReportMetric(last.Memcpy.Aggregate[sched.ClassBalanced].Gbps(), "Gbps:class-balanced")
+}
+
+// BenchmarkAblationPIOvsDMA regenerates ablation A1.
+func BenchmarkAblationPIOvsDMA(b *testing.B) {
+	l := newLab(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := l.AblationPIOvsDMA(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationInterrupts regenerates ablation A2.
+func BenchmarkAblationInterrupts(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.IRQResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.AblationIRQ()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.WithIRQ[7].Gbps(), "Gbps:node7-irq")
+	b.ReportMetric(last.WithoutIRQ[7].Gbps(), "Gbps:node7-noirq")
+}
+
+// BenchmarkAblationBaselines regenerates ablation A3.
+func BenchmarkAblationBaselines(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.BaselinesResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.AblationBaselines()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	short := map[string]string{
+		"proposed iomodel (memcpy)": "iomodel",
+		"hop distance":              "hop",
+		"STREAM CPU-centric":        "stream-cpu",
+		"STREAM memory-centric":     "stream-mem",
+	}
+	for _, row := range last.Rows {
+		b.ReportMetric(row.Spearman, "rho:"+short[row.Model])
+	}
+}
+
+// BenchmarkFabricSolver measures the allocator core: 32 flows over the
+// DL585G7 fabric.
+func BenchmarkFabricSolver(b *testing.B) {
+	m := topology.DL585G7()
+	resources := fabric.MachineResources(m)
+	var flows []fabric.Flow
+	for n := topology.NodeID(0); n < 8; n++ {
+		for k := 0; k < 4; k++ {
+			usages, err := fabric.CopyFlowUsages(m, n, 7)
+			if err != nil {
+				b.Fatal(err)
+			}
+			flows = append(flows, fabric.Flow{ID: fmt.Sprintf("f%d-%d", n, k), Usages: usages})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := fabric.NewSolver()
+		for _, r := range resources {
+			if err := s.SetResource(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, f := range flows {
+			if err := s.AddFlow(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFioRun measures one end-to-end fio job execution.
+func BenchmarkFioRun(b *testing.B) {
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		b.Fatal(err)
+	}
+	runner := fio.NewRunner(sys)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run([]fio.Job{{
+			Name: "bench", Engine: device.EngineRDMAWrite, Node: 2,
+			NumJobs: 4, Size: 4 * units.GiB,
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTopologyInference regenerates ablation A4.
+func BenchmarkAblationTopologyInference(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.InferResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.AblationTopologyInference()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Matches[0].Score, "jaccard:best")
+	b.ReportMetric(last.IdealScore, "jaccard:ideal")
+}
+
+// BenchmarkAblationLinkDegradation regenerates ablation A5.
+func BenchmarkAblationLinkDegradation(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.DegradeResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.AblationLinkDegradation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(float64(last.Node0ClassAfter), "class:node0-after")
+}
+
+// BenchmarkNetPairMatrix regenerates experiment N1 (two-host end-to-end).
+func BenchmarkNetPairMatrix(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.NetPairResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.NetPair()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Penalty*100, "penalty-pct")
+}
+
+// BenchmarkValidationCrossCheck regenerates experiment V1.
+func BenchmarkValidationCrossCheck(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.CrossValResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.Validation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.MaxRelErr*100, "maxdev-pct")
+}
+
+// BenchmarkAblationGapThreshold regenerates ablation A6.
+func BenchmarkAblationGapThreshold(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.ThresholdResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.AblationGapThreshold()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.StableHi-last.StableLo, "stable-range")
+}
+
+// BenchmarkClusterScaleOut regenerates experiment C1.
+func BenchmarkClusterScaleOut(b *testing.B) {
+	var last *experiments.ClusterResult
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ClusterScaleOut()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Pack.Gbps(), "Gbps:pack")
+	b.ReportMetric(last.Greedy.Gbps(), "Gbps:greedy")
+}
+
+// BenchmarkCostReduction regenerates experiment R1 (Sec. V-B application).
+func BenchmarkCostReduction(b *testing.B) {
+	l := newLab(b)
+	var last *experiments.CostReductionResult
+	for i := 0; i < b.N; i++ {
+		r, err := l.CostReduction()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = r
+	}
+	b.ReportMetric(last.Saved*100, "saved-pct")
+	b.ReportMetric(last.MaxRelErr*100, "maxerr-pct")
+}

@@ -1,0 +1,93 @@
+// Command calibrate fits a simulated machine to a measured iomodel — the
+// bridge from real hardware to this repository's offline tooling:
+//
+//  1. run the paper's Algorithm 1 on the real host (or `iomodel -o` on a
+//     simulated one) to get write+read models;
+//  2. calibrate a machine with the vendor wiring against those models;
+//  3. feed the fitted machine (as JSON) to every tool via -machine.
+//
+// Usage:
+//
+//	calibrate -models node7.json [-machine magny-a] [-target 7] [-o fitted.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numaio/internal/calibrate"
+	"numaio/internal/cli"
+	"numaio/internal/core"
+	"numaio/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("calibrate", flag.ContinueOnError)
+	machine := fs.String("machine", "magny-a", "base wiring to fit (profile or .json)")
+	target := fs.Int("target", 7, "characterized target node")
+	modelsPath := fs.String("models", "", "JSON stream with the write and read models (iomodel -mode both -o)")
+	outPath := fs.String("o", "", "write the fitted machine JSON here")
+	iters := fs.Int("iters", 0, "maximum fit iterations (0 = default)")
+	tol := fs.Float64("tol", 0, "target maximum relative error (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *modelsPath == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -models")
+	}
+
+	f, err := os.Open(*modelsPath)
+	if err != nil {
+		return err
+	}
+	models, err := core.LoadModelsJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var write, read *core.Model
+	for _, m := range models {
+		switch m.Mode {
+		case core.ModeWrite:
+			write = m
+		case core.ModeRead:
+			read = m
+		}
+	}
+	if write == nil || read == nil {
+		return fmt.Errorf("models file must contain one write and one read model")
+	}
+
+	base, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	fitted, rep, err := calibrate.Fit(base, topology.NodeID(*target),
+		write.Samples, read.Samples,
+		calibrate.Options{MaxIterations: *iters, Tolerance: *tol})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "fit: %d iterations, max relative error %.2f%%, converged=%v\n",
+		rep.Iterations, rep.MaxRelErr*100, rep.Converged)
+
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		return fitted.EncodeJSON(of)
+	}
+	return fitted.EncodeJSON(out)
+}

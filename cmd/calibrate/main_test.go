@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// writeModels characterizes the testbed and writes both models to a file,
+// mirroring `iomodel -mode both -o`.
+func writeModels(t *testing.T) string {
+	t.Helper()
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "models.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for _, mode := range []core.Mode{core.ModeWrite, core.ModeRead} {
+		m, err := c.Characterize(7, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SaveJSON(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestCalibratePipeline(t *testing.T) {
+	models := writeModels(t)
+	fittedPath := filepath.Join(t.TempDir(), "fitted.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-models", models, "-machine", "magny-a",
+		"-iters", "120", "-tol", "0.03", "-o", fittedPath,
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fit:") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	// The fitted machine is loadable and valid.
+	f, err := os.Open(fittedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	m, err := topology.DecodeJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumNodes() != 8 {
+		t.Errorf("fitted machine nodes = %d", m.NumNodes())
+	}
+}
+
+func TestCalibrateStdout(t *testing.T) {
+	models := writeModels(t)
+	var out bytes.Buffer
+	if err := run([]string{"-models", models, "-machine", "dl585g7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// Fitting a machine against its own model converges immediately and
+	// dumps the machine JSON to stdout.
+	s := out.String()
+	if !strings.Contains(s, "converged=true") || !strings.Contains(s, `"name": "hp-dl585-g7"`) {
+		t.Errorf("output:\n%.400s", s)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing -models should fail")
+	}
+	if err := run([]string{"-models", "/nonexistent.json"}, &out); err == nil {
+		t.Error("missing file should fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-models", bad}, &out); err == nil {
+		t.Error("malformed models should fail")
+	}
+	models := writeModels(t)
+	if err := run([]string{"-models", models, "-machine", "warp"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-models", models, "-target", "42"}, &out); err == nil {
+		t.Error("unknown target should fail")
+	}
+}

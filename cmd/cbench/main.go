@@ -1,0 +1,142 @@
+// Command cbench is an automatic NUMA characterization comparator in the
+// spirit of the Cbench toolkit the paper discusses ([27], Sec. IV-B): it
+// builds every candidate performance model of a target node — hop distance,
+// the two STREAM-derived models, and the paper's memcpy iomodel — measures
+// the actual per-node I/O rates of a chosen engine, and reports each
+// model's rank agreement (Spearman's rho) with the measurement.
+//
+// Usage:
+//
+//	cbench [-machine profile] [-target node] [-engine rdma_read]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numaio/internal/cli"
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/report"
+	"numaio/internal/stream"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cbench", flag.ContinueOnError)
+	machine := fs.String("machine", "dl585g7", "machine profile or .json file")
+	target := fs.Int("target", 7, "node the I/O device is attached to")
+	engine := fs.String("engine", device.EngineRDMARead, "I/O engine to measure against")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		return err
+	}
+	tgt := topology.NodeID(*target)
+	spec, err := device.SpecFor(*engine)
+	if err != nil {
+		return err
+	}
+
+	// Candidate models.
+	characterizer, err := core.NewCharacterizer(sys, core.Config{})
+	if err != nil {
+		return err
+	}
+	mode := core.ModeWrite
+	if spec.Direction == device.FromDevice {
+		mode = core.ModeRead
+	}
+	ioModel, err := characterizer.Characterize(tgt, mode)
+	if err != nil {
+		return err
+	}
+	hopModel, err := core.HopDistanceModel(m, tgt)
+	if err != nil {
+		return err
+	}
+	sr, err := stream.New(sys, stream.Config{})
+	if err != nil {
+		return err
+	}
+	mx, err := sr.Matrix()
+	if err != nil {
+		return err
+	}
+	cpuModel, err := core.StreamModel(mx, m, tgt, core.CPUCentric, 0.2)
+	if err != nil {
+		return err
+	}
+	memModel, err := core.StreamModel(mx, m, tgt, core.MemCentric, 0.2)
+	if err != nil {
+		return err
+	}
+
+	// Ground truth: measured per-node engine rates.
+	runner := fio.NewRunner(sys)
+	runner.Sigma = 0
+	var measured []core.Sample
+	for _, n := range m.NodeIDs() {
+		rep, err := runner.Run([]fio.Job{{
+			Name: fmt.Sprintf("cbench-%d", int(n)), Engine: *engine,
+			Node: n, NumJobs: 2, Size: 4 * units.GiB,
+		}})
+		if err != nil {
+			return err
+		}
+		measured = append(measured, core.Sample{Node: n, Bandwidth: rep.Aggregate})
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("cbench: model agreement with measured %s rates (target node %d)", *engine, *target),
+		"model", "Spearman rho", "classes")
+	for _, entry := range []struct {
+		name  string
+		model *core.Model
+	}{
+		{"iomodel (proposed)", ioModel},
+		{"hop distance", hopModel},
+		{"STREAM CPU-centric", cpuModel},
+		{"STREAM memory-centric", memModel},
+	} {
+		rho, err := core.SpearmanRank(entry.model, measured)
+		if err != nil {
+			return err
+		}
+		t.AddRow(entry.name, fmt.Sprintf("%.3f", rho), fmt.Sprintf("%d", entry.model.NumClasses()))
+	}
+	if _, err := fmt.Fprint(out, t.Render()); err != nil {
+		return err
+	}
+
+	mt := report.NewTable("measured per-node rates", "node", "Gb/s", "iomodel class")
+	for _, s := range measured {
+		cls, err := ioModel.ClassOf(s.Node)
+		if err != nil {
+			return err
+		}
+		mt.AddRow(fmt.Sprintf("%d", int(s.Node)), report.Gbps2(s.Bandwidth),
+			fmt.Sprintf("%d", cls.Rank))
+	}
+	_, err = fmt.Fprint(out, mt.Render())
+	return err
+}

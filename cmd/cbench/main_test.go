@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCbenchDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"iomodel (proposed)",
+		"hop distance",
+		"STREAM CPU-centric",
+		"measured per-node rates",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCbenchWriteEngine(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-engine", "rdma_write"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "rdma_write") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestCbenchErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "warp"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-engine", "warp"}, &out); err == nil {
+		t.Error("unknown engine should fail")
+	}
+	if err := run([]string{"-target", "42"}, &out); err == nil {
+		t.Error("unknown target should fail")
+	}
+}

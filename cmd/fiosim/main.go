@@ -1,0 +1,148 @@
+// Command fiosim runs fio-style job files against the simulated testbed
+// (Sec. III-B2), or against real memory/sockets with the native engines.
+//
+// Usage:
+//
+//	fiosim [-machine profile] [-sigma f] job.fio
+//	fiosim -native-memcpy -size 256m -bs 256k -threads 4
+//	fiosim -native-tcp -size 64m -bs 128k -streams 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numaio/internal/cli"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/report"
+	"numaio/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fiosim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("fiosim", flag.ContinueOnError)
+	machine := fs.String("machine", "dl585g7", "machine profile")
+	sigma := fs.Float64("sigma", 0.015, "reporting jitter (0 disables)")
+	trace := fs.Bool("trace", false, "print the phase timeline and saturated resources")
+	lat := fs.Bool("lat", false, "print completion-latency percentiles per instance")
+	csv := fs.Bool("csv", false, "emit the results table as CSV instead of aligned text")
+	engines := fs.Bool("engines", false, "list supported ioengines and exit")
+	nativeMemcpy := fs.Bool("native-memcpy", false, "run the native memory-copy engine instead of a job file")
+	nativeTCP := fs.Bool("native-tcp", false, "run the native loopback TCP engine instead of a job file")
+	size := fs.String("size", "256m", "native engines: bytes per thread/stream")
+	bs := fs.String("bs", "128k", "native engines: block size")
+	threads := fs.Int("threads", 4, "native memcpy: thread count")
+	streams := fs.Int("streams", 2, "native tcp: stream count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *engines {
+		for _, e := range fio.Engines() {
+			fmt.Fprintln(out, e)
+		}
+		return nil
+	}
+
+	if *nativeMemcpy || *nativeTCP {
+		szv, err := units.ParseSize(*size)
+		if err != nil {
+			return err
+		}
+		bsv, err := units.ParseSize(*bs)
+		if err != nil {
+			return err
+		}
+		if *nativeMemcpy {
+			res, err := fio.NativeMemcpy(szv, bsv, *threads)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "native memcpy: %d threads moved %v in %v -> %v\n",
+				res.Threads, res.Bytes, res.Elapsed, res.Bandwidth)
+		}
+		if *nativeTCP {
+			res, err := fio.NativeTCP(szv, bsv, *streams)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "native tcp: %d streams moved %v in %v -> %v\n",
+				res.Streams, res.Bytes, res.Elapsed, res.Bandwidth)
+		}
+		return nil
+	}
+
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fiosim [flags] job.fio")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	jobs, err := fio.ParseJobFile(f)
+	if err != nil {
+		return err
+	}
+
+	m, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		return err
+	}
+	runner := fio.NewRunner(sys)
+	runner.Sigma = *sigma
+	rep, err := runner.Run(jobs)
+	if err != nil {
+		return err
+	}
+
+	t := report.NewTable("fiosim results", "instance", "cpu node", "buffer node",
+		"steady Gb/s", "avg Gb/s", "duration")
+	for _, in := range rep.Instances {
+		t.AddRow(fmt.Sprintf("%s/%d", in.Job, in.Instance),
+			fmt.Sprintf("%d", int(in.Node)),
+			fmt.Sprintf("%d", int(in.BufferNode)),
+			report.Gbps2(in.Bandwidth),
+			report.Gbps2(in.AvgRate),
+			in.Duration.String())
+	}
+	rendered := t.Render()
+	if *csv {
+		rendered = t.CSV()
+	}
+	if _, err := fmt.Fprint(out, rendered); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "aggregate: %v  makespan: %v\n", rep.Aggregate, rep.Makespan)
+	if *lat {
+		lt := report.NewTable("completion latency (clat)", "instance", "mean", "p50", "p90", "p99")
+		for _, in := range rep.Instances {
+			lt.AddRow(fmt.Sprintf("%s/%d", in.Job, in.Instance),
+				in.Latency.Mean.String(), in.Latency.P50.String(),
+				in.Latency.P90.String(), in.Latency.P99.String())
+		}
+		if _, err := fmt.Fprint(out, lt.Render()); err != nil {
+			return err
+		}
+	}
+	if *trace {
+		fmt.Fprint(out, rep.Timeline.Summary())
+		if hot := rep.Timeline.Bottlenecks(0.999); len(hot) > 0 {
+			fmt.Fprintf(out, "saturated resources: %v\n", hot)
+		}
+	}
+	return nil
+}

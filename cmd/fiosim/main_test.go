@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeJobFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "job.fio")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunJobFile(t *testing.T) {
+	path := writeJobFile(t, `
+[global]
+ioengine=rdma_write
+size=4g
+
+[writers]
+node=2
+numjobs=2
+`)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "writers/0") || !strings.Contains(s, "aggregate:") {
+		t.Errorf("output:\n%s", s)
+	}
+	// Class-3 starved rate.
+	if !strings.Contains(s, "17.") {
+		t.Errorf("expected ~17 Gb/s for node 2 writes:\n%s", s)
+	}
+}
+
+func TestNativeEngines(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-native-memcpy", "-size", "16m", "-bs", "256k", "-threads", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "native memcpy: 2 threads") {
+		t.Errorf("output:\n%s", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-native-tcp", "-size", "4m", "-bs", "64k", "-streams", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "native tcp: 2 streams") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing job file should fail")
+	}
+	if err := run([]string{"/nonexistent.fio"}, &out); err == nil {
+		t.Error("unreadable job file should fail")
+	}
+	bad := writeJobFile(t, "[j]\nbogus\n")
+	if err := run([]string{bad}, &out); err == nil {
+		t.Error("malformed job file should fail")
+	}
+	badMachine := writeJobFile(t, "[j]\nioengine=tcp_send\n")
+	if err := run([]string{"-machine", "warp", badMachine}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-native-memcpy", "-size", "goofy"}, &out); err == nil {
+		t.Error("bad native size should fail")
+	}
+	if err := run([]string{"-native-tcp", "-bs", "goofy"}, &out); err == nil {
+		t.Error("bad native block size should fail")
+	}
+}
+
+func TestLatencyFlag(t *testing.T) {
+	path := writeJobFile(t, "[j]\nioengine=rdma_write\nnode=7\nnumjobs=2\nsize=2g\n")
+	var out bytes.Buffer
+	if err := run([]string{"-lat", "-sigma", "0", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"completion latency (clat)", "p99"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("latency output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	path := writeJobFile(t, "[j]\nioengine=rdma_write\nnode=7\nsize=2g\n")
+	var out bytes.Buffer
+	if err := run([]string{"-csv", "-sigma", "0", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "instance,cpu node,buffer node") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestEnginesFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-engines"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tcp_send", "rdma_read", "ssd_write", "memcpy"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("engines list missing %s:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Command iomodel is the paper's characterization tool (Algorithm 1): it
+// builds the I/O bandwidth performance model of a target node with memory
+// copies only, classifies the nodes, and optionally saves the model as JSON
+// for schedulers to load.
+//
+// Usage:
+//
+//	iomodel [-machine profile] [-target node] [-mode write|read|both]
+//	        [-threads n] [-repeats n] [-o model.json]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numaio/internal/cli"
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/report"
+	"numaio/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "iomodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("iomodel", flag.ContinueOnError)
+	machine := fs.String("machine", "dl585g7", "machine profile")
+	target := fs.Int("target", 7, "node the I/O device is attached to")
+	mode := fs.String("mode", "both", "write, read, or both")
+	threads := fs.Int("threads", 0, "copy threads (0 = one per target core)")
+	repeats := fs.Int("repeats", 0, "repetitions per node (0 = default)")
+	all := fs.Bool("all", false, "characterize every node as a target (whole-host model)")
+	gap := fs.Float64("gap", 0, "classification gap threshold in (0,1); 0 = default 0.2")
+	outPath := fs.String("o", "", "write the model(s) as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		return err
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{
+		Threads: *threads, Repeats: *repeats, GapThreshold: *gap,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *all {
+		mm, err := c.CharacterizeAll()
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("whole-host I/O model of %s", m.Name),
+			"target", "mode", "classes", "class sets")
+		for _, model := range mm.Models {
+			sets := ""
+			for i, cls := range model.Classes {
+				if i > 0 {
+					sets += " | "
+				}
+				sets += fmt.Sprintf("%v", cls.Nodes)
+			}
+			t.AddRow(fmt.Sprintf("%d", int(model.Target)), model.Mode.String(),
+				fmt.Sprintf("%d", model.NumClasses()), sets)
+		}
+		if _, err := fmt.Fprint(out, t.Render()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "whole-host cost reduction: %.0f%%\n", mm.CostReduction()*100)
+		if *outPath != "" {
+			f, err := os.Create(*outPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return mm.SaveJSON(f)
+		}
+		return nil
+	}
+
+	var modes []core.Mode
+	switch *mode {
+	case "write":
+		modes = []core.Mode{core.ModeWrite}
+	case "read":
+		modes = []core.Mode{core.ModeRead}
+	case "both":
+		modes = []core.Mode{core.ModeWrite, core.ModeRead}
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+
+	var jsonOut io.WriteCloser
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jsonOut = f
+	}
+
+	for _, md := range modes {
+		model, err := c.Characterize(topology.NodeID(*target), md)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("I/O device %s model of node %d on %s", md, *target, m.Name),
+			"node", "bandwidth (Gb/s)", "class")
+		for _, s := range model.Samples {
+			cls, err := model.ClassOf(s.Node)
+			if err != nil {
+				return err
+			}
+			t.AddRow(fmt.Sprintf("%d", int(s.Node)), report.Gbps2(s.Bandwidth),
+				fmt.Sprintf("%d", cls.Rank))
+		}
+		if _, err := fmt.Fprint(out, t.Render()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "representatives: %v; cost reduction %.0f%%\n\n",
+			model.RepresentativeNodes(), model.CostReduction()*100)
+		if jsonOut != nil {
+			if err := model.SaveJSON(jsonOut); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+// Command netpair drives the full Fig. 2 testbed: two identical hosts
+// cabled NIC to NIC. It measures the end-to-end TCP rate for every
+// (sender binding × receiver binding) combination and reports the
+// worst-case misplacement penalty.
+//
+// Usage:
+//
+//	netpair [-machine profile] [-streams 4] [-send node -recv node]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numaio/internal/cli"
+	"numaio/internal/netpair"
+	"numaio/internal/report"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "netpair:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("netpair", flag.ContinueOnError)
+	machine := fs.String("machine", "dl585g7", "machine profile or .json file")
+	streams := fs.Int("streams", 4, "parallel TCP streams")
+	send := fs.Int("send", -1, "single-transfer mode: sender binding")
+	recv := fs.Int("recv", -1, "single-transfer mode: receiver binding")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	pair, err := netpair.New(func() *topology.Machine { return m.Clone() })
+	if err != nil {
+		return err
+	}
+
+	if *send >= 0 || *recv >= 0 {
+		if *send < 0 || *recv < 0 {
+			return fmt.Errorf("single-transfer mode needs both -send and -recv")
+		}
+		res, err := pair.Transfer(topology.NodeID(*send), topology.NodeID(*recv), *streams, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "send side %v, receive side %v, wire %v\n",
+			res.SendSide, res.RecvSide, res.Wire)
+		fmt.Fprintf(out, "end to end: %v (bottleneck: %s)\n", res.EndToEnd, res.Bottlneck)
+		return nil
+	}
+
+	nodes, bw, err := pair.Matrix(*streams, 2*units.GiB)
+	if err != nil {
+		return err
+	}
+	headers := []string{"send\\recv"}
+	for _, n := range nodes {
+		headers = append(headers, fmt.Sprintf("n%d", int(n)))
+	}
+	t := report.NewTable(
+		fmt.Sprintf("end-to-end TCP, %d streams (Gb/s)", *streams), headers...)
+	for i, sn := range nodes {
+		row := []string{fmt.Sprintf("n%d", int(sn))}
+		for j := range nodes {
+			row = append(row, report.Gbps(bw[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	if _, err := fmt.Fprint(out, t.Render()); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "worst-case misplacement penalty: %.0f%%\n", netpair.WorstPenalty(bw)*100)
+	return nil
+}

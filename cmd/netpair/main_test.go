@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-streams", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "end-to-end TCP, 4 streams") {
+		t.Errorf("output:\n%s", s)
+	}
+	if !strings.Contains(s, "worst-case misplacement penalty:") {
+		t.Errorf("penalty missing:\n%s", s)
+	}
+}
+
+func TestSingleTransferMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-send", "2", "-recv", "6"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "bottleneck: send") {
+		t.Errorf("class-3 sender should be the bottleneck:\n%s", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-send", "2"}, &out); err == nil {
+		t.Error("missing -recv should fail")
+	}
+	if err := run([]string{"-machine", "warp"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-send", "42", "-recv", "6"}, &out); err == nil {
+		t.Error("unknown node should fail")
+	}
+}

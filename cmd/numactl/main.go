@@ -1,0 +1,107 @@
+// Command numactl mirrors the subset of the Linux numactl utility the paper
+// relies on (Sec. II-B), against a simulated machine: topology inspection
+// (--hardware), SLIT distances, and free-memory reporting.
+//
+// Usage:
+//
+//	numactl [-machine profile] -hardware
+//	numactl [-machine profile] -slit
+//	numactl [-machine profile] -factor
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numaio/internal/cli"
+	"numaio/internal/numa"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "numactl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("numactl", flag.ContinueOnError)
+	machine := fs.String("machine", "dl585g7", "machine profile (dl585g7, magny-a..d, intel-4s4n, amd-4s8n, amd-8s8n, hp-blade32)")
+	hardware := fs.Bool("hardware", false, "show nodes, memory and distances (like numactl --hardware)")
+	slit := fs.Bool("slit", false, "show the SLIT distance matrix only")
+	factor := fs.Bool("factor", false, "show the machine's NUMA factor (Table I)")
+	latency := fs.Bool("latency", false, "show the node-to-node access latency matrix (ns)")
+	dot := fs.Bool("dot", false, "emit the machine as a Graphviz digraph")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		return err
+	}
+
+	did := false
+	if *hardware {
+		fmt.Fprint(out, sys.Hardware())
+		did = true
+	}
+	if *slit {
+		matrix, err := m.SLIT()
+		if err != nil {
+			return err
+		}
+		for _, row := range matrix {
+			for _, d := range row {
+				fmt.Fprintf(out, "%4d", d)
+			}
+			fmt.Fprintln(out)
+		}
+		did = true
+	}
+	if *factor {
+		f, err := m.NUMAFactor()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%s: NUMA factor %.2f\n", m.Name, f)
+		did = true
+	}
+	if *latency {
+		ids := m.NodeIDs()
+		fmt.Fprint(out, "access latency (ns):\n     ")
+		for _, b := range ids {
+			fmt.Fprintf(out, "%6d", int(b))
+		}
+		fmt.Fprintln(out)
+		for _, a := range ids {
+			fmt.Fprintf(out, "%4d:", int(a))
+			for _, b := range ids {
+				lat, err := m.AccessLatency(a, b)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(out, "%6.0f", lat.Seconds()*1e9)
+			}
+			fmt.Fprintln(out)
+		}
+		did = true
+	}
+	if *dot {
+		if err := m.EncodeDOT(out); err != nil {
+			return err
+		}
+		did = true
+	}
+	if !did {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass -hardware, -slit, -factor, -latency or -dot")
+	}
+	return nil
+}

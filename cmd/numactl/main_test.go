@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numaio/internal/topology"
+)
+
+func TestHardware(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-hardware"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "available: 8 nodes (0-7)") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestSlitAndFactor(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-slit", "-factor", "-machine", "intel-4s4n"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "  10  20  20  20") {
+		t.Errorf("SLIT missing:\n%s", s)
+	}
+	if !strings.Contains(s, "NUMA factor 1.50") {
+		t.Errorf("factor missing:\n%s", s)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "warp", "-hardware"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no action should fail")
+	}
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestLatencyMatrix(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-latency", "-machine", "amd-4s8n"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "access latency (ns):") {
+		t.Errorf("output:\n%s", s)
+	}
+	// Local latency is 100 ns in the calibrated profile.
+	if !strings.Contains(s, "100") {
+		t.Errorf("local latency missing:\n%s", s)
+	}
+}
+
+func TestMachineFileLoading(t *testing.T) {
+	// Export the testbed and reload it through the -machine flag.
+	var export bytes.Buffer
+	if err := run([]string{"-hardware"}, &export); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topology.DL585G7().EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-machine", path, "-hardware"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != export.String() {
+		t.Error("machine file should behave like the canned profile")
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "digraph") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+// Golden test: the -hardware rendering is part of the CLI contract.
+func TestHardwareGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/hardware.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-hardware"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(want) {
+		t.Errorf("-hardware output changed; update testdata/hardware.golden if intentional.\ngot:\n%s", out.String())
+	}
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestIOModelModule(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"iomodel"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"device write model of node 7",
+		"device read model of node 7",
+		"2,3",
+		"cost reduction: 50%",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("iomodel output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMemcpyModule(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"memcpy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "memcpy bandwidth matrix") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestStreamModule(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"stream"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "STREAM Copy bandwidth matrix") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestPoliciesModule(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"policies"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "affinity policies") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{}, &out); err == nil {
+		t.Error("missing module should fail")
+	}
+	if err := run([]string{"warp"}, &out); err == nil {
+		t.Error("unknown module should fail")
+	}
+	if err := run([]string{"-machine", "warp", "memcpy"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-target", "42", "iomodel"}, &out); err == nil {
+		t.Error("unknown target should fail")
+	}
+}
+
+func TestMemsetModule(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"memset"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "memset bandwidth matrix") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}

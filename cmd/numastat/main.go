@@ -1,0 +1,83 @@
+// Command numastat mirrors the Linux numastat utility (Sec. II-B) on the
+// simulated host: it reports per-node allocation counters and free memory.
+// With -job it first runs a fio job file so the counters reflect a real
+// workload's placement behaviour.
+//
+// Usage:
+//
+//	numastat [-machine profile] [-job job.fio]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"numaio/internal/cli"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/report"
+	"numaio/internal/units"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "numastat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("numastat", flag.ContinueOnError)
+	machine := fs.String("machine", "dl585g7", "machine profile")
+	jobFile := fs.String("job", "", "fio job file to run before reporting")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	m, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		return err
+	}
+
+	if *jobFile != "" {
+		f, err := os.Open(*jobFile)
+		if err != nil {
+			return err
+		}
+		jobs, err := fio.ParseJobFile(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		runner := fio.NewRunner(sys)
+		rep, err := runner.Run(jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ran %d instances, aggregate %v\n\n", len(rep.Instances), rep.Aggregate)
+	}
+
+	t := report.NewTable("numastat", "node", "numa_hit", "numa_miss",
+		"numa_foreign", "interleave_hit", "local_node", "other_node", "free_mb")
+	for _, n := range m.NodeIDs() {
+		st := sys.Stats(n)
+		t.AddRow(
+			fmt.Sprintf("%d", int(n)),
+			fmt.Sprintf("%d", st.NumaHit),
+			fmt.Sprintf("%d", st.NumaMiss),
+			fmt.Sprintf("%d", st.NumaForeign),
+			fmt.Sprintf("%d", st.InterleaveHit),
+			fmt.Sprintf("%d", st.LocalNode),
+			fmt.Sprintf("%d", st.OtherNode),
+			fmt.Sprintf("%d", sys.FreeMem(n)/units.MiB),
+		)
+	}
+	_, err = fmt.Fprint(out, t.Render())
+	return err
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestIdleCounters(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "numa_hit") || !strings.Contains(s, "1536") {
+		t.Errorf("output missing counters or node-0 free memory:\n%s", s)
+	}
+}
+
+func TestWithJob(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.fio")
+	job := "[j]\nioengine=rdma_write\nnode=2\nnumjobs=2\nsize=2g\n"
+	if err := os.WriteFile(path, []byte(job), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-job", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "ran 2 instances") {
+		t.Errorf("job summary missing:\n%s", s)
+	}
+	// The two local-preferred buffers on node 2 must show as hits.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "2 ") {
+			if !strings.Contains(line, "2") {
+				t.Errorf("node 2 counters missing hits: %q", line)
+			}
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-machine", "warp"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-job", "/nonexistent.fio"}, &out); err == nil {
+		t.Error("missing job file should fail")
+	}
+	path := filepath.Join(t.TempDir(), "bad.fio")
+	if err := os.WriteFile(path, []byte("nonsense"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-job", path}, &out); err == nil {
+		t.Error("malformed job file should fail")
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"numaio/internal/core"
+	"numaio/internal/experiments"
+	"numaio/internal/units"
+)
+
+// maxDiagonalExcept0 returns the largest local STREAM cell other than
+// node 0's.
+func maxDiagonalExcept0(bw [][]units.Bandwidth) float64 {
+	best := 0.0
+	for i := 1; i < len(bw); i++ {
+		if v := bw[i][i].Gbps(); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// classSets formats a model's class memberships like "{6,7} | {0,1,4,5}".
+func classSets(m *core.Model) string {
+	var parts []string
+	for _, c := range m.Classes {
+		ns := make([]string, 0, len(c.Nodes))
+		for _, n := range c.Nodes {
+			ns = append(ns, fmt.Sprintf("%d", int(n)))
+		}
+		parts = append(parts, "{"+strings.Join(ns, ",")+"}")
+	}
+	return strings.Join(parts, " | ")
+}
+
+// classAvgSummary lists per-operation class averages of a Table IV/V result.
+func classAvgSummary(r *experiments.Table45Result) string {
+	var parts []string
+	for _, op := range r.Ops {
+		var avgs []string
+		for _, row := range r.Rows {
+			avgs = append(avgs, fmt.Sprintf("%.1f", row.Stats[op].Avg.Gbps()))
+		}
+		parts = append(parts, op+" "+strings.Join(avgs, "/"))
+	}
+	return strings.Join(parts, "; ") + " (class averages, Gb/s)."
+}

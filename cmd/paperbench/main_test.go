@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-only", "T1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table I") || strings.Contains(s, "Fig. 3") {
+		t.Errorf("only T1 expected:\n%s", s)
+	}
+}
+
+func TestMarkdownMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-md", "-only", "E1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"# EXPERIMENTS — paper vs. measured",
+		"**Paper reports:** Predicted 20.017",
+		"**Measured here:**",
+		"```",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("markdown missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAllSectionsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness in short mode")
+	}
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, sec := range sections() {
+		if !strings.Contains(s, "=== "+sec.ID+":") {
+			t.Errorf("section %s missing from full run", sec.ID)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}
+
+func TestListExperiments(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, id := range []string{"T1", "T2", "T3", "F3", "F10", "T4", "T5", "E1", "R1", "S1", "N1", "C1", "V1", "A1", "A6"} {
+		if !strings.Contains(s, id+" ") {
+			t.Errorf("list missing %s:\n%s", id, s)
+		}
+	}
+}

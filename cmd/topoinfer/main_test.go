@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStreamSourceInconclusive(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "inconclusive") {
+		t.Errorf("measured data should be inconclusive:\n%s", s)
+	}
+	if !strings.Contains(s, "variant-a") {
+		t.Errorf("candidate table missing:\n%s", s)
+	}
+}
+
+func TestMemcpySource(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-source", "memcpy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "memcpy matrix") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-source", "ouija"}, &out); err == nil {
+		t.Error("unknown source should fail")
+	}
+	if err := run([]string{"-machine", "warp"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-degree", "0"}, &out); err == nil {
+		t.Error("bad degree should fail")
+	}
+}

@@ -1,0 +1,116 @@
+// Command whatif re-characterizes a machine after hypothetical hardware
+// changes — the cheap re-modelling workflow the memcpy methodology enables
+// (no I/O benchmarks needed). Links can be degraded or upgraded; the tool
+// prints the before/after models of the target node and every node whose
+// class changed.
+//
+// Usage:
+//
+//	whatif [-machine profile] [-target node] -degrade node0:node7:0.35 [-degrade ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"numaio/internal/cli"
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/report"
+	"numaio/internal/topology"
+)
+
+// degradeFlag collects repeated -degrade options.
+type degradeFlag []string
+
+func (d *degradeFlag) String() string     { return strings.Join(*d, ",") }
+func (d *degradeFlag) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "whatif:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
+	machine := fs.String("machine", "dl585g7", "machine profile or .json file")
+	target := fs.Int("target", 7, "node the I/O device is attached to")
+	var degrades degradeFlag
+	fs.Var(&degrades, "degrade", "vertexA:vertexB:factor — scale both directions of a link (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(degrades) == 0 {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: pass at least one -degrade")
+	}
+
+	base, err := cli.Machine(*machine)
+	if err != nil {
+		return err
+	}
+	mutant := base.Clone()
+	for _, d := range degrades {
+		parts := strings.Split(d, ":")
+		if len(parts) != 3 {
+			return fmt.Errorf("malformed -degrade %q (want a:b:factor)", d)
+		}
+		factor, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return fmt.Errorf("malformed factor in %q: %v", d, err)
+		}
+		if err := mutant.DegradeLinkBetween(parts[0], parts[1], factor); err != nil {
+			return err
+		}
+	}
+
+	characterize := func(m *topology.Machine, mode core.Mode) (*core.Model, error) {
+		sys, err := numa.NewSystem(m)
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.NewCharacterizer(sys, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		return c.Characterize(topology.NodeID(*target), mode)
+	}
+
+	for _, mode := range []core.Mode{core.ModeWrite, core.ModeRead} {
+		before, err := characterize(base, mode)
+		if err != nil {
+			return err
+		}
+		after, err := characterize(mutant, mode)
+		if err != nil {
+			return err
+		}
+		diffs, err := core.Diff(before, after)
+		if err != nil {
+			return err
+		}
+		t := report.NewTable(
+			fmt.Sprintf("what-if: device %s model of node %d", mode, *target),
+			"node", "before Gb/s", "after Gb/s", "class before", "class after", "changed")
+		for _, d := range diffs {
+			changed := ""
+			if d.ClassChanged {
+				changed = "<-- class change"
+			}
+			t.AddRow(fmt.Sprintf("%d", int(d.Node)),
+				report.Gbps2(d.Before), report.Gbps2(d.After),
+				fmt.Sprintf("%d", d.ClassBefore), fmt.Sprintf("%d", d.ClassAfter), changed)
+		}
+		if _, err := fmt.Fprint(out, t.Render()); err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+	}
+	return nil
+}

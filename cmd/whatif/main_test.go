@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDegradeChangesClasses(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-degrade", "node0:node7:0.35"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "class change") {
+		t.Errorf("expected a class change for node 0:\n%s", s)
+	}
+	if !strings.Contains(s, "device write model") || !strings.Contains(s, "device read model") {
+		t.Errorf("both models expected:\n%s", s)
+	}
+}
+
+func TestMultipleDegrades(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-degrade", "node0:node7:0.5",
+		"-degrade", "node6:node7:0.5",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "what-if") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("no degrade should fail")
+	}
+	if err := run([]string{"-degrade", "bogus"}, &out); err == nil {
+		t.Error("malformed degrade should fail")
+	}
+	if err := run([]string{"-degrade", "a:b:x"}, &out); err == nil {
+		t.Error("malformed factor should fail")
+	}
+	if err := run([]string{"-degrade", "node0:node4:0.5"}, &out); err == nil {
+		t.Error("missing link should fail")
+	}
+	if err := run([]string{"-machine", "warp", "-degrade", "node0:node7:0.5"}, &out); err == nil {
+		t.Error("unknown machine should fail")
+	}
+	if err := run([]string{"-target", "42", "-degrade", "node0:node7:0.5"}, &out); err == nil {
+		t.Error("unknown target should fail")
+	}
+}

@@ -1,0 +1,73 @@
+// Calibrate: the real-host bridge, end to end. In production you would run
+// the paper's Algorithm 1 on actual hardware; here a "reference host"
+// stands in for it. Its measured write/read models calibrate a machine that
+// starts from the vendor's uniform wiring — and the fitted machine then
+// answers questions offline (what-if, scheduling, predictions) without
+// touching the reference host again.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numaio/internal/calibrate"
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+)
+
+func main() {
+	// Step 1: "measure" the reference host (Algorithm 1 in both directions).
+	reference, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		log.Fatal(err)
+	}
+	characterizer, err := core.NewCharacterizer(reference, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	write, err := characterizer.Characterize(7, core.ModeWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	read, err := characterizer.Characterize(7, core.ModeRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: fit a simulated machine, starting from the vendor wiring.
+	base := topology.MagnyCours4P(topology.VariantA)
+	fitted, report, err := calibrate.Fit(base, 7, write.Samples, read.Samples,
+		calibrate.Options{MaxIterations: 120, Tolerance: 0.03})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fit: %d iterations, max error %.1f%%, converged=%v\n",
+		report.Iterations, report.MaxRelErr*100, report.Converged)
+
+	// Step 3: the fitted machine reproduces the reference's class
+	// structure, so every downstream tool now works offline.
+	sys, err := numa.NewSystem(fitted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c2, err := core.NewCharacterizer(sys, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, mode := range []core.Mode{core.ModeWrite, core.ModeRead} {
+		want, err := characterizer.Characterize(7, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := c2.Characterize(7, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s model classes (reference vs fitted):\n", mode)
+		for i := 0; i < len(want.Classes) && i < len(got.Classes); i++ {
+			fmt.Printf("  class %d: %v  vs  %v\n",
+				i+1, want.Classes[i].Nodes, got.Classes[i].Nodes)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Cluster: schedule I/O tasks across several NUMA hosts — the multi-user
+// cluster environment the paper's introduction motivates. Each host is
+// characterized once with Algorithm 1; the cluster scheduler then splits
+// the task set over hosts (pack-first vs spread vs model-greedy) and binds
+// tasks to nodes with the per-host class-balanced policy.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numaio/internal/cluster"
+	"numaio/internal/device"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func main() {
+	c, err := cluster.New(topology.DL585G7, 7, "host-a", "host-b", "host-c")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster of %d characterized hosts\n\n", len(c.Hosts))
+
+	const tasks = 9
+	for _, policy := range []cluster.Policy{cluster.PackFirst, cluster.SpreadEven, cluster.ModelGreedy} {
+		assignments, err := c.Place(device.EngineRDMAWrite, tasks, policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		eval, err := c.Evaluate(device.EngineRDMAWrite, assignments, 4*units.GiB)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, a := range assignments {
+			counts[a.Host]++
+		}
+		fmt.Printf("%-13s aggregate %6.1f Gb/s  tasks per host %v\n",
+			policy.String(), eval.Aggregate.Gbps(), counts)
+	}
+	fmt.Println("\npacking everything onto one adapter wastes the other hosts' NICs;")
+	fmt.Println("the model-driven split saturates all of them.")
+}

@@ -1,0 +1,99 @@
+// Multiuser: validate the paper's Eq. 1 bandwidth mixture model. A shared
+// RDMA-capable NIC serves readers bound to different NUMA nodes; the model,
+// calibrated with one run per performance class, predicts the aggregate of
+// arbitrary mixes — the paper's Sec. V-B example generalized to several
+// process mixes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func main() {
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: the memcpy model tells us which nodes are interchangeable.
+	characterizer, err := core.NewCharacterizer(sys, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := characterizer.Characterize(7, core.ModeRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 2: calibrate one measured RDMA_READ rate per class — one run per
+	// class instead of one per node.
+	runner := fio.NewRunner(sys)
+	classRates := make(map[int]units.Bandwidth)
+	for _, rep := range model.RepresentativeNodes() {
+		cls, err := model.ClassOf(rep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := runner.Run([]fio.Job{{
+			Name: fmt.Sprintf("cal-class%d", cls.Rank), Engine: device.EngineRDMARead,
+			Node: rep, NumJobs: 2, Size: 8 * units.GiB,
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		classRates[cls.Rank] = run.Aggregate
+		fmt.Printf("class %d (nodes %v): calibrated %.2f Gb/s\n",
+			cls.Rank, cls.Nodes, run.Aggregate.Gbps())
+	}
+
+	// Step 3: predict and verify several multi-user mixes.
+	mixes := []map[topology.NodeID]int{
+		{2: 2, 0: 2}, // the paper's worked example
+		{7: 1, 4: 3},
+		{6: 2, 3: 2, 5: 2},
+		{0: 1, 1: 1, 2: 1, 3: 1, 4: 1, 5: 1, 6: 1, 7: 1},
+	}
+	fmt.Println("\nmix (node:procs)                 predicted   measured   rel.err")
+	format := func(mix map[topology.NodeID]int) string {
+		var nodes []int
+		for n := range mix {
+			nodes = append(nodes, int(n))
+		}
+		sort.Ints(nodes)
+		var parts []string
+		for _, n := range nodes {
+			parts = append(parts, fmt.Sprintf("%d:%d", n, mix[topology.NodeID(n)]))
+		}
+		return strings.Join(parts, " ")
+	}
+	for _, mix := range mixes {
+		predicted, err := model.PredictCounts(mix, classRates)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var jobs []fio.Job
+		for n, c := range mix {
+			jobs = append(jobs, fio.Job{
+				Name: fmt.Sprintf("mix-n%d", int(n)), Engine: device.EngineRDMARead,
+				Node: n, NumJobs: c, Size: 8 * units.GiB,
+			})
+		}
+		measured, err := runner.Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-32s %8.2f %10.2f %8.1f%%\n",
+			format(mix), predicted.Gbps(), measured.Aggregate.Gbps(),
+			core.RelativeError(predicted, measured.Aggregate)*100)
+	}
+}

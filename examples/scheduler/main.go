@@ -1,0 +1,95 @@
+// Scheduler: apply the characterized models to I/O task placement
+// (Sec. V-B and the paper's future-work thread migration). Compares the
+// naive local-only binding against hop-distance, blind round-robin and the
+// model-driven class-balanced policy, then rebalances a running workload
+// when new tasks arrive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/numa"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func main() {
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		log.Fatal(err)
+	}
+	characterizer, err := core.NewCharacterizer(sys, core.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	write, err := characterizer.Characterize(7, core.ModeWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	read, err := characterizer.Characterize(7, core.ModeRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheduler, err := sched.New(sys, write, read)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Eight concurrent TCP senders: where should they run?
+	fmt.Println("8 TCP send streams to the NIC on node 7:")
+	cmp, err := scheduler.Compare(device.EngineTCPSend, 8, 8*units.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []sched.Policy{sched.LocalOnly, sched.HopDistance, sched.RoundRobin, sched.ClassBalanced} {
+		placement, err := scheduler.Place(device.EngineTCPSend, 8, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s %6.2f Gb/s  placement %v\n",
+			p.String(), cmp.Aggregate[p].Gbps(), placement)
+	}
+
+	// Staging copies toward node 7: the locality-vs-contention sweep.
+	scheduler.Tolerance = 0.15
+	points, err := scheduler.Sweep(device.EngineMemcpy, 6, 4*units.GiB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmemcpy staging toward node 7 (local-only vs class-balanced):")
+	for _, pt := range points {
+		fmt.Printf("  %d tasks: local %6.2f  spread %6.2f Gb/s\n",
+			pt.Tasks, pt.LocalOnly.Gbps(), pt.ClassBalanced.Gbps())
+	}
+	fmt.Printf("  spreading wins from %d tasks on\n", sched.Crossover(points))
+
+	// Ask the model for advice without running anything: the analytic
+	// estimator generalizes Eq. 1 to whole placements.
+	advice, err := scheduler.BestPlacement(device.EngineTCPSend, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmodel advice for 8 TCP streams: %v (estimated %.2f Gb/s)\n",
+		advice.Policy, advice.Estimate.Gbps())
+	for _, p := range []sched.Policy{sched.LocalOnly, sched.HopDistance, sched.RoundRobin, sched.ClassBalanced} {
+		fmt.Printf("  estimate %-15s %6.2f Gb/s\n", p.String(), advice.PerPolicy[p].Gbps())
+	}
+
+	// A running placement grows by two tasks: migrate minimally.
+	current, err := scheduler.Place(device.EngineRDMAWrite, 4, sched.LocalOnly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	next, moves, err := scheduler.Rebalance(device.EngineRDMAWrite, current, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrebalance %v + 2 new tasks -> %v\n", current, next)
+	for _, mv := range moves {
+		fmt.Printf("  migrate task %d: node %d -> node %d\n", mv.Task, int(mv.From), int(mv.To))
+	}
+}

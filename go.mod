@@ -1,0 +1,3 @@
+module numaio
+
+go 1.22

@@ -1,0 +1,223 @@
+// Package calibrate solves the inverse problem behind docs/CALIBRATION.md:
+// given a measured iomodel of a real host (per-node memcpy bandwidths in
+// both directions, e.g. produced by running the paper's Algorithm 1 on
+// actual hardware), fit a simulated machine's directed link capacities so
+// its emergent model matches. The fitted machine can then drive everything
+// the repository offers offline: what-if analysis, scheduling, Eq. 1
+// predictions.
+//
+// The fit is iterative proportional scaling: each round re-characterizes
+// the candidate machine, finds every node whose modelled bandwidth misses
+// its target, and nudges the bottleneck capacity along that node's route
+// toward the target (damped to keep shared links stable).
+package calibrate
+
+import (
+	"fmt"
+	"math"
+
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Options tunes the fit.
+type Options struct {
+	// MaxIterations bounds the outer loop; 0 means 60.
+	MaxIterations int
+	// Tolerance is the target maximum relative error; 0 means 0.01.
+	Tolerance float64
+	// Damping softens each capacity update (scale^Damping); 0 means 0.6.
+	Damping float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 60
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 0.01
+	}
+	if o.Damping == 0 {
+		o.Damping = 0.6
+	}
+	return o
+}
+
+// Report describes the fit outcome.
+type Report struct {
+	Iterations int
+	MaxRelErr  float64
+	Converged  bool
+}
+
+// Fit clones base and adjusts its capacities until the memcpy models of the
+// target node match the given write and read samples. The base machine must
+// share the target's routing structure (same vertices and links); the usual
+// starting point is the vendor wiring with uniform capacities.
+func Fit(base *topology.Machine, target topology.NodeID, write, read []core.Sample, opts Options) (*topology.Machine, *Report, error) {
+	opts = opts.withDefaults()
+	if _, ok := base.Node(target); !ok {
+		return nil, nil, fmt.Errorf("calibrate: unknown target node %d", int(target))
+	}
+	wantWrite, err := sampleMap(write)
+	if err != nil {
+		return nil, nil, fmt.Errorf("calibrate: write samples: %w", err)
+	}
+	wantRead, err := sampleMap(read)
+	if err != nil {
+		return nil, nil, fmt.Errorf("calibrate: read samples: %w", err)
+	}
+
+	m := base.Clone()
+	rep := &Report{}
+	for iter := 0; iter < opts.MaxIterations; iter++ {
+		rep.Iterations = iter + 1
+		maxErr, err := fitRound(m, target, wantWrite, wantRead, opts.Damping)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.MaxRelErr = maxErr
+		if maxErr <= opts.Tolerance {
+			rep.Converged = true
+			break
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("calibrate: fitted machine invalid: %w", err)
+	}
+	return m, rep, nil
+}
+
+func sampleMap(samples []core.Sample) (map[topology.NodeID]units.Bandwidth, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("no samples")
+	}
+	out := make(map[topology.NodeID]units.Bandwidth, len(samples))
+	for _, s := range samples {
+		if s.Bandwidth <= 0 {
+			return nil, fmt.Errorf("nonpositive bandwidth for node %d", int(s.Node))
+		}
+		if _, dup := out[s.Node]; dup {
+			return nil, fmt.Errorf("duplicate sample for node %d", int(s.Node))
+		}
+		out[s.Node] = s.Bandwidth
+	}
+	return out, nil
+}
+
+// fitRound runs one characterize-and-adjust pass and returns the maximum
+// relative error seen before the adjustments.
+func fitRound(m *topology.Machine, target topology.NodeID,
+	wantWrite, wantRead map[topology.NodeID]units.Bandwidth, damping float64) (float64, error) {
+
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		return 0, err
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		return 0, err
+	}
+	writeModel, err := c.Characterize(target, core.ModeWrite)
+	if err != nil {
+		return 0, err
+	}
+	readModel, err := c.Characterize(target, core.ModeRead)
+	if err != nil {
+		return 0, err
+	}
+
+	maxErr := 0.0
+	adjust := func(model *core.Model, want map[topology.NodeID]units.Bandwidth, toTarget bool) error {
+		for node, target_bw := range want {
+			got, err := model.SampleOf(node)
+			if err != nil {
+				return err
+			}
+			rel := math.Abs(float64(got-target_bw)) / float64(target_bw)
+			if rel > maxErr {
+				maxErr = rel
+			}
+			if rel < 1e-4 {
+				continue
+			}
+			scale := math.Pow(float64(target_bw)/float64(got), damping)
+			if node == target {
+				// Local copy: bounded by half the controller.
+				n := m.MustNode(node)
+				updateMem(m, node, units.Bandwidth(float64(n.MemBandwidth)*scale))
+				continue
+			}
+			src, dst := node, target
+			if !toTarget {
+				src, dst = target, node
+			}
+			route, err := m.RouteNodes(src, dst)
+			if err != nil {
+				return err
+			}
+			// Adjust a link along the route unless the memory controllers
+			// bound the copy instead. Raising targets the bottleneck;
+			// lowering targets the node's own first/last hop, which no
+			// other node's traffic shares — that keeps shared interior
+			// links from being pulled in two directions at once.
+			pathCap := m.PathCapacity(route)
+			srcMem := m.MustNode(src).MemBandwidth
+			dstMem := m.MustNode(dst).MemBandwidth
+			if pathCap <= srcMem && pathCap <= dstMem {
+				var li int
+				switch {
+				case scale >= 1:
+					li = bottleneckLink(m, route)
+				case toTarget:
+					li = route[0] // the varying node's egress port
+				default:
+					li = route[len(route)-1] // the varying node's ingress port
+				}
+				if err := m.SetLinkCapacity(li, units.Bandwidth(float64(m.Link(li).Capacity)*scale)); err != nil {
+					return err
+				}
+				continue
+			}
+			// A controller binds: grow the smaller one.
+			if srcMem < dstMem {
+				updateMem(m, src, units.Bandwidth(float64(srcMem)*scale))
+			} else {
+				updateMem(m, dst, units.Bandwidth(float64(dstMem)*scale))
+			}
+		}
+		return nil
+	}
+	if err := adjust(writeModel, wantWrite, true); err != nil {
+		return 0, err
+	}
+	if err := adjust(readModel, wantRead, false); err != nil {
+		return 0, err
+	}
+	return maxErr, nil
+}
+
+// bottleneckLink returns the route's smallest-capacity link index.
+func bottleneckLink(m *topology.Machine, route []int) int {
+	best := route[0]
+	for _, li := range route[1:] {
+		if m.Link(li).Capacity < m.Link(best).Capacity {
+			best = li
+		}
+	}
+	return best
+}
+
+// updateMem sets a node's memory-controller capacity in place.
+func updateMem(m *topology.Machine, id topology.NodeID, bw units.Bandwidth) {
+	for i := range m.Nodes {
+		if m.Nodes[i].ID == id {
+			if bw > 0 {
+				m.Nodes[i].MemBandwidth = bw
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package calibrate
+
+import (
+	"reflect"
+	"testing"
+
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// modelsOf characterizes node 7 of a machine in both directions.
+func modelsOf(t *testing.T, m *topology.Machine) (*core.Model, *core.Model) {
+	t.Helper()
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Characterize(7, core.ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Characterize(7, core.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, r
+}
+
+// The well-posed inverse problem: perturb several directed capacities of
+// the testbed, then fit the perturbed machine back to the true model. The
+// fit must converge and recover the class structure.
+func TestFitRecoversPerturbedMachine(t *testing.T) {
+	truth := topology.DL585G7()
+	wantWrite, wantRead := modelsOf(t, truth)
+
+	perturbed := truth.Clone()
+	for i, factor := range map[int]float64{
+		perturbed.FindLink("node0", "node7"): 0.7,
+		perturbed.FindLink("node7", "node4"): 1.3,
+		perturbed.FindLink("node2", "node7"): 1.25,
+		perturbed.FindLink("node7", "node2"): 0.8,
+		perturbed.FindLink("node6", "node7"): 0.85,
+	} {
+		if i < 0 {
+			t.Fatal("missing link")
+		}
+		if err := perturbed.ScaleLink(i, factor); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fitted, rep, err := Fit(perturbed, 7, wantWrite.Samples, wantRead.Samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("fit did not converge: %+v", rep)
+	}
+	if rep.MaxRelErr > 0.011 {
+		t.Errorf("residual error %.3f", rep.MaxRelErr)
+	}
+
+	// The fitted machine reproduces the class memberships of the truth.
+	gotWrite, gotRead := modelsOf(t, fitted)
+	for i := range wantWrite.Classes {
+		if !reflect.DeepEqual(gotWrite.Classes[i].Nodes, wantWrite.Classes[i].Nodes) {
+			t.Errorf("write class %d = %v, want %v",
+				i+1, gotWrite.Classes[i].Nodes, wantWrite.Classes[i].Nodes)
+		}
+	}
+	for i := range wantRead.Classes {
+		if !reflect.DeepEqual(gotRead.Classes[i].Nodes, wantRead.Classes[i].Nodes) {
+			t.Errorf("read class %d = %v, want %v",
+				i+1, gotRead.Classes[i].Nodes, wantRead.Classes[i].Nodes)
+		}
+	}
+	// The original perturbed machine is untouched.
+	if perturbed.Link(perturbed.FindLink("node0", "node7")).Capacity ==
+		fitted.Link(fitted.FindLink("node0", "node7")).Capacity {
+		t.Error("fit should not mutate its input")
+	}
+}
+
+// Fitting from the uniform vendor wiring toward the calibrated testbed:
+// the big class gaps must be reproduced even if exact convergence is not
+// reached (the uniform machine routes differently).
+func TestFitFromUniformWiring(t *testing.T) {
+	truth := topology.DL585G7()
+	wantWrite, wantRead := modelsOf(t, truth)
+
+	base := topology.MagnyCours4P(topology.VariantA)
+	fitted, rep, err := Fit(base, 7, wantWrite.Samples, wantRead.Samples,
+		Options{MaxIterations: 120, Tolerance: 0.03})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxRelErr > 0.25 {
+		t.Fatalf("fit diverged: %+v", rep)
+	}
+	gotWrite, _ := modelsOf(t, fitted)
+	// The starved write class {2,3} must emerge on the fitted machine.
+	c2, err := gotWrite.ClassOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c3, err := gotWrite.ClassOf(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Rank != gotWrite.NumClasses() || c3.Rank != gotWrite.NumClasses() {
+		t.Errorf("nodes 2,3 should land in the bottom write class: %+v", gotWrite.Classes)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	truth := topology.DL585G7()
+	w, r := modelsOf(t, truth)
+	if _, _, err := Fit(truth, 42, w.Samples, r.Samples, Options{}); err == nil {
+		t.Error("unknown target should fail")
+	}
+	if _, _, err := Fit(truth, 7, nil, r.Samples, Options{}); err == nil {
+		t.Error("missing write samples should fail")
+	}
+	bad := []core.Sample{{Node: 0, Bandwidth: 0}}
+	if _, _, err := Fit(truth, 7, bad, r.Samples, Options{}); err == nil {
+		t.Error("nonpositive sample should fail")
+	}
+	dup := []core.Sample{{Node: 0, Bandwidth: 1}, {Node: 0, Bandwidth: 1}}
+	if _, _, err := Fit(truth, 7, dup, r.Samples, Options{}); err == nil {
+		t.Error("duplicate sample should fail")
+	}
+}
+
+// Fitting a machine to its own model converges immediately.
+func TestFitIdentity(t *testing.T) {
+	truth := topology.DL585G7()
+	w, r := modelsOf(t, truth)
+	_, rep, err := Fit(truth, 7, w.Samples, r.Samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged || rep.Iterations != 1 {
+		t.Errorf("identity fit should converge in one round: %+v", rep)
+	}
+}
+
+// A perturbed memory controller (the local sample) is fitted back through
+// the controller path, not the links.
+func TestFitRecoversMemoryController(t *testing.T) {
+	truth := topology.DL585G7()
+	wantWrite, wantRead := modelsOf(t, truth)
+
+	perturbed := truth.Clone()
+	for i := range perturbed.Nodes {
+		if perturbed.Nodes[i].ID == 7 {
+			perturbed.Nodes[i].MemBandwidth = units.Bandwidth(0.7 * float64(perturbed.Nodes[i].MemBandwidth))
+		}
+	}
+	fitted, rep, err := Fit(perturbed, 7, wantWrite.Samples, wantRead.Samples, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Converged {
+		t.Fatalf("fit did not converge: %+v", rep)
+	}
+	got := fitted.MustNode(7).MemBandwidth.Gbps()
+	want := truth.MustNode(7).MemBandwidth.Gbps()
+	if got < want*0.98 || got > want*1.02 {
+		t.Errorf("fitted controller = %.1f, want ~%.1f", got, want)
+	}
+}

@@ -1,0 +1,17 @@
+// Package cli holds small helpers shared by the command-line tools.
+package cli
+
+import (
+	"io"
+	"os"
+
+	"numaio/internal/topology"
+)
+
+// Machine resolves the -machine flag: a canned profile name, or a path to
+// a machine JSON file (anything ending in .json, see topology.DecodeJSON).
+func Machine(nameOrPath string) (*topology.Machine, error) {
+	return topology.LoadMachine(nameOrPath, func(p string) (io.ReadCloser, error) {
+		return os.Open(p)
+	})
+}

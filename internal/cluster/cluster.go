@@ -1,0 +1,243 @@
+// Package cluster schedules I/O tasks across several NUMA hosts — the
+// multi-user/multi-task cluster environment that motivates the paper
+// (Sec. I-A). Each host carries its own characterized models; the cluster
+// scheduler first decides how many tasks each host takes (using the
+// analytic per-host estimator) and then delegates the node binding to the
+// per-host class-balanced policy.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Host is one machine of the cluster with its characterized scheduler.
+type Host struct {
+	Name      string
+	Sys       *numa.System
+	Scheduler *sched.Scheduler
+}
+
+// Cluster is a set of characterized hosts.
+type Cluster struct {
+	Hosts []*Host
+}
+
+// New boots count identical hosts (each built independently) and
+// characterizes each one with Algorithm 1 in both directions.
+func New(build func() *topology.Machine, target topology.NodeID, names ...string) (*Cluster, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: no hosts")
+	}
+	c := &Cluster{}
+	for _, name := range names {
+		sys, err := numa.NewSystem(build())
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %q: %w", name, err)
+		}
+		ch, err := core.NewCharacterizer(sys, core.Config{})
+		if err != nil {
+			return nil, err
+		}
+		write, err := ch.Characterize(target, core.ModeWrite)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %q: %w", name, err)
+		}
+		read, err := ch.Characterize(target, core.ModeRead)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %q: %w", name, err)
+		}
+		s, err := sched.New(sys, write, read)
+		if err != nil {
+			return nil, err
+		}
+		c.Hosts = append(c.Hosts, &Host{Name: name, Sys: sys, Scheduler: s})
+	}
+	return c, nil
+}
+
+// HostByName returns the named host.
+func (c *Cluster) HostByName(name string) (*Host, bool) {
+	for _, h := range c.Hosts {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return nil, false
+}
+
+// Assignment binds one task to a node of a host.
+type Assignment struct {
+	Host string
+	Node topology.NodeID
+}
+
+// Policy selects the cluster-level distribution strategy.
+type Policy int
+
+// Policies.
+const (
+	// PackFirst fills the first host completely before using the next —
+	// the consolidation strategy.
+	PackFirst Policy = iota
+	// SpreadEven distributes tasks round-robin over hosts.
+	SpreadEven
+	// ModelGreedy assigns each task to the host whose estimated aggregate
+	// gains the most, using the per-host analytic estimator.
+	ModelGreedy
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PackFirst:
+		return "pack-first"
+	case SpreadEven:
+		return "spread-even"
+	case ModelGreedy:
+		return "model-greedy"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Place distributes count tasks of the engine across the cluster.
+func (c *Cluster) Place(engine string, count int, policy Policy) ([]Assignment, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("cluster: count must be positive")
+	}
+	perHost := make([]int, len(c.Hosts))
+	switch policy {
+	case PackFirst:
+		// A host "fills" at one task per core of its eligible nodes.
+		left := count
+		for i, h := range c.Hosts {
+			if left == 0 {
+				break
+			}
+			cap, err := hostSlotCap(h, engine)
+			if err != nil {
+				return nil, err
+			}
+			take := left
+			if i < len(c.Hosts)-1 && take > cap {
+				take = cap
+			}
+			perHost[i] = take
+			left -= take
+		}
+	case SpreadEven:
+		for i := 0; i < count; i++ {
+			perHost[i%len(c.Hosts)]++
+		}
+	case ModelGreedy:
+		// Greedy marginal-gain assignment via the analytic estimator.
+		estimates := make([]units.Bandwidth, len(c.Hosts))
+		for i := 0; i < count; i++ {
+			bestHost, bestGain := -1, units.Bandwidth(-1)
+			for hi, h := range c.Hosts {
+				est, err := hostEstimate(h, engine, perHost[hi]+1)
+				if err != nil {
+					return nil, err
+				}
+				gain := est - estimates[hi]
+				// Strictly better gain wins; equal gains go to the least
+				// loaded host so saturated adapters still balance.
+				better := gain > bestGain+1e-6 ||
+					(gain > bestGain-1e-6 && bestHost >= 0 && perHost[hi] < perHost[bestHost])
+				if bestHost < 0 || better {
+					bestGain, bestHost = gain, hi
+				}
+			}
+			perHost[bestHost]++
+			est, err := hostEstimate(c.Hosts[bestHost], engine, perHost[bestHost])
+			if err != nil {
+				return nil, err
+			}
+			estimates[bestHost] = est
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy %v", policy)
+	}
+
+	var out []Assignment
+	for hi, n := range perHost {
+		if n == 0 {
+			continue
+		}
+		placement, err := c.Hosts[hi].Scheduler.Place(engine, n, sched.ClassBalanced)
+		if err != nil {
+			return nil, err
+		}
+		for _, node := range placement {
+			out = append(out, Assignment{Host: c.Hosts[hi].Name, Node: node})
+		}
+	}
+	return out, nil
+}
+
+// hostSlotCap is the pack-first fill level: one task per core over the
+// host's eligible nodes.
+func hostSlotCap(h *Host, engine string) (int, error) {
+	nodes, err := h.Scheduler.EligibleNodes(engine)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, n := range nodes {
+		total += h.Sys.Machine().MustNode(n).Cores
+	}
+	return total, nil
+}
+
+// hostEstimate predicts a host's aggregate for n class-balanced tasks.
+func hostEstimate(h *Host, engine string, n int) (units.Bandwidth, error) {
+	placement, err := h.Scheduler.Place(engine, n, sched.ClassBalanced)
+	if err != nil {
+		return 0, err
+	}
+	return h.Scheduler.Estimate(engine, placement)
+}
+
+// Evaluation is the measured outcome of a cluster placement.
+type Evaluation struct {
+	PerHost   map[string]units.Bandwidth
+	Aggregate units.Bandwidth
+}
+
+// Evaluate runs the engine on every host with its share of the assignments
+// and sums the measured aggregates.
+func (c *Cluster) Evaluate(engine string, assignments []Assignment, sizePerTask units.Size) (*Evaluation, error) {
+	if len(assignments) == 0 {
+		return nil, fmt.Errorf("cluster: empty assignment")
+	}
+	byHost := make(map[string][]topology.NodeID)
+	for _, a := range assignments {
+		byHost[a.Host] = append(byHost[a.Host], a.Node)
+	}
+	names := make([]string, 0, len(byHost))
+	for name := range byHost {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	out := &Evaluation{PerHost: make(map[string]units.Bandwidth)}
+	for _, name := range names {
+		h, ok := c.HostByName(name)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown host %q", name)
+		}
+		rep, err := h.Scheduler.Evaluate(engine, byHost[name], sizePerTask)
+		if err != nil {
+			return nil, err
+		}
+		out.PerHost[name] = rep.Aggregate
+		out.Aggregate += rep.Aggregate
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"testing"
+
+	"numaio/internal/device"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func newCluster(t *testing.T, names ...string) *Cluster {
+	t.Helper()
+	c, err := New(topology.DL585G7, 7, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(topology.DL585G7, 7); err == nil {
+		t.Error("no hosts should fail")
+	}
+	if _, err := New(func() *topology.Machine { return topology.New("bad", nil) }, 7, "a"); err == nil {
+		t.Error("invalid machine should fail")
+	}
+	if _, err := New(topology.DL585G7, 42, "a"); err == nil {
+		t.Error("unknown target should fail")
+	}
+}
+
+func TestHostByName(t *testing.T) {
+	c := newCluster(t, "alpha", "beta")
+	if h, ok := c.HostByName("beta"); !ok || h.Name != "beta" {
+		t.Error("HostByName failed")
+	}
+	if _, ok := c.HostByName("gamma"); ok {
+		t.Error("unknown host should not resolve")
+	}
+}
+
+func TestPlacePolicies(t *testing.T) {
+	c := newCluster(t, "a", "b")
+
+	pack, err := c.Place(device.EngineRDMAWrite, 4, PackFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, as := range pack {
+		if as.Host != "a" {
+			t.Errorf("pack-first should stay on host a: %+v", pack)
+		}
+	}
+
+	spread, err := c.Place(device.EngineRDMAWrite, 4, SpreadEven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, as := range spread {
+		counts[as.Host]++
+	}
+	if counts["a"] != 2 || counts["b"] != 2 {
+		t.Errorf("spread-even counts = %v", counts)
+	}
+
+	if _, err := c.Place(device.EngineRDMAWrite, 0, SpreadEven); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, err := c.Place(device.EngineRDMAWrite, 2, Policy(9)); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := c.Place("warp", 2, SpreadEven); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+// Two hosts mean two NICs: spreading RDMA writers doubles the measured
+// aggregate over packing them onto one host's adapter.
+func TestSpreadDoublesOverPack(t *testing.T) {
+	c := newCluster(t, "a", "b")
+	const tasks = 4
+	size := 2 * units.GiB
+
+	pack, err := c.Place(device.EngineRDMAWrite, tasks, PackFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packEval, err := c.Evaluate(device.EngineRDMAWrite, pack, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread, err := c.Place(device.EngineRDMAWrite, tasks, SpreadEven)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spreadEval, err := c.Evaluate(device.EngineRDMAWrite, spread, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(spreadEval.Aggregate) / float64(packEval.Aggregate)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("spread/pack = %.2f, want ~2 (two adapters)", ratio)
+	}
+}
+
+// The greedy model-driven policy must match spread-even on identical hosts
+// (both saturate each NIC evenly) and never lose to pack-first.
+func TestModelGreedy(t *testing.T) {
+	c := newCluster(t, "a", "b")
+	const tasks = 6
+	size := 2 * units.GiB
+
+	greedy, err := c.Place(device.EngineRDMAWrite, tasks, ModelGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, as := range greedy {
+		counts[as.Host]++
+	}
+	if counts["a"] != 3 || counts["b"] != 3 {
+		t.Errorf("greedy counts on identical hosts = %v, want 3/3", counts)
+	}
+	greedyEval, err := c.Evaluate(device.EngineRDMAWrite, greedy, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := c.Place(device.EngineRDMAWrite, tasks, PackFirst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packEval, err := c.Evaluate(device.EngineRDMAWrite, pack, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(greedyEval.Aggregate >= packEval.Aggregate) {
+		t.Errorf("greedy %.2f should not lose to pack %.2f",
+			greedyEval.Aggregate.Gbps(), packEval.Aggregate.Gbps())
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	c := newCluster(t, "a")
+	if _, err := c.Evaluate(device.EngineRDMAWrite, nil, units.GiB); err == nil {
+		t.Error("empty assignment should fail")
+	}
+	bad := []Assignment{{Host: "ghost", Node: 7}}
+	if _, err := c.Evaluate(device.EngineRDMAWrite, bad, units.GiB); err == nil {
+		t.Error("unknown host should fail")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PackFirst.String() != "pack-first" || SpreadEven.String() != "spread-even" ||
+		ModelGreedy.String() != "model-greedy" {
+		t.Error("policy strings")
+	}
+	if Policy(9).String() == "" {
+		t.Error("fallback string")
+	}
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"numaio/internal/stream"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// This file implements the characterization baselines the paper compares
+// against and finds wanting (Secs. I-A, IV): the hop-distance metric and
+// STREAM-derived models. They exist so the experiments can quantify how
+// much better the memcpy iomodel tracks real I/O behaviour.
+
+// HopDistanceModel builds a pseudo-model from hop counts: nodes at equal
+// distance from the target form a class, nearer is assumed faster. There is
+// no bandwidth measurement behind it, so class averages carry synthetic
+// scores (hops+1 inverted) useful only for rank comparisons.
+func HopDistanceModel(m *topology.Machine, target topology.NodeID) (*Model, error) {
+	if _, ok := m.Node(target); !ok {
+		return nil, fmt.Errorf("core: unknown target node %d", int(target))
+	}
+	byHops := make(map[int][]topology.NodeID)
+	maxHops := 0
+	for _, n := range m.NodeIDs() {
+		h, err := m.HopDistance(target, n)
+		if err != nil {
+			return nil, err
+		}
+		byHops[h] = append(byHops[h], n)
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	model := &Model{Machine: m.Name, Target: target, Mode: ModeWrite}
+	rank := 0
+	for h := 0; h <= maxHops; h++ {
+		nodes, ok := byHops[h]
+		if !ok {
+			continue
+		}
+		rank++
+		score := units.Bandwidth(maxHops-h+1) * units.Gbps // synthetic ordering score
+		cls := Class{Rank: rank, Nodes: nodes, Min: score, Max: score, Avg: score}
+		sort.Slice(cls.Nodes, func(i, j int) bool { return cls.Nodes[i] < cls.Nodes[j] })
+		model.Classes = append(model.Classes, cls)
+		for _, n := range nodes {
+			model.Samples = append(model.Samples, Sample{Node: n, Bandwidth: score})
+		}
+	}
+	sort.Slice(model.Samples, func(i, j int) bool { return model.Samples[i].Node < model.Samples[j].Node })
+	return model, nil
+}
+
+// StreamModelKind selects which STREAM-derived model to build (Fig. 4).
+type StreamModelKind int
+
+// Stream model kinds.
+const (
+	// CPUCentric: STREAM threads fixed on the target, memory sweeping —
+	// Fig. 4(a).
+	CPUCentric StreamModelKind = iota
+	// MemCentric: data fixed on the target, threads sweeping — Fig. 4(b).
+	MemCentric
+)
+
+func (k StreamModelKind) String() string {
+	switch k {
+	case CPUCentric:
+		return "cpu-centric"
+	case MemCentric:
+		return "memory-centric"
+	default:
+		return fmt.Sprintf("StreamModelKind(%d)", int(k))
+	}
+}
+
+// StreamModel builds a cbench-style model from STREAM measurements (the
+// approach of [18] that Sec. IV-B shows mispredicts I/O behaviour).
+func StreamModel(mx *stream.Matrix, m *topology.Machine, target topology.NodeID, kind StreamModelKind, gapThreshold float64) (*Model, error) {
+	var vec []units.Bandwidth
+	var err error
+	switch kind {
+	case CPUCentric:
+		vec, err = mx.CPUCentric(target)
+	case MemCentric:
+		vec, err = mx.MemCentric(target)
+	default:
+		return nil, fmt.Errorf("core: unknown stream model kind %v", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	model := &Model{Machine: m.Name, Target: target, Mode: ModeWrite}
+	for i, n := range mx.Nodes {
+		model.Samples = append(model.Samples, Sample{Node: n, Bandwidth: vec[i]})
+	}
+	if gapThreshold <= 0 {
+		gapThreshold = 0.2
+	}
+	classes, err := Classify(m, target, model.Samples, gapThreshold)
+	if err != nil {
+		return nil, err
+	}
+	model.Classes = classes
+	return model, nil
+}
+
+// SpearmanRank computes Spearman's rank correlation between a model's
+// per-node bandwidths and externally measured per-node rates. 1 means the
+// model orders the nodes exactly like the measurement; values near 0 mean
+// the model is useless as a predictor. Ties get averaged ranks.
+func SpearmanRank(model *Model, measured []Sample) (float64, error) {
+	if len(measured) < 2 {
+		return 0, fmt.Errorf("core: need at least two measured samples")
+	}
+	var xs, ys []float64
+	for _, s := range measured {
+		bw, err := model.SampleOf(s.Node)
+		if err != nil {
+			return 0, err
+		}
+		xs = append(xs, float64(bw))
+		ys = append(ys, float64(s.Bandwidth))
+	}
+	rx, ry := ranks(xs), ranks(ys)
+	return pearson(rx, ry)
+}
+
+// ranks assigns average ranks (1-based) with tie handling.
+func ranks(v []float64) []float64 {
+	type iv struct {
+		i int
+		v float64
+	}
+	s := make([]iv, len(v))
+	for i, x := range v {
+		s[i] = iv{i, x}
+	}
+	sort.Slice(s, func(a, b int) bool { return s[a].v < s[b].v })
+	out := make([]float64, len(v))
+	for i := 0; i < len(s); {
+		j := i
+		for j < len(s) && s[j].v == s[i].v {
+			j++
+		}
+		avg := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			out[s[k].i] = avg
+		}
+		i = j
+	}
+	return out
+}
+
+func pearson(x, y []float64) (float64, error) {
+	n := float64(len(x))
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx, dy float64
+	for i := range x {
+		a, b := x[i]-mx, y[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx == 0 || dy == 0 {
+		return 0, fmt.Errorf("core: degenerate rank vector (all ties)")
+	}
+	return num / (math.Sqrt(dx) * math.Sqrt(dy)), nil
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// ExampleCharacterizer_Characterize runs Algorithm 1 against the calibrated
+// testbed and prints the resulting device-write classes — the Tables IV/V
+// workflow in a dozen lines.
+func ExampleCharacterizer_Characterize() {
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := c.Characterize(7, core.ModeWrite)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cls := range model.Classes {
+		fmt.Printf("class %d: %v\n", cls.Rank, cls.Nodes)
+	}
+	// Output:
+	// class 1: [6 7]
+	// class 2: [0 1 4 5]
+	// class 3: [2 3]
+}
+
+// ExampleModel_Predict estimates a multi-user aggregate with Eq. 1 from the
+// model's own class averages.
+func ExampleModel_Predict() {
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := c.Characterize(7, core.ModeRead)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bw, err := model.Predict(map[topology.NodeID]float64{2: 0.5, 0: 0.5}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%.0f Gb/s\n", bw.Gbps())
+	// Output:
+	// 45 Gb/s
+}

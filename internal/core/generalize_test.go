@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Sec. V-B: "The methodology used to model the performance of node 7 can
+// also be generalized to other nodes in the host and other NUMA systems."
+// These tests run Algorithm 1 on different targets and machines.
+
+func characterizeOn(t *testing.T, m *topology.Machine, target topology.NodeID, mode Mode) *Model {
+	t.Helper()
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCharacterizer(sys, Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := c.Characterize(target, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// A different target on the testbed: node 0's write model must keep node 0
+// and its package mate in class 1 and still classify every node.
+func TestCharacterizeOtherTarget(t *testing.T) {
+	m := characterizeOn(t, topology.DL585G7(), 0, ModeWrite)
+	c1, err := m.ClassOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Rank != 1 {
+		t.Errorf("target not in class 1")
+	}
+	cn, err := m.ClassOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cn.Rank != 1 {
+		t.Errorf("package mate of the target should share class 1, got %d", cn.Rank)
+	}
+	total := 0
+	for _, cls := range m.Classes {
+		total += len(cls.Nodes)
+	}
+	if total != 8 {
+		t.Errorf("classified %d of 8 nodes", total)
+	}
+}
+
+// A uniform full-mesh machine (Intel 4s/4n) collapses all remotes into one
+// class: local+none vs remotes. (Four single-die sockets have no package
+// neighbours.)
+func TestCharacterizeUniformMesh(t *testing.T) {
+	m := characterizeOn(t, topology.Intel4S4N(), 0, ModeWrite)
+	if m.NumClasses() != 2 {
+		t.Fatalf("uniform mesh classes = %d, want 2: %+v", m.NumClasses(), m.Classes)
+	}
+	if len(m.Classes[0].Nodes) != 1 || m.Classes[0].Nodes[0] != 0 {
+		t.Errorf("class 1 = %v, want just the target", m.Classes[0].Nodes)
+	}
+	if len(m.Classes[1].Nodes) != 3 {
+		t.Errorf("remote class = %v", m.Classes[1].Nodes)
+	}
+}
+
+// The uniform Fig. 1(a) machine (no calibrated asymmetries): class 1 is the
+// target package; every remote collapses into one class because all HT
+// links carry the same capacity.
+func TestCharacterizeUniformMagnyCours(t *testing.T) {
+	m := characterizeOn(t, topology.MagnyCours4P(topology.VariantA), 7, ModeWrite)
+	if m.NumClasses() != 2 {
+		t.Fatalf("uniform magny classes = %d, want 2: %+v", m.NumClasses(), m.Classes)
+	}
+	if got := m.Classes[0].Nodes; len(got) != 2 || got[0] != 6 || got[1] != 7 {
+		t.Errorf("class 1 = %v, want [6 7]", got)
+	}
+}
+
+// Variant B has 8-bit diagonal links: the remotes split into full-width and
+// narrow classes.
+func TestCharacterizeVariantBNarrowLinks(t *testing.T) {
+	m := characterizeOn(t, topology.MagnyCours4P(topology.VariantB), 7, ModeWrite)
+	if m.NumClasses() < 3 {
+		t.Fatalf("variant-b should split remotes over the 8-bit links: %+v", m.Classes)
+	}
+	// Node 2 reaches 7 over the narrow 2-7 diagonal: bottom class.
+	c2, err := m.ClassOf(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Rank != m.NumClasses() {
+		t.Errorf("node 2 class = %d, want bottom (%d)", c2.Rank, m.NumClasses())
+	}
+}
+
+// The 32-node blade system: the characterization cost drop grows with the
+// host (the paper reports 50% for 8 nodes; at 32 nodes one blade-local
+// class plus one cross-blade class cover nearly everything).
+func TestCharacterizeBladeSystemScales(t *testing.T) {
+	m := characterizeOn(t, topology.HPBlade32(), 0, ModeWrite)
+	total := 0
+	for _, cls := range m.Classes {
+		total += len(cls.Nodes)
+	}
+	if total != 32 {
+		t.Fatalf("classified %d of 32 nodes", total)
+	}
+	if m.NumClasses() > 4 {
+		t.Errorf("blade system classes = %d, expected few", m.NumClasses())
+	}
+	if cr := m.CostReduction(); cr < 0.85 {
+		t.Errorf("cost reduction = %.0f%%, expected >= 85%% on 32 nodes", cr*100)
+	}
+	// Blade mates of the target share class 1.
+	for _, n := range []topology.NodeID{1, 2, 3} {
+		cls, err := m.ClassOf(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cls.Rank != 1 {
+			t.Errorf("blade mate %d in class %d", n, cls.Rank)
+		}
+	}
+}
+
+// Robustness: scaling every capacity by a common factor (a different
+// calibration of the same machine) must not change the class structure —
+// the model captures relative, not absolute, behaviour.
+func TestClassesScaleInvariant(t *testing.T) {
+	base := characterizeOn(t, topology.DL585G7(), 7, ModeWrite)
+
+	scaled := topology.DL585G7().Clone()
+	for i := 0; i < scaled.NumLinks(); i++ {
+		if err := scaled.ScaleLink(i, 1.15); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range scaled.Nodes {
+		scaled.Nodes[i].MemBandwidth = units.Bandwidth(1.15 * float64(scaled.Nodes[i].MemBandwidth))
+	}
+	up := characterizeOn(t, scaled, 7, ModeWrite)
+
+	if base.NumClasses() != up.NumClasses() {
+		t.Fatalf("class count changed: %d vs %d", base.NumClasses(), up.NumClasses())
+	}
+	for i := range base.Classes {
+		if len(base.Classes[i].Nodes) != len(up.Classes[i].Nodes) {
+			t.Errorf("class %d membership changed", i+1)
+			continue
+		}
+		for j := range base.Classes[i].Nodes {
+			if base.Classes[i].Nodes[j] != up.Classes[i].Nodes[j] {
+				t.Errorf("class %d node %d changed", i+1, j)
+			}
+		}
+		ratio := float64(up.Classes[i].Avg) / float64(base.Classes[i].Avg)
+		if ratio < 1.14 || ratio > 1.16 {
+			t.Errorf("class %d average should scale by 1.15, got %.3f", i+1, ratio)
+		}
+	}
+}

@@ -1,0 +1,332 @@
+// Package core implements the paper's primary contribution (Sec. V): the
+// NUMA I/O bandwidth performance model built from memory-copy operations.
+//
+// Algorithm 1: to characterize the node an I/O device is attached to (the
+// "target"), spawn one copy thread per core of the target node and bind all
+// of them to it — simulating the device's DMA engine. For the device-write
+// model the data sink is fixed on the target and the source sweeps every
+// node; for the device-read model the source is fixed and the sink sweeps.
+// The per-node bandwidths are then clustered into performance classes
+// (Tables IV and V): the target and its package neighbour always form class
+// 1, and the remote nodes split wherever a wide bandwidth gap appears.
+//
+// The resulting Model predicts multi-user aggregate device bandwidth with
+// the mixture of Eq. 1 and tells schedulers which nodes are interchangeable
+// — all without touching the I/O hardware.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Mode selects which I/O direction the model describes.
+type Mode int
+
+// Modes.
+const (
+	// ModeWrite models writing to the device: the DMA engine reads host
+	// memory on a varying node and stores into the device (data sink fixed
+	// on the target node in the memcpy simulation, Fig. 9a).
+	ModeWrite Mode = iota
+	// ModeRead models reading from the device: the DMA engine writes host
+	// memory on a varying node (data source fixed on the target, Fig. 9b).
+	ModeRead
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeWrite:
+		return "write"
+	case ModeRead:
+		return "read"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Sample is one measured point of the model.
+type Sample struct {
+	Node      topology.NodeID `json:"node"`
+	Bandwidth units.Bandwidth `json:"bandwidth_bps"`
+	// StdDev is the spread over the characterization repeats — the
+	// run-to-run variation behind the ranges the paper's tables report.
+	StdDev units.Bandwidth `json:"stddev_bps,omitempty"`
+}
+
+// Class is one performance class of the model.
+type Class struct {
+	Rank  int               `json:"rank"` // 1 is the target's own class
+	Nodes []topology.NodeID `json:"nodes"`
+	Min   units.Bandwidth   `json:"min_bps"`
+	Max   units.Bandwidth   `json:"max_bps"`
+	Avg   units.Bandwidth   `json:"avg_bps"`
+}
+
+// Model is a complete I/O bandwidth performance model for one target node
+// and direction.
+type Model struct {
+	Machine string          `json:"machine"`
+	Target  topology.NodeID `json:"target"`
+	Mode    Mode            `json:"mode"`
+	Samples []Sample        `json:"samples"`
+	Classes []Class         `json:"classes"`
+}
+
+// Config tunes the characterization run.
+type Config struct {
+	// Threads per test; 0 means one per core of the target node
+	// (Algorithm 1 line 2: m = cores/nodes).
+	Threads int
+	// Repeats averages this many runs per node; 0 means 5. (Algorithm 1
+	// copies 100 times; the simulation's jitter converges much faster.)
+	Repeats int
+	// BytesPerThread per repeat; 0 means 2 GiB.
+	BytesPerThread units.Size
+	// GapThreshold is the fraction of the remote-node bandwidth spread
+	// that counts as a class boundary; 0 means 0.2.
+	GapThreshold float64
+	// Sigma is the measurement noise; 0 means 0.02, negative disables.
+	Sigma float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Repeats == 0 {
+		c.Repeats = 5
+	}
+	if c.BytesPerThread == 0 {
+		c.BytesPerThread = 2 * units.GiB
+	}
+	if c.GapThreshold == 0 {
+		c.GapThreshold = 0.2
+	}
+	if c.Sigma == 0 {
+		c.Sigma = 0.02
+	} else if c.Sigma < 0 {
+		c.Sigma = 0
+	}
+	return c
+}
+
+// Characterizer runs Algorithm 1 on a system.
+type Characterizer struct {
+	sys *numa.System
+	cfg Config
+}
+
+// NewCharacterizer returns a characterizer for the system.
+func NewCharacterizer(sys *numa.System, cfg Config) (*Characterizer, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Threads < 0 {
+		return nil, fmt.Errorf("core: negative thread count")
+	}
+	if cfg.Repeats < 1 {
+		return nil, fmt.Errorf("core: repeats must be >= 1")
+	}
+	if cfg.GapThreshold <= 0 || cfg.GapThreshold >= 1 {
+		return nil, fmt.Errorf("core: gap threshold %v out of (0,1)", cfg.GapThreshold)
+	}
+	return &Characterizer{sys: sys, cfg: cfg}, nil
+}
+
+// Characterize runs Algorithm 1 for one target node and mode and returns
+// the classified model.
+func (c *Characterizer) Characterize(target topology.NodeID, mode Mode) (*Model, error) {
+	m := c.sys.Machine()
+	targetNode, ok := m.Node(target)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown target node %d", int(target))
+	}
+	threads := c.cfg.Threads
+	if threads == 0 || threads > targetNode.Cores {
+		threads = targetNode.Cores
+	}
+
+	model := &Model{Machine: m.Name, Target: target, Mode: mode}
+	for _, n := range m.NodeIDs() {
+		bw, sd, err := c.measureNode(target, n, mode, threads)
+		if err != nil {
+			return nil, err
+		}
+		model.Samples = append(model.Samples, Sample{Node: n, Bandwidth: bw, StdDev: sd})
+	}
+	classes, err := Classify(m, target, model.Samples, c.cfg.GapThreshold)
+	if err != nil {
+		return nil, err
+	}
+	model.Classes = classes
+	return model, nil
+}
+
+// measureNode runs the memcpy engine for one (target, node, mode) cell and
+// averages the repeats (Algorithm 1 line 12), also reporting the spread.
+func (c *Characterizer) measureNode(target, n topology.NodeID, mode Mode, threads int) (units.Bandwidth, units.Bandwidth, error) {
+	src, dst := n, target // device write: read from node i, store at target
+	if mode == ModeRead {
+		src, dst = target, n // device read: read at target, store to node i
+	}
+	runner := fio.NewRunner(c.sys)
+	runner.Sigma = c.cfg.Sigma
+	vals := make([]float64, 0, c.cfg.Repeats)
+	for rep := 0; rep < c.cfg.Repeats; rep++ {
+		report, err := runner.Run([]fio.Job{{
+			Name:    fmt.Sprintf("iomodel-%v-t%d-n%d-r%d", mode, int(target), int(n), rep),
+			Engine:  device.EngineMemcpy,
+			Node:    target, // all copy threads bound to the target node
+			NumJobs: threads,
+			Size:    c.cfg.BytesPerThread,
+			SrcNode: &src,
+			DstNode: &dst,
+		}})
+		if err != nil {
+			return 0, 0, err
+		}
+		vals = append(vals, float64(report.Aggregate))
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	mean := sum / float64(len(vals))
+	var sq float64
+	for _, v := range vals {
+		sq += (v - mean) * (v - mean)
+	}
+	var sd float64
+	if len(vals) > 1 {
+		sd = math.Sqrt(sq / float64(len(vals)-1))
+	}
+	return units.Bandwidth(mean), units.Bandwidth(sd), nil
+}
+
+// Classify groups per-node bandwidths into performance classes. Following
+// Sec. V-A, the target and its package neighbours always form class 1; the
+// remote nodes are sorted by bandwidth and split wherever consecutive
+// values gap by more than gapThreshold times the remote spread.
+func Classify(m *topology.Machine, target topology.NodeID, samples []Sample, gapThreshold float64) ([]Class, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no samples to classify")
+	}
+	byNode := make(map[topology.NodeID]units.Bandwidth, len(samples))
+	for _, s := range samples {
+		if _, ok := m.Node(s.Node); !ok {
+			return nil, fmt.Errorf("core: sample for unknown node %d", int(s.Node))
+		}
+		if _, dup := byNode[s.Node]; dup {
+			return nil, fmt.Errorf("core: duplicate sample for node %d", int(s.Node))
+		}
+		if s.Bandwidth <= 0 {
+			return nil, fmt.Errorf("core: nonpositive bandwidth for node %d", int(s.Node))
+		}
+		byNode[s.Node] = s.Bandwidth
+	}
+	if _, ok := byNode[target]; !ok {
+		return nil, fmt.Errorf("core: samples missing target node %d", int(target))
+	}
+
+	var first []Sample
+	var remotes []Sample
+	for _, s := range samples {
+		if s.Node == target || m.Neighbors(target, s.Node) {
+			first = append(first, s)
+		} else {
+			remotes = append(remotes, s)
+		}
+	}
+	classes := []Class{newClass(1, first)}
+
+	if len(remotes) > 0 {
+		sort.Slice(remotes, func(i, j int) bool {
+			if remotes[i].Bandwidth != remotes[j].Bandwidth {
+				return remotes[i].Bandwidth > remotes[j].Bandwidth
+			}
+			return remotes[i].Node < remotes[j].Node
+		})
+		spread := float64(remotes[0].Bandwidth - remotes[len(remotes)-1].Bandwidth)
+		cur := []Sample{remotes[0]}
+		for i := 1; i < len(remotes); i++ {
+			gap := float64(remotes[i-1].Bandwidth - remotes[i].Bandwidth)
+			if spread > 0 && gap > gapThreshold*spread {
+				classes = append(classes, newClass(len(classes)+1, cur))
+				cur = nil
+			}
+			cur = append(cur, remotes[i])
+		}
+		classes = append(classes, newClass(len(classes)+1, cur))
+	}
+	return classes, nil
+}
+
+func newClass(rank int, samples []Sample) Class {
+	c := Class{Rank: rank}
+	var sum float64
+	for i, s := range samples {
+		c.Nodes = append(c.Nodes, s.Node)
+		if i == 0 || s.Bandwidth < c.Min {
+			c.Min = s.Bandwidth
+		}
+		if s.Bandwidth > c.Max {
+			c.Max = s.Bandwidth
+		}
+		sum += float64(s.Bandwidth)
+	}
+	sort.Slice(c.Nodes, func(i, j int) bool { return c.Nodes[i] < c.Nodes[j] })
+	if len(samples) > 0 {
+		c.Avg = units.Bandwidth(sum / float64(len(samples)))
+	}
+	return c
+}
+
+// ClassOf returns the class containing the node.
+func (m *Model) ClassOf(n topology.NodeID) (Class, error) {
+	for _, c := range m.Classes {
+		for _, id := range c.Nodes {
+			if id == n {
+				return c, nil
+			}
+		}
+	}
+	return Class{}, fmt.Errorf("core: node %d not in model", int(n))
+}
+
+// SampleOf returns the measured bandwidth of a node.
+func (m *Model) SampleOf(n topology.NodeID) (units.Bandwidth, error) {
+	for _, s := range m.Samples {
+		if s.Node == n {
+			return s.Bandwidth, nil
+		}
+	}
+	return 0, fmt.Errorf("core: node %d not in model", int(n))
+}
+
+// NumClasses returns the number of performance classes.
+func (m *Model) NumClasses() int { return len(m.Classes) }
+
+// RepresentativeNodes returns one node per class (the lowest ID): to
+// characterize actual I/O hardware it suffices to benchmark these nodes,
+// the cost reduction of Sec. V-B.
+func (m *Model) RepresentativeNodes() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(m.Classes))
+	for _, c := range m.Classes {
+		if len(c.Nodes) > 0 {
+			out = append(out, c.Nodes[0])
+		}
+	}
+	return out
+}
+
+// CostReduction is the fraction of benchmark runs saved by testing one node
+// per class instead of every node (50% in the paper's Table V example).
+func (m *Model) CostReduction() float64 {
+	if len(m.Samples) == 0 {
+		return 0
+	}
+	return 1 - float64(len(m.Classes))/float64(len(m.Samples))
+}

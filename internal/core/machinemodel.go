@@ -1,0 +1,101 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"numaio/internal/topology"
+)
+
+// MachineModel is the whole-host characterization the paper's Sec. V-B
+// generalization calls for: Algorithm 1 run for every node in both
+// directions, so a scheduler can reason about devices attached anywhere.
+type MachineModel struct {
+	Machine string   `json:"machine"`
+	Models  []*Model `json:"models"`
+}
+
+// CharacterizeAll runs Algorithm 1 for every node of the machine in both
+// modes.
+func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
+	m := c.sys.Machine()
+	out := &MachineModel{Machine: m.Name}
+	for _, target := range m.NodeIDs() {
+		for _, mode := range []Mode{ModeWrite, ModeRead} {
+			model, err := c.Characterize(target, mode)
+			if err != nil {
+				return nil, fmt.Errorf("core: characterizing node %d (%v): %w",
+					int(target), mode, err)
+			}
+			out.Models = append(out.Models, model)
+		}
+	}
+	return out, nil
+}
+
+// ModelFor returns the model of one target and direction.
+func (mm *MachineModel) ModelFor(target topology.NodeID, mode Mode) (*Model, error) {
+	for _, m := range mm.Models {
+		if m.Target == target && m.Mode == mode {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no %v model for node %d", mode, int(target))
+}
+
+// Targets returns the characterized target nodes (deduplicated, in model
+// order).
+func (mm *MachineModel) Targets() []topology.NodeID {
+	seen := make(map[topology.NodeID]bool)
+	var out []topology.NodeID
+	for _, m := range mm.Models {
+		if !seen[m.Target] {
+			seen[m.Target] = true
+			out = append(out, m.Target)
+		}
+	}
+	return out
+}
+
+// CostReduction is the whole-host benchmark saving: the fraction of
+// (target, direction, node) cells covered by class representatives.
+func (mm *MachineModel) CostReduction() float64 {
+	var cells, reps int
+	for _, m := range mm.Models {
+		cells += len(m.Samples)
+		reps += len(m.Classes)
+	}
+	if cells == 0 {
+		return 0
+	}
+	return 1 - float64(reps)/float64(cells)
+}
+
+// SaveJSON writes the machine model as indented JSON.
+func (mm *MachineModel) SaveJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(mm); err != nil {
+		return fmt.Errorf("core: encoding machine model: %w", err)
+	}
+	return nil
+}
+
+// LoadMachineJSON reads a machine model written by SaveJSON and validates
+// every contained model.
+func LoadMachineJSON(r io.Reader) (*MachineModel, error) {
+	var mm MachineModel
+	if err := json.NewDecoder(r).Decode(&mm); err != nil {
+		return nil, fmt.Errorf("core: decoding machine model: %w", err)
+	}
+	if len(mm.Models) == 0 {
+		return nil, fmt.Errorf("core: machine model has no models")
+	}
+	for _, m := range mm.Models {
+		if err := m.validate(); err != nil {
+			return nil, fmt.Errorf("core: node %d (%v): %w", int(m.Target), m.Mode, err)
+		}
+	}
+	return &mm, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Predict estimates the aggregate device bandwidth when the device is
+// shared by data accesses distributed over NUMA nodes — Eq. 1 of the paper:
+//
+//	BW_io = Σ αᵢ · BWᵢ
+//
+// where αᵢ is the fraction of accesses from class i and BWᵢ the class's
+// average single-class bandwidth, taken from a measured per-class I/O rate
+// table (classRates) or, when classRates is nil, from the model's own
+// memcpy averages.
+//
+// mix maps nodes to their traffic fraction; fractions must sum to 1.
+func (m *Model) Predict(mix map[topology.NodeID]float64, classRates map[int]units.Bandwidth) (units.Bandwidth, error) {
+	if len(mix) == 0 {
+		return 0, fmt.Errorf("core: empty mix")
+	}
+	var total float64
+	for _, f := range mix {
+		if f < 0 {
+			return 0, fmt.Errorf("core: negative mix fraction")
+		}
+		total += f
+	}
+	if math.Abs(total-1) > 1e-6 {
+		return 0, fmt.Errorf("core: mix fractions sum to %v, want 1", total)
+	}
+
+	var bw float64
+	// Deterministic iteration for reproducible float accumulation.
+	nodes := make([]topology.NodeID, 0, len(mix))
+	for n := range mix {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		cls, err := m.ClassOf(n)
+		if err != nil {
+			return 0, err
+		}
+		rate := cls.Avg
+		if classRates != nil {
+			r, ok := classRates[cls.Rank]
+			if !ok {
+				return 0, fmt.Errorf("core: no measured rate for class %d", cls.Rank)
+			}
+			rate = r
+		}
+		bw += mix[n] * float64(rate)
+	}
+	return units.Bandwidth(bw), nil
+}
+
+// PredictCounts is Predict with process counts per node instead of
+// fractions (the paper's worked example uses two processes on node 2 and
+// two on node 0).
+func (m *Model) PredictCounts(counts map[topology.NodeID]int, classRates map[int]units.Bandwidth) (units.Bandwidth, error) {
+	total := 0
+	for _, c := range counts {
+		if c < 0 {
+			return 0, fmt.Errorf("core: negative process count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("core: no processes")
+	}
+	mix := make(map[topology.NodeID]float64, len(counts))
+	for n, c := range counts {
+		if c > 0 {
+			mix[n] = float64(c) / float64(total)
+		}
+	}
+	return m.Predict(mix, classRates)
+}
+
+// RelativeError returns |predicted-measured|/measured, the paper's Eq. 1
+// validation metric (3.1% in Sec. V-B).
+func RelativeError(predicted, measured units.Bandwidth) float64 {
+	if measured == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(float64(predicted-measured)) / math.Abs(float64(measured))
+}
+
+// EquivalentClasses returns the ranks of classes whose averages are within
+// tol (relative) of each other, starting from the best class — the sets a
+// scheduler may treat as interchangeable (Sec. V-B: classes 1 and 2 of the
+// RDMA_WRITE model have "almost identical performance").
+func (m *Model) EquivalentClasses(tol float64) [][]int {
+	var groups [][]int
+	for _, c := range m.Classes {
+		placed := false
+		for gi, g := range groups {
+			ref := m.classByRank(g[0]).Avg
+			if ref > 0 && math.Abs(float64(c.Avg-ref))/float64(ref) <= tol {
+				groups[gi] = append(groups[gi], c.Rank)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []int{c.Rank})
+		}
+	}
+	return groups
+}
+
+func (m *Model) classByRank(rank int) Class {
+	for _, c := range m.Classes {
+		if c.Rank == rank {
+			return c
+		}
+	}
+	return Class{}
+}

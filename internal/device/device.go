@@ -1,0 +1,189 @@
+// Package device models the PCIe devices of the testbed (Fig. 2): the
+// ConnectX-3 40 GbE RoCE adapter and the LSI Nytro WarpDrive SSDs, as seen
+// by their DMA engines.
+//
+// Every engine (tcp_send, rdma_read, ssd_write, ...) is described by a small
+// set of parameters:
+//
+//   - Ceiling: the protocol/device aggregate limit (e.g. ~21 Gb/s for TCP
+//     after Ethernet/IP overhead on a 32 Gb/s PCIe Gen2 x8 adapter);
+//   - PathEfficiency: what fraction of the NUMA node-to-node path bandwidth
+//     the engine's DMA pattern can exploit — DMA bursts, doorbells and
+//     acknowledgements keep bulk I/O well below raw link capacity, which is
+//     why the paper's Tables IV/V I/O rows sit below the memcpy row;
+//   - SatKnee: for credit-pipelined reads (RDMA_READ), a latency-bound floor
+//     Ceiling·P/(P+K) that decays slower than proportionally on starved
+//     paths;
+//   - PerStreamHost: per-core processing rate for host-driven protocols
+//     (TCP); zero for offloaded protocols (RDMA) and kernel-bypass disk I/O;
+//   - IRQWeight: core capacity consumed on the device's local node per unit
+//     of device throughput (interrupts are steered to the local node,
+//     Sec. III-B2) — the reason node 6 often beats local node 7.
+//
+// The single-class achievable rate (ClassRate) feeds the weighted device
+// engine resource in the fio engine, producing the harmonic multi-class
+// aggregates of Sec. V-B.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Direction says which way the bulk data flows relative to the device.
+type Direction int
+
+// Directions.
+const (
+	// ToDevice: the device DMA-reads host memory (sends, disk writes).
+	ToDevice Direction = iota
+	// FromDevice: the device DMA-writes host memory (receives, disk reads).
+	FromDevice
+)
+
+func (d Direction) String() string {
+	switch d {
+	case ToDevice:
+		return "to-device"
+	case FromDevice:
+		return "from-device"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Spec parameterizes one engine of one device kind.
+type Spec struct {
+	Name           string
+	Kind           topology.DeviceKind
+	Direction      Direction
+	Ceiling        units.Bandwidth
+	PathEfficiency float64
+	SatKnee        units.Bandwidth // 0 disables the latency-bound floor
+	PerStreamHost  units.Bandwidth // 0 means fully offloaded
+	IRQWeight      float64         // core load on the device's node per unit rate
+	HopDegradation float64         // per-hop multiplicative loss on the node leg
+}
+
+// Engine names (fio ioengine values).
+const (
+	EngineTCPSend   = "tcp_send"
+	EngineTCPRecv   = "tcp_recv"
+	EngineRDMAWrite = "rdma_write"
+	EngineRDMARead  = "rdma_read"
+	EngineRDMASend  = "rdma_send"
+	EngineSSDWrite  = "ssd_write"
+	EngineSSDRead   = "ssd_read"
+	EngineMemcpy    = "memcpy" // the paper's proposed DMA-simulating engine
+)
+
+// TCPHostCostPerStream is the per-core TCP processing rate: one single-
+// threaded stream cannot exceed this, and a node's cores bound its total
+// TCP throughput. Fig. 5 saturates at four streams per four-core node.
+const TCPHostCostPerStream = 5.3 * units.Gbps
+
+// DefaultSpecs returns the calibrated engine table for the testbed devices.
+func DefaultSpecs() map[string]Spec {
+	return map[string]Spec{
+		EngineTCPSend: {
+			Name: EngineTCPSend, Kind: topology.DeviceNIC, Direction: ToDevice,
+			Ceiling: 21.0 * units.Gbps, PathEfficiency: 0.61,
+			PerStreamHost: TCPHostCostPerStream, IRQWeight: 0.07,
+		},
+		EngineTCPRecv: {
+			Name: EngineTCPRecv, Kind: topology.DeviceNIC, Direction: FromDevice,
+			Ceiling: 21.2 * units.Gbps, PathEfficiency: 0.514,
+			PerStreamHost: TCPHostCostPerStream, IRQWeight: 0.07,
+			HopDegradation: 0.01,
+		},
+		EngineRDMAWrite: {
+			Name: EngineRDMAWrite, Kind: topology.DeviceNIC, Direction: ToDevice,
+			Ceiling: 23.3 * units.Gbps, PathEfficiency: 0.65, IRQWeight: 0.01,
+		},
+		EngineRDMARead: {
+			Name: EngineRDMARead, Kind: topology.DeviceNIC, Direction: FromDevice,
+			Ceiling: 22.0 * units.Gbps, PathEfficiency: 0.465,
+			SatKnee: 8 * units.Gbps, IRQWeight: 0.01,
+		},
+		EngineRDMASend: {
+			Name: EngineRDMASend, Kind: topology.DeviceNIC, Direction: ToDevice,
+			Ceiling: 22.5 * units.Gbps, PathEfficiency: 0.62, IRQWeight: 0.01,
+		},
+		EngineSSDWrite: {
+			Name: EngineSSDWrite, Kind: topology.DeviceSSD, Direction: ToDevice,
+			Ceiling: 14.5 * units.Gbps, PathEfficiency: 0.34, IRQWeight: 0.02,
+		},
+		EngineSSDRead: {
+			Name: EngineSSDRead, Kind: topology.DeviceSSD, Direction: FromDevice,
+			Ceiling: 17.4 * units.Gbps, PathEfficiency: 0.37, IRQWeight: 0.02,
+			HopDegradation: 0.01,
+		},
+	}
+}
+
+// SpecFor returns the engine spec by name.
+func SpecFor(engine string) (Spec, error) {
+	s, ok := DefaultSpecs()[engine]
+	if !ok {
+		return Spec{}, fmt.Errorf("device: unknown engine %q", engine)
+	}
+	return s, nil
+}
+
+// NodeLeg returns the node-to-node route the engine's bulk data takes
+// between the device's owning node and the buffer node, in data direction.
+func (s Spec) NodeLeg(m *topology.Machine, deviceID string, buffer topology.NodeID) ([]int, error) {
+	dev, ok := m.DeviceByID(deviceID)
+	if !ok {
+		return nil, fmt.Errorf("device: unknown device %q", deviceID)
+	}
+	if dev.Kind != s.Kind {
+		return nil, fmt.Errorf("device: engine %s needs a %v, %q is a %v",
+			s.Name, s.Kind, deviceID, dev.Kind)
+	}
+	if s.Direction == ToDevice {
+		return m.RouteNodes(buffer, dev.Node)
+	}
+	return m.RouteNodes(dev.Node, buffer)
+}
+
+// ClassRate returns the aggregate rate the engine achieves when all its
+// traffic targets buffers on the given node: the protocol ceiling clipped by
+// what the engine extracts from the NUMA leg, with the latency-bound floor
+// for credit-pipelined reads. This is the per-class rate BW_i of the
+// paper's Eq. 1.
+func (s Spec) ClassRate(m *topology.Machine, deviceID string, buffer topology.NodeID) (units.Bandwidth, error) {
+	leg, err := s.NodeLeg(m, deviceID, buffer)
+	if err != nil {
+		return 0, err
+	}
+	ceil := float64(s.Ceiling)
+	rate := ceil
+	if len(leg) > 0 { // remote buffer: the NUMA leg constrains the engine
+		p := float64(m.PathCapacity(leg))
+		bwBound := s.PathEfficiency * p
+		if s.SatKnee > 0 {
+			floor := ceil * p / (p + float64(s.SatKnee))
+			bwBound = math.Max(bwBound, floor)
+		}
+		rate = math.Min(ceil, bwBound)
+	}
+	if s.HopDegradation > 0 {
+		rate *= math.Pow(1-s.HopDegradation, float64(len(leg)))
+	}
+	return units.Bandwidth(rate), nil
+}
+
+// DevicesOfKind lists the machine's devices of the engine's kind.
+func (s Spec) DevicesOfKind(m *topology.Machine) []topology.Device {
+	var out []topology.Device
+	for _, d := range m.Devices() {
+		if d.Kind == s.Kind {
+			out = append(out, d)
+		}
+	}
+	return out
+}

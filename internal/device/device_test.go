@@ -1,0 +1,183 @@
+package device
+
+import (
+	"math"
+	"testing"
+
+	"numaio/internal/topology"
+)
+
+func classRate(t *testing.T, engine string, node topology.NodeID) float64 {
+	t.Helper()
+	m := topology.DL585G7()
+	spec, err := SpecFor(engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := topology.NIC0
+	if spec.Kind == topology.DeviceSSD {
+		dev = topology.SSD0
+	}
+	bw, err := spec.ClassRate(m, dev, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bw.Gbps()
+}
+
+func TestSpecForUnknown(t *testing.T) {
+	if _, err := SpecFor("warp_drive"); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	if ToDevice.String() != "to-device" || FromDevice.String() != "from-device" {
+		t.Error("direction strings")
+	}
+	if Direction(9).String() == "" {
+		t.Error("fallback string empty")
+	}
+}
+
+func TestNodeLegDirections(t *testing.T) {
+	m := topology.DL585G7()
+	send, _ := SpecFor(EngineTCPSend)
+	recv, _ := SpecFor(EngineTCPRecv)
+
+	legSend, err := send.NodeLeg(m, topology.NIC0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ToDevice: data flows node2 -> node7.
+	if from := m.Link(legSend[0]).From; from != "node2" {
+		t.Errorf("send leg starts at %s, want node2", from)
+	}
+	legRecv, err := recv.NodeLeg(m, topology.NIC0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from := m.Link(legRecv[0]).From; from != "node7" {
+		t.Errorf("recv leg starts at %s, want node7", from)
+	}
+	// Local buffer: empty leg.
+	leg, err := send.NodeLeg(m, topology.NIC0, 7)
+	if err != nil || len(leg) != 0 {
+		t.Errorf("local leg = %v, %v", leg, err)
+	}
+	if _, err := send.NodeLeg(m, "nope", 2); err == nil {
+		t.Error("unknown device should fail")
+	}
+	if _, err := send.NodeLeg(m, topology.SSD0, 2); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+}
+
+// Table IV class rates (device write: data toward node 7).
+func TestWriteModelClassRates(t *testing.T) {
+	cases := []struct {
+		engine   string
+		paper    map[topology.NodeID]float64 // class averages from Table IV
+		tolerant float64                     // relative tolerance
+	}{
+		{EngineRDMAWrite, map[topology.NodeID]float64{7: 23.3, 6: 23.3, 0: 23.2, 4: 23.2, 2: 17.1, 3: 17.1}, 0.08},
+		{EngineSSDWrite, map[topology.NodeID]float64{7: 14.4, 6: 14.4, 0: 14.25, 4: 14.25, 2: 9.0, 3: 9.0}, 0.08},
+	}
+	for _, c := range cases {
+		for node, want := range c.paper {
+			got := classRate(t, c.engine, node)
+			if rel := math.Abs(got-want) / want; rel > c.tolerant {
+				t.Errorf("%s class rate node %d = %.2f, paper %.2f (off %.0f%%)",
+					c.engine, node, got, want, rel*100)
+			}
+		}
+	}
+}
+
+// Table V class rates (device read: data away from node 7).
+func TestReadModelClassRates(t *testing.T) {
+	// RDMA_READ: c1 {6,7}=22.0, c2 {2,3}=22.0, c3 {0,1,5}=18.3, c4 {4}=16.1.
+	for node, want := range map[topology.NodeID]float64{
+		7: 22.0, 6: 22.0, 2: 22.0, 3: 22.0, 0: 18.3, 1: 18.3, 5: 18.3, 4: 16.1,
+	} {
+		got := classRate(t, EngineRDMARead, node)
+		if rel := math.Abs(got-want) / want; rel > 0.09 {
+			t.Errorf("rdma_read class rate node %d = %.2f, paper %.2f", node, got, want)
+		}
+	}
+	// SSD read per card: c1 ~17.35, c2 ~16.3, c3 ~15.05, c4 ~9.25.
+	for node, want := range map[topology.NodeID]float64{
+		7: 17.35, 6: 17.35, 0: 15.05, 1: 15.05, 5: 15.05, 4: 9.8,
+	} {
+		got := classRate(t, EngineSSDRead, node)
+		if rel := math.Abs(got-want) / want; rel > 0.12 {
+			t.Errorf("ssd_read class rate node %d = %.2f, want ~%.2f", node, got, want)
+		}
+	}
+}
+
+// The class orderings of Tables IV and V must hold strictly where the paper
+// separates classes by a wide margin.
+func TestClassOrderings(t *testing.T) {
+	// Write model: {6,7,0,1,4,5} >> {2,3}.
+	for _, engine := range []string{EngineTCPSend, EngineRDMAWrite, EngineRDMASend, EngineSSDWrite} {
+		for _, hi := range []topology.NodeID{7, 6, 0, 1, 4, 5} {
+			for _, lo := range []topology.NodeID{2, 3} {
+				if a, b := classRate(t, engine, hi), classRate(t, engine, lo); !(a > b*1.1) {
+					t.Errorf("%s: node %d (%.2f) should clearly beat node %d (%.2f)",
+						engine, hi, a, lo, b)
+				}
+			}
+		}
+	}
+	// Read model: {6,7,2,3} > {0,1,5} > {4}.
+	for _, engine := range []string{EngineTCPRecv, EngineRDMARead, EngineSSDRead} {
+		for _, mid := range []topology.NodeID{0, 1, 5} {
+			if a, b := classRate(t, engine, mid), classRate(t, engine, 4); !(a > b*1.05) {
+				t.Errorf("%s: node %d (%.2f) should beat node 4 (%.2f)", engine, mid, a, b)
+			}
+			for _, hi := range []topology.NodeID{7, 6} {
+				if a, b := classRate(t, engine, hi), classRate(t, engine, mid); !(a >= b*0.99) {
+					t.Errorf("%s: node %d (%.2f) should not lose to node %d (%.2f)",
+						engine, hi, a, mid, b)
+				}
+			}
+		}
+	}
+}
+
+// The SatKnee floor keeps RDMA_READ from decaying proportionally on the
+// starved 7→4 path: it must beat the pure path-efficiency bound there.
+func TestRDMAReadSatFloor(t *testing.T) {
+	m := topology.DL585G7()
+	spec, _ := SpecFor(EngineRDMARead)
+	got := classRate(t, EngineRDMARead, 4)
+	leg, err := spec.NodeLeg(m, topology.NIC0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proportional := spec.PathEfficiency * m.PathCapacity(leg).Gbps()
+	if !(got > proportional*1.1) {
+		t.Errorf("sat floor inactive: got %.2f, proportional bound %.2f", got, proportional)
+	}
+}
+
+func TestDevicesOfKind(t *testing.T) {
+	m := topology.DL585G7()
+	nic, _ := SpecFor(EngineRDMAWrite)
+	ssd, _ := SpecFor(EngineSSDRead)
+	if got := nic.DevicesOfKind(m); len(got) != 1 || got[0].ID != topology.NIC0 {
+		t.Errorf("NIC devices = %+v", got)
+	}
+	if got := ssd.DevicesOfKind(m); len(got) != 2 {
+		t.Errorf("SSD devices = %+v", got)
+	}
+}
+
+func TestClassRateUnknownNode(t *testing.T) {
+	m := topology.DL585G7()
+	spec, _ := SpecFor(EngineRDMAWrite)
+	if _, err := spec.ClassRate(m, topology.NIC0, 42); err == nil {
+		t.Error("unknown node should fail")
+	}
+}

@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/report"
+	"numaio/internal/stream"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Ablation experiments isolate the design choices DESIGN.md calls out: the
+// PIO/DMA routing split (the paper's Sec. IV-C root cause), the interrupt
+// load on the device's node, and the choice of model (iomodel vs the
+// hop-distance and STREAM baselines).
+
+// PIOvsDMARow contrasts the two transfer modes for one node pair.
+type PIOvsDMARow struct {
+	CPU, Mem topology.NodeID
+	PIO      units.Bandwidth // STREAM-style, CPU-driven
+	DMA      units.Bandwidth // memcpy engine, DMA-path
+}
+
+// PIOvsDMAResult is ablation A1.
+type PIOvsDMAResult struct {
+	Rows []PIOvsDMARow
+}
+
+// AblationPIOvsDMA measures the same node pairs with PIO (STREAM) and DMA
+// (memcpy engine) semantics. The orderings disagree — the reason STREAM
+// models cannot predict I/O (Sec. IV-C).
+func (l *Lab) AblationPIOvsDMA() (*PIOvsDMAResult, error) {
+	sr, err := stream.New(l.Sys, stream.Config{Sigma: -1})
+	if err != nil {
+		return nil, err
+	}
+	runner := fio.NewRunner(l.Sys)
+	runner.Sigma = 0
+
+	pairs := []struct{ cpu, mem topology.NodeID }{
+		{7, 4}, {4, 7}, {7, 2}, {2, 7}, {7, 7},
+	}
+	out := &PIOvsDMAResult{}
+	for _, p := range pairs {
+		pio, err := sr.Measure(p.cpu, p.mem)
+		if err != nil {
+			return nil, err
+		}
+		src, dst := p.mem, p.cpu // DMA analog: data flows mem -> cpu-side sink
+		rep, err := runner.Run([]fio.Job{{
+			Name: fmt.Sprintf("a1-%d-%d", int(p.cpu), int(p.mem)), Engine: device.EngineMemcpy,
+			Node: p.cpu, NumJobs: 4, Size: ioSize, SrcNode: &src, DstNode: &dst,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, PIOvsDMARow{CPU: p.cpu, Mem: p.mem, PIO: pio, DMA: rep.Aggregate})
+	}
+	return out, nil
+}
+
+// Table renders ablation A1.
+func (r *PIOvsDMAResult) Table() *report.Table {
+	t := report.NewTable("Ablation A1 — PIO (STREAM) vs DMA (memcpy) routing (Gb/s)",
+		"CPU node", "MEM node", "PIO", "DMA")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", int(row.CPU)), fmt.Sprintf("%d", int(row.Mem)),
+			report.Gbps2(row.PIO), report.Gbps2(row.DMA))
+	}
+	return t
+}
+
+// IRQResult is ablation A2: TCP send with and without the interrupt load.
+type IRQResult struct {
+	WithIRQ    map[topology.NodeID]units.Bandwidth
+	WithoutIRQ map[topology.NodeID]units.Bandwidth
+}
+
+// AblationIRQ quantifies the interrupt tax on the device's local node by
+// rerunning TCP send with IRQWeight zeroed. Without interrupts, local node
+// 7 matches neighbour node 6; with them it loses — the paper's
+// neighbour-beats-local effect (Sec. IV-B1).
+func (l *Lab) AblationIRQ() (*IRQResult, error) {
+	out := &IRQResult{
+		WithIRQ:    make(map[topology.NodeID]units.Bandwidth),
+		WithoutIRQ: make(map[topology.NodeID]units.Bandwidth),
+	}
+	for _, irq := range []bool{true, false} {
+		runner := fio.NewRunner(l.Sys)
+		runner.Sigma = 0
+		if !irq {
+			spec, err := device.SpecFor(device.EngineTCPSend)
+			if err != nil {
+				return nil, err
+			}
+			spec.IRQWeight = 0
+			runner.SetSpec(spec)
+		}
+		for _, n := range []topology.NodeID{6, 7} {
+			rep, err := runner.Run([]fio.Job{{
+				Name: fmt.Sprintf("a2-%v-%d", irq, int(n)), Engine: device.EngineTCPSend,
+				Node: n, NumJobs: 4, Size: ioSize,
+			}})
+			if err != nil {
+				return nil, err
+			}
+			if irq {
+				out.WithIRQ[n] = rep.Aggregate
+			} else {
+				out.WithoutIRQ[n] = rep.Aggregate
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table renders ablation A2.
+func (r *IRQResult) Table() *report.Table {
+	t := report.NewTable("Ablation A2 — interrupt load on the device's node (TCP send, 4 streams, Gb/s)",
+		"binding", "with IRQ load", "without IRQ load")
+	for _, n := range []topology.NodeID{6, 7} {
+		t.AddRow(fmt.Sprintf("node%d", int(n)),
+			report.Gbps2(r.WithIRQ[n]), report.Gbps2(r.WithoutIRQ[n]))
+	}
+	return t
+}
+
+// BaselineRow is one model's rank agreement with measured I/O.
+type BaselineRow struct {
+	Model    string
+	Spearman float64
+}
+
+// BaselinesResult is ablation A3.
+type BaselinesResult struct {
+	Rows []BaselineRow
+}
+
+// AblationBaselines ranks the iomodel against hop-distance and the two
+// STREAM models by Spearman correlation with measured per-node RDMA_READ
+// rates.
+func (l *Lab) AblationBaselines() (*BaselinesResult, error) {
+	ioModel, err := l.characterize(core.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	hop, err := core.HopDistanceModel(l.Sys.Machine(), Target)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := stream.New(l.Sys, stream.Config{Sigma: -1})
+	if err != nil {
+		return nil, err
+	}
+	mx, err := sr.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := core.StreamModel(mx, l.Sys.Machine(), Target, core.CPUCentric, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := core.StreamModel(mx, l.Sys.Machine(), Target, core.MemCentric, 0.2)
+	if err != nil {
+		return nil, err
+	}
+
+	runner := fio.NewRunner(l.Sys)
+	runner.Sigma = 0
+	var measured []core.Sample
+	for _, n := range l.Sys.Machine().NodeIDs() {
+		rep, err := runner.Run([]fio.Job{{
+			Name: fmt.Sprintf("a3-%d", int(n)), Engine: device.EngineRDMARead,
+			Node: n, NumJobs: 2, Size: ioSize,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		measured = append(measured, core.Sample{Node: n, Bandwidth: rep.Aggregate})
+	}
+
+	out := &BaselinesResult{}
+	for _, entry := range []struct {
+		name  string
+		model *core.Model
+	}{
+		{"proposed iomodel (memcpy)", ioModel},
+		{"hop distance", hop},
+		{"STREAM CPU-centric", cpu},
+		{"STREAM memory-centric", mem},
+	} {
+		rho, err := core.SpearmanRank(entry.model, measured)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, BaselineRow{Model: entry.name, Spearman: rho})
+	}
+	return out, nil
+}
+
+// Table renders ablation A3.
+func (r *BaselinesResult) Table() *report.Table {
+	t := report.NewTable("Ablation A3 — model rank agreement with measured RDMA_READ rates",
+		"Model", "Spearman rho")
+	for _, row := range r.Rows {
+		t.AddRow(row.Model, fmt.Sprintf("%.3f", row.Spearman))
+	}
+	return t
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numaio/internal/cluster"
+	"numaio/internal/device"
+	"numaio/internal/report"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// ClusterResult is experiment C1: RDMA writers distributed over a
+// three-host cluster under each cluster policy.
+type ClusterResult struct {
+	Hosts  int
+	Tasks  int
+	Pack   units.Bandwidth
+	Spread units.Bandwidth
+	Greedy units.Bandwidth
+}
+
+// ClusterScaleOut builds a three-host cluster and measures the aggregate of
+// nine RDMA writers under pack-first, spread-even and model-greedy
+// distribution.
+func ClusterScaleOut() (*ClusterResult, error) {
+	c, err := cluster.New(topology.DL585G7, Target, "host-a", "host-b", "host-c")
+	if err != nil {
+		return nil, err
+	}
+	const tasks = 9
+	out := &ClusterResult{Hosts: len(c.Hosts), Tasks: tasks}
+	for _, p := range []cluster.Policy{cluster.PackFirst, cluster.SpreadEven, cluster.ModelGreedy} {
+		placement, err := c.Place(device.EngineRDMAWrite, tasks, p)
+		if err != nil {
+			return nil, err
+		}
+		eval, err := c.Evaluate(device.EngineRDMAWrite, placement, 4*units.GiB)
+		if err != nil {
+			return nil, err
+		}
+		switch p {
+		case cluster.PackFirst:
+			out.Pack = eval.Aggregate
+		case cluster.SpreadEven:
+			out.Spread = eval.Aggregate
+		case cluster.ModelGreedy:
+			out.Greedy = eval.Aggregate
+		}
+	}
+	return out, nil
+}
+
+// Table renders experiment C1.
+func (r *ClusterResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("C1 — %d RDMA writers over a %d-host cluster (aggregate Gb/s)", r.Tasks, r.Hosts),
+		"policy", "aggregate")
+	t.AddRow("pack-first", report.Gbps(r.Pack))
+	t.AddRow("spread-even", report.Gbps(r.Spread))
+	t.AddRow("model-greedy", report.Gbps(r.Greedy))
+	return t
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/report"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// CostReductionRow compares the full sweep against the class extrapolation
+// for one node.
+type CostReductionRow struct {
+	Node         topology.NodeID
+	Class        int
+	Measured     units.Bandwidth // from the full per-node sweep
+	Extrapolated units.Bandwidth // representative of the node's class
+	RelErr       float64
+}
+
+// CostReductionResult is experiment R1: the paper's first application claim
+// (Sec. V-B) — benchmarking one node per class predicts the whole sweep.
+type CostReductionResult struct {
+	Engine    string
+	FullRuns  int
+	RepRuns   int
+	Rows      []CostReductionRow
+	MaxRelErr float64
+	// Saved is the fraction of I/O benchmark runs avoided (50% for the
+	// 4-class read model of the 8-node host).
+	Saved float64
+}
+
+// CostReduction measures every node's RDMA_READ rate (the expensive full
+// sweep), then redoes the exercise the paper's way: benchmark only the
+// class representatives and extrapolate classmates. The two tables must
+// agree.
+func (l *Lab) CostReduction() (*CostReductionResult, error) {
+	model, err := l.characterize(core.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	runner := fio.NewRunner(l.Sys)
+	runner.Sigma = 0
+
+	measure := func(n topology.NodeID) (units.Bandwidth, error) {
+		rep, err := runner.Run([]fio.Job{{
+			Name: fmt.Sprintf("r1-%d", int(n)), Engine: device.EngineRDMARead,
+			Node: n, NumJobs: 2, Size: ioSize,
+		}})
+		if err != nil {
+			return 0, err
+		}
+		return rep.Aggregate, nil
+	}
+
+	// The cheap path: one run per class.
+	repRate := make(map[int]units.Bandwidth)
+	reps := model.RepresentativeNodes()
+	for _, rn := range reps {
+		cls, err := model.ClassOf(rn)
+		if err != nil {
+			return nil, err
+		}
+		bw, err := measure(rn)
+		if err != nil {
+			return nil, err
+		}
+		repRate[cls.Rank] = bw
+	}
+
+	// The expensive path: every node.
+	out := &CostReductionResult{
+		Engine:   device.EngineRDMARead,
+		FullRuns: len(model.Samples),
+		RepRuns:  len(reps),
+	}
+	for _, s := range model.Samples {
+		cls, err := model.ClassOf(s.Node)
+		if err != nil {
+			return nil, err
+		}
+		full, err := measure(s.Node)
+		if err != nil {
+			return nil, err
+		}
+		row := CostReductionRow{
+			Node: s.Node, Class: cls.Rank,
+			Measured: full, Extrapolated: repRate[cls.Rank],
+		}
+		if full > 0 {
+			row.RelErr = math.Abs(float64(row.Extrapolated-full)) / float64(full)
+		}
+		out.Rows = append(out.Rows, row)
+		if row.RelErr > out.MaxRelErr {
+			out.MaxRelErr = row.RelErr
+		}
+	}
+	out.Saved = 1 - float64(out.RepRuns)/float64(out.FullRuns)
+	return out, nil
+}
+
+// Table renders experiment R1.
+func (r *CostReductionResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("R1 — class representatives predict the full %s sweep (%d runs instead of %d: %.0f%% saved, max error %.1f%%)",
+			r.Engine, r.RepRuns, r.FullRuns, r.Saved*100, r.MaxRelErr*100),
+		"node", "class", "full sweep Gb/s", "extrapolated Gb/s", "error")
+	for _, row := range r.Rows {
+		t.AddRow(fmt.Sprintf("%d", int(row.Node)), fmt.Sprintf("%d", row.Class),
+			report.Gbps2(row.Measured), report.Gbps2(row.Extrapolated),
+			fmt.Sprintf("%.1f%%", row.RelErr*100))
+	}
+	return t
+}

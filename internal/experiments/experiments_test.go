@@ -1,0 +1,601 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"numaio/internal/core"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+)
+
+func newLab(t *testing.T) *Lab {
+	t.Helper()
+	l, err := NewLab()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestTable1WithinTolerance(t *testing.T) {
+	res, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if rel := math.Abs(row.Measured-row.Paper) / row.Paper; rel > 0.10 {
+			t.Errorf("%s: measured %.2f vs paper %.1f", row.Server, row.Measured, row.Paper)
+		}
+	}
+	out := res.Table().Render()
+	if !strings.Contains(out, "NUMA factor") {
+		t.Error("table render broken")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := res.Matrix
+	// The headline asymmetry of Sec. IV-A.
+	if !(mx.BW[7][4] > mx.BW[7][2]) {
+		t.Errorf("BW[7][4]=%.2f should beat BW[7][2]=%.2f",
+			mx.BW[7][4].Gbps(), mx.BW[7][2].Gbps())
+	}
+	if !(mx.BW[4][7] < mx.BW[2][7]) {
+		t.Errorf("BW[4][7]=%.2f should lose to BW[2][7]=%.2f",
+			mx.BW[4][7].Gbps(), mx.BW[2][7].Gbps())
+	}
+	// Node 0's local advantage.
+	for n := 1; n < 8; n++ {
+		if !(mx.BW[0][0] > mx.BW[n][n]) {
+			t.Errorf("BW[0][0]=%.2f should beat BW[%d][%d]=%.2f",
+				mx.BW[0][0].Gbps(), n, n, mx.BW[n][n].Gbps())
+		}
+	}
+	if !strings.Contains(res.Table().Render(), "CPU7") {
+		t.Error("figure 3 table render broken")
+	}
+}
+
+func TestFigure4Models(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CPUCentric) != 8 || len(res.MemCentric) != 8 {
+		t.Fatal("model lengths wrong")
+	}
+	// Both models agree on node 7 (the local cell).
+	if res.CPUCentric[7] != res.MemCentric[7] {
+		t.Error("models disagree on the local cell")
+	}
+	tbl, err := res.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.Render(), "CPU centric") {
+		t.Error("figure 4 table render broken")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := res.Send.BWFor(6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := res.Send.BWFor(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sixteen, err := res.Send.BWFor(6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(four > 3*one) {
+		t.Errorf("send: 4 streams %.2f should be ~4x 1 stream %.2f", four.Gbps(), one.Gbps())
+	}
+	if math.Abs(float64(sixteen-four))/float64(four) > 0.08 {
+		t.Errorf("send: 16 streams %.2f should plateau near 4-stream %.2f",
+			sixteen.Gbps(), four.Gbps())
+	}
+	// Neighbour node 6 beats local node 7 at 4 streams (interrupts).
+	s7, _ := res.Send.BWFor(7, 4)
+	if !(four > s7) {
+		t.Errorf("send: node6 %.2f should beat node7 %.2f", four.Gbps(), s7.Gbps())
+	}
+	// Class 3 send bindings are starved.
+	s2, _ := res.Send.BWFor(2, 4)
+	if !(s2 < s7*0.9) {
+		t.Errorf("send: node2 %.2f should clearly trail node7 %.2f", s2.Gbps(), s7.Gbps())
+	}
+	// Receive side: node 4 is the read-model's class 4.
+	r4, _ := res.Recv.BWFor(4, 4)
+	r0, _ := res.Recv.BWFor(0, 4)
+	if !(r4 < r0*0.85) {
+		t.Errorf("recv: node4 %.2f should clearly trail node0 %.2f", r4.Gbps(), r0.Gbps())
+	}
+	tbl, err := res.Send.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.Render(), "node7") {
+		t.Error("figure 5 table render broken")
+	}
+	if _, err := res.Send.BWFor(42, 4); err == nil {
+		t.Error("unknown cell should fail")
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RDMA is offloaded: a single stream nearly saturates (stable rates).
+	w1, _ := res.Write.BWFor(7, 1)
+	w8, _ := res.Write.BWFor(7, 8)
+	if !(w1 > 0.9*w8) {
+		t.Errorf("rdma_write single stream %.2f should nearly match 8 streams %.2f",
+			w1.Gbps(), w8.Gbps())
+	}
+	// Write classes: node 2 starved vs node 0.
+	w2, _ := res.Write.BWFor(2, 2)
+	w0, _ := res.Write.BWFor(0, 2)
+	if !(w2 < w0*0.85) {
+		t.Errorf("rdma_write node2 %.2f should trail node0 %.2f", w2.Gbps(), w0.Gbps())
+	}
+	// Read classes: {2,3} beat {0,1}; node 4 worst.
+	r2, _ := res.Read.BWFor(2, 2)
+	r0, _ := res.Read.BWFor(0, 2)
+	r4, _ := res.Read.BWFor(4, 2)
+	if !(r2 > r0 && r0 > r4) {
+		t.Errorf("rdma_read ordering broken: n2=%.2f n0=%.2f n4=%.2f",
+			r2.Gbps(), r0.Gbps(), r4.Gbps())
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w7, _ := res.Write.BWFor(7, 2)
+	w2, _ := res.Write.BWFor(2, 2)
+	if !(w7.Gbps() > 27 && w7.Gbps() < 31) {
+		t.Errorf("ssd write node7 = %.2f, want ~29", w7.Gbps())
+	}
+	if !(w2 < w7*0.75) {
+		t.Errorf("ssd write node2 %.2f should clearly trail node7 %.2f", w2.Gbps(), w7.Gbps())
+	}
+	r7, _ := res.Read.BWFor(7, 2)
+	r4, _ := res.Read.BWFor(4, 2)
+	if !(r7.Gbps() > 32 && r7.Gbps() < 37) {
+		t.Errorf("ssd read node7 = %.2f, want ~34.8", r7.Gbps())
+	}
+	if !(r4 < r7*0.75) {
+		t.Errorf("ssd read node4 %.2f should clearly trail node7 %.2f", r4.Gbps(), r7.Gbps())
+	}
+	// Read beats write where the NUMA leg is unstarved (class 1) — on node
+	// 4 the starved 7->4 direction makes writes faster than reads, exactly
+	// as in the paper's Tables IV/V (28.5 vs 18.5 Gb/s).
+	for _, n := range []topology.NodeID{6, 7} {
+		r, _ := res.Read.BWFor(n, 2)
+		w, _ := res.Write.BWFor(n, 2)
+		if !(r > w) {
+			t.Errorf("ssd read (%.2f) should beat write (%.2f) on node %d", r.Gbps(), w.Gbps(), n)
+		}
+	}
+	w4, _ := res.Write.BWFor(4, 2)
+	if !(r4 < w4) {
+		t.Errorf("on node 4, write (%.2f) should beat read (%.2f) as in the paper", w4.Gbps(), r4.Gbps())
+	}
+}
+
+func TestFigure10AndClassTables(t *testing.T) {
+	l := newLab(t)
+	f10, err := l.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f10.Write.NumClasses() != 3 || f10.Read.NumClasses() != 4 {
+		t.Fatalf("class counts: write %d read %d", f10.Write.NumClasses(), f10.Read.NumClasses())
+	}
+	if !strings.Contains(f10.Table().Render(), "device write") {
+		t.Error("figure 10 render broken")
+	}
+
+	t4, err := l.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 3 || len(t4.Ops) != 4 {
+		t.Fatalf("table IV shape: %d rows, %d ops", len(t4.Rows), len(t4.Ops))
+	}
+	// RDMA_WRITE class averages: classes 1,2 at the ceiling, class 3 at ~17.
+	c1 := t4.Rows[0].Stats["RDMA_WRITE"].Avg.Gbps()
+	c3 := t4.Rows[2].Stats["RDMA_WRITE"].Avg.Gbps()
+	if math.Abs(c1-23.3) > 1.2 {
+		t.Errorf("rdma_write class1 avg = %.2f, want ~23.3", c1)
+	}
+	if math.Abs(c3-17.1) > 1.2 {
+		t.Errorf("rdma_write class3 avg = %.2f, want ~17.1", c3)
+	}
+	// The proposed memcpy row dominates the I/O rows (memory runs faster
+	// than any PCIe device — why Tables IV/V show memcpy up at 26-56).
+	for _, row := range t4.Rows {
+		mc := row.Stats["Proposed memcpy"].Avg
+		for _, op := range []string{"TCP sender", "RDMA_WRITE", "SSD write"} {
+			if !(mc > row.Stats[op].Avg) {
+				t.Errorf("memcpy row should dominate %s in class %d", op, row.Rank)
+			}
+		}
+	}
+	out := t4.Table().Render()
+	if !strings.Contains(out, "Class 3: {2,3}") {
+		t.Errorf("table IV headers missing class membership:\n%s", out)
+	}
+
+	t5, err := l.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 4 {
+		t.Fatalf("table V rows = %d", len(t5.Rows))
+	}
+	if !strings.Contains(t5.Table().Render(), "Class 4: {4}") {
+		t.Error("table V missing class 4")
+	}
+	// SSD read class 4 clearly trails class 3 (18.5 vs 30.1 in the paper).
+	s3 := t5.Rows[2].Stats["SSD read"].Avg.Gbps()
+	s4 := t5.Rows[3].Stats["SSD read"].Avg.Gbps()
+	if !(s4 < s3*0.8) {
+		t.Errorf("ssd read class4 %.2f should clearly trail class3 %.2f", s4, s3)
+	}
+}
+
+func TestEq1(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Eq1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RelErr > 0.05 {
+		t.Errorf("Eq.1 relative error %.1f%% exceeds 5%%", res.RelErr*100)
+	}
+	if res.Predicted < res.Measured {
+		t.Errorf("Eq.1 prediction %.2f should not undercut measurement %.2f",
+			res.Predicted.Gbps(), res.Measured.Gbps())
+	}
+	if !strings.Contains(res.Table().Render(), "Relative error") {
+		t.Error("eq1 render broken")
+	}
+}
+
+func TestSchedulerExperiment(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Scheduler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.TCP.Aggregate[sched.ClassBalanced] > res.TCP.Aggregate[sched.LocalOnly]) {
+		t.Error("class-balanced TCP should beat local-only")
+	}
+	if !(res.Memcpy.Aggregate[sched.ClassBalanced] > 1.3*res.Memcpy.Aggregate[sched.LocalOnly]) {
+		t.Error("class-balanced memcpy staging should beat local-only by >30%")
+	}
+	if res.Crossover == 0 {
+		t.Error("sweep never crossed over")
+	}
+	if !strings.Contains(res.Table().Render(), "class-balanced") {
+		t.Error("scheduler render broken")
+	}
+	if !strings.Contains(res.SweepTable().Render(), "local-only") {
+		t.Error("sweep render broken")
+	}
+}
+
+func TestAblationPIOvsDMA(t *testing.T) {
+	l := newLab(t)
+	res, err := l.AblationPIOvsDMA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := func(cpu, mem topology.NodeID) PIOvsDMARow {
+		for _, r := range res.Rows {
+			if r.CPU == cpu && r.Mem == mem {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d/%d", cpu, mem)
+		return PIOvsDMARow{}
+	}
+	// DMA always extracts more than PIO from the same pair.
+	for _, r := range res.Rows {
+		if !(r.DMA > r.PIO) {
+			t.Errorf("DMA (%.2f) should beat PIO (%.2f) for %d/%d",
+				r.DMA.Gbps(), r.PIO.Gbps(), r.CPU, r.Mem)
+		}
+	}
+	// The modes route differently: the DMA/PIO ratio for (7,2) is far from
+	// the one for (7,4) because PIO pays the starved 2->7 response path
+	// while DMA reads 2->7 data directly.
+	r72, r74 := cell(7, 2), cell(7, 4)
+	ratio72 := float64(r72.DMA) / float64(r72.PIO)
+	ratio74 := float64(r74.DMA) / float64(r74.PIO)
+	if math.Abs(ratio72-ratio74) < 0.2 {
+		t.Errorf("PIO and DMA should diverge per pair: ratios %.2f vs %.2f", ratio72, ratio74)
+	}
+	if !strings.Contains(res.Table().Render(), "DMA") {
+		t.Error("A1 render broken")
+	}
+}
+
+func TestAblationIRQ(t *testing.T) {
+	l := newLab(t)
+	res, err := l.AblationIRQ()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.WithIRQ[6] > res.WithIRQ[7]) {
+		t.Errorf("with IRQ, node 6 (%.2f) should beat node 7 (%.2f)",
+			res.WithIRQ[6].Gbps(), res.WithIRQ[7].Gbps())
+	}
+	diff := math.Abs(float64(res.WithoutIRQ[6] - res.WithoutIRQ[7]))
+	if diff > 0.02*float64(res.WithoutIRQ[6]) {
+		t.Errorf("without IRQ, nodes 6 and 7 should match: %.2f vs %.2f",
+			res.WithoutIRQ[6].Gbps(), res.WithoutIRQ[7].Gbps())
+	}
+	if !(res.WithoutIRQ[7] > res.WithIRQ[7]) {
+		t.Error("removing the IRQ load should raise node 7's rate")
+	}
+	if !strings.Contains(res.Table().Render(), "IRQ") {
+		t.Error("A2 render broken")
+	}
+}
+
+func TestAblationBaselines(t *testing.T) {
+	l := newLab(t)
+	res, err := l.AblationBaselines()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	io := res.Rows[0]
+	if !strings.Contains(io.Model, "iomodel") {
+		t.Fatalf("first row should be the iomodel: %+v", io)
+	}
+	for _, row := range res.Rows[1:] {
+		if !(io.Spearman > row.Spearman+0.1) {
+			t.Errorf("iomodel rho %.2f should clearly beat %s rho %.2f",
+				io.Spearman, row.Model, row.Spearman)
+		}
+	}
+	if !strings.Contains(res.Table().Render(), "Spearman") {
+		t.Error("A3 render broken")
+	}
+}
+
+// The experiments must leave the lab's memory intact (no leaked buffers).
+func TestExperimentsConserveMemory(t *testing.T) {
+	l := newLab(t)
+	var before [8]int64
+	for n := 0; n < 8; n++ {
+		before[n] = int64(l.Sys.FreeMem(topology.NodeID(n)))
+	}
+	if _, err := l.Eq1(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.characterize(core.ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 8; n++ {
+		if after := int64(l.Sys.FreeMem(topology.NodeID(n))); after != before[n] {
+			t.Errorf("node %d free changed: %d -> %d", n, before[n], after)
+		}
+	}
+}
+
+func TestAblationTopologyInference(t *testing.T) {
+	l := newLab(t)
+	res, err := l.AblationTopologyInference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Conclusive {
+		t.Errorf("measured STREAM data should not identify a wiring: %+v", res.Matches)
+	}
+	if res.IdealScore != 1 {
+		t.Errorf("hop-governed sanity inference score = %v, want 1", res.IdealScore)
+	}
+	if len(res.Matches) != 4 {
+		t.Errorf("matches = %d, want 4", len(res.Matches))
+	}
+	if !strings.Contains(res.Table().Render(), "inconclusive") {
+		t.Error("A4 render broken")
+	}
+}
+
+func TestAblationLinkDegradation(t *testing.T) {
+	l := newLab(t)
+	res, err := l.AblationLinkDegradation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Node0ClassAfter > res.Node0ClassBefore) {
+		t.Errorf("node 0 should drop classes: %d -> %d",
+			res.Node0ClassBefore, res.Node0ClassAfter)
+	}
+	if res.DegradedBandwidth.Gbps() > 18 {
+		t.Errorf("degraded node 0 bandwidth = %.2f, want < 18", res.DegradedBandwidth.Gbps())
+	}
+	// Node 1 must survive by rerouting through node 4 (widest-shortest).
+	c1, err := res.After.ClassOf(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.Rank != 2 {
+		t.Errorf("node 1 class after degradation = %d, want 2 (rerouted)", c1.Rank)
+	}
+	// The original lab machine must be untouched.
+	verify, err := l.characterize(core.ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, err := verify.ClassOf(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Rank != res.Node0ClassBefore {
+		t.Error("degradation leaked into the lab machine")
+	}
+	if !strings.Contains(res.Table().Render(), "node 0 class") {
+		t.Error("A5 render broken")
+	}
+}
+
+func TestNetPairExperiment(t *testing.T) {
+	l := newLab(t)
+	res, err := l.NetPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Penalty < 0.2 || res.Penalty > 0.45 {
+		t.Errorf("penalty = %.0f%%, want ~30%%", res.Penalty*100)
+	}
+	if !strings.Contains(res.Table().Render(), "end-to-end TCP") {
+		t.Error("N1 render broken")
+	}
+}
+
+func TestValidationCrossCheck(t *testing.T) {
+	l := newLab(t)
+	res, err := l.Validation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.MaxRelErr > 0.15 {
+		t.Errorf("fluid/block-sim deviation %.0f%% exceeds 15%%", res.MaxRelErr*100)
+	}
+	if !strings.Contains(res.Table().Render(), "block-sim") {
+		t.Error("V1 render broken")
+	}
+}
+
+func TestAblationGapThreshold(t *testing.T) {
+	l := newLab(t)
+	res, err := l.AblationGapThreshold()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// The default threshold (0.2) must produce the paper's class counts,
+	// and the stable range must include it.
+	var at02 ThresholdRow
+	for _, row := range res.Rows {
+		if row.Threshold == 0.20 {
+			at02 = row
+		}
+	}
+	if at02.WriteClasses != 3 || at02.ReadClasses != 4 {
+		t.Errorf("threshold 0.2: %d write / %d read classes", at02.WriteClasses, at02.ReadClasses)
+	}
+	if !(res.StableLo <= 0.2 && res.StableHi >= 0.2) {
+		t.Errorf("stable range [%.2f, %.2f] should include 0.2", res.StableLo, res.StableHi)
+	}
+	if res.StableHi-res.StableLo < 0.1 {
+		t.Errorf("class structure too sensitive: stable only over [%.2f, %.2f]",
+			res.StableLo, res.StableHi)
+	}
+	// Monotonicity: more classes at smaller thresholds.
+	if !(res.Rows[0].ReadClasses >= res.Rows[len(res.Rows)-1].ReadClasses) {
+		t.Error("class count should not increase with the threshold")
+	}
+	if !strings.Contains(res.Table().Render(), "gap-threshold") {
+		t.Error("A6 render broken")
+	}
+}
+
+func TestClusterScaleOut(t *testing.T) {
+	res, err := ClusterScaleOut()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := float64(res.Greedy) / float64(res.Pack); ratio < 2.5 {
+		t.Errorf("greedy/pack = %.2f, want ~3 (three adapters)", ratio)
+	}
+	if float64(res.Spread) < float64(res.Greedy)*0.99 {
+		t.Errorf("spread %.1f should match greedy %.1f on identical hosts",
+			res.Spread.Gbps(), res.Greedy.Gbps())
+	}
+	if !strings.Contains(res.Table().Render(), "model-greedy") {
+		t.Error("C1 render broken")
+	}
+}
+
+func TestCostReduction(t *testing.T) {
+	l := newLab(t)
+	res, err := l.CostReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FullRuns != 8 || res.RepRuns != 4 {
+		t.Errorf("runs = %d/%d, want 8/4", res.FullRuns, res.RepRuns)
+	}
+	if res.Saved != 0.5 {
+		t.Errorf("saved = %.2f, want 0.5 (the paper's 50%%)", res.Saved)
+	}
+	if res.MaxRelErr > 0.05 {
+		t.Errorf("extrapolation error %.1f%% exceeds 5%%", res.MaxRelErr*100)
+	}
+	if !strings.Contains(res.Table().Render(), "extrapolated") {
+		t.Error("R1 render broken")
+	}
+}
+
+func TestConfigTables(t *testing.T) {
+	l := newLab(t)
+	t2, err := l.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t2.Table().Render()
+	for _, want := range []string{"32/8", "32.00GiB", "5.00MiB", "I/O hub on node 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q:\n%s", want, out)
+		}
+	}
+	t3, err := l.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = t3.Table().Render()
+	for _, want := range []string{"400.00GiB", "128.00KiB", "Cubic", "16"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table III missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/report"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// ioSize is the bytes-per-process used by the I/O figures. The paper moves
+// 400 GB per stream for measurement stability; the simulator's rates are
+// time-invariant, so a smaller transfer yields identical steady bandwidth.
+const ioSize = 8 * units.GiB
+
+// IOScaling is one figure of the Fig. 5/6/7 family: aggregate bandwidth
+// versus concurrency for every NUMA binding of the benchmark processes.
+type IOScaling struct {
+	Engine  string
+	Counts  []int             // concurrent streams/processes
+	Nodes   []topology.NodeID // process binding per series
+	BW      [][]units.Bandwidth
+	Caption string
+}
+
+// runScaling measures one engine across (node, count) combinations.
+func (l *Lab) runScaling(engine, caption string, counts []int) (*IOScaling, error) {
+	nodes := l.Sys.Machine().NodeIDs()
+	out := &IOScaling{Engine: engine, Counts: counts, Nodes: nodes, Caption: caption}
+	runner := fio.NewRunner(l.Sys)
+	for _, n := range nodes {
+		var row []units.Bandwidth
+		for _, c := range counts {
+			rep, err := runner.Run([]fio.Job{{
+				Name:    fmt.Sprintf("%s-n%d-c%d", engine, int(n), c),
+				Engine:  engine,
+				Node:    n,
+				NumJobs: c,
+				Size:    ioSize,
+			}})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, rep.Aggregate)
+		}
+		out.BW = append(out.BW, row)
+	}
+	return out, nil
+}
+
+// Table renders the scaling result with one series per node binding.
+func (s *IOScaling) Table() (*report.Table, error) {
+	labels := make([]string, len(s.Counts))
+	for i, c := range s.Counts {
+		labels[i] = fmt.Sprintf("%d", c)
+	}
+	series := make([]report.Series, 0, len(s.Nodes))
+	for i, n := range s.Nodes {
+		series = append(series, report.Series{
+			Name: fmt.Sprintf("node%d", int(n)), Labels: labels, Values: s.BW[i],
+		})
+	}
+	return report.SeriesTable(s.Caption, "streams", series...)
+}
+
+// BWFor returns the bandwidth of one (node, count) cell.
+func (s *IOScaling) BWFor(n topology.NodeID, count int) (units.Bandwidth, error) {
+	ni, ci := -1, -1
+	for i, id := range s.Nodes {
+		if id == n {
+			ni = i
+		}
+	}
+	for i, c := range s.Counts {
+		if c == count {
+			ci = i
+		}
+	}
+	if ni < 0 || ci < 0 {
+		return 0, fmt.Errorf("experiments: no cell for node %d count %d", int(n), count)
+	}
+	return s.BW[ni][ci], nil
+}
+
+// Fig5Result holds both halves of Fig. 5.
+type Fig5Result struct {
+	Send *IOScaling
+	Recv *IOScaling
+}
+
+// Figure5 measures TCP send/receive aggregate bandwidth for 1–16 parallel
+// streams under every NUMA binding.
+func (l *Lab) Figure5() (*Fig5Result, error) {
+	counts := []int{1, 2, 4, 8, 16}
+	send, err := l.runScaling(device.EngineTCPSend,
+		"Fig. 5(a) — TCP send bandwidth vs streams (Gb/s)", counts)
+	if err != nil {
+		return nil, err
+	}
+	recv, err := l.runScaling(device.EngineTCPRecv,
+		"Fig. 5(b) — TCP receive bandwidth vs streams (Gb/s)", counts)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig5Result{Send: send, Recv: recv}, nil
+}
+
+// Fig6Result holds both halves of Fig. 6.
+type Fig6Result struct {
+	Write *IOScaling
+	Read  *IOScaling
+}
+
+// Figure6 measures RDMA_WRITE/RDMA_READ aggregate bandwidth.
+func (l *Lab) Figure6() (*Fig6Result, error) {
+	counts := []int{1, 2, 4, 8}
+	w, err := l.runScaling(device.EngineRDMAWrite,
+		"Fig. 6(a) — RDMA_WRITE bandwidth vs streams (Gb/s)", counts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := l.runScaling(device.EngineRDMARead,
+		"Fig. 6(b) — RDMA_READ bandwidth vs streams (Gb/s)", counts)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{Write: w, Read: r}, nil
+}
+
+// Fig7Result holds both halves of Fig. 7.
+type Fig7Result struct {
+	Write *IOScaling
+	Read  *IOScaling
+}
+
+// Figure7 measures SSD write/read aggregate bandwidth over both cards
+// (processes striped across cards, iodepth 16, 128 KiB blocks).
+func (l *Lab) Figure7() (*Fig7Result, error) {
+	counts := []int{2, 4, 8}
+	w, err := l.runScaling(device.EngineSSDWrite,
+		"Fig. 7(a) — SSD write bandwidth vs processes (Gb/s)", counts)
+	if err != nil {
+		return nil, err
+	}
+	r, err := l.runScaling(device.EngineSSDRead,
+		"Fig. 7(b) — SSD read bandwidth vs processes (Gb/s)", counts)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig7Result{Write: w, Read: r}, nil
+}

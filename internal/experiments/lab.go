@@ -1,0 +1,150 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated testbed. Each experiment returns structured
+// data plus a rendered table; cmd/paperbench prints them all and writes the
+// EXPERIMENTS.md comparison, and the repository-root benchmarks wrap each
+// one as a testing.B target.
+//
+// The per-experiment index lives in DESIGN.md §4.
+package experiments
+
+import (
+	"fmt"
+
+	"numaio/internal/numa"
+	"numaio/internal/report"
+	"numaio/internal/stream"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Lab is a fresh simulated testbed (Fig. 2): the DL585 G7 with the NIC and
+// SSDs on node 7, plus a numa system booted on it.
+type Lab struct {
+	Sys *numa.System
+}
+
+// NewLab boots the testbed.
+func NewLab() (*Lab, error) {
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		return nil, err
+	}
+	return &Lab{Sys: sys}, nil
+}
+
+// Target is the NUMA node the I/O devices are attached to.
+const Target = topology.NodeID(7)
+
+// Table1Row is one server configuration of Table I.
+type Table1Row struct {
+	Server   string
+	Paper    float64
+	Measured float64
+}
+
+// Table1Result reproduces Table I: NUMA factors of four server types.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1 measures the NUMA factor of the four canned machines.
+func Table1() (*Table1Result, error) {
+	out := &Table1Result{}
+	for _, row := range topology.TableIMachines() {
+		f, err := row.Machine.NUMAFactor()
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, Table1Row{
+			Server: row.Machine.Name, Paper: row.Paper, Measured: f,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the result.
+func (r *Table1Result) Table() *report.Table {
+	t := report.NewTable("Table I — NUMA factor of different server configurations",
+		"Server type", "Paper", "Measured")
+	for _, row := range r.Rows {
+		t.AddRow(row.Server, fmt.Sprintf("%.1f", row.Paper), fmt.Sprintf("%.2f", row.Measured))
+	}
+	return t
+}
+
+// Fig3Result is the full STREAM bandwidth matrix of Fig. 3.
+type Fig3Result struct {
+	Matrix *stream.Matrix
+}
+
+// Figure3 measures the 8×8 STREAM Copy matrix (4 threads, 20 MiB arrays,
+// max of 100 runs).
+func (l *Lab) Figure3() (*Fig3Result, error) {
+	r, err := stream.New(l.Sys, stream.Config{})
+	if err != nil {
+		return nil, err
+	}
+	mx, err := r.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Matrix: mx}, nil
+}
+
+// Table renders the matrix with CPU rows and MEM columns, like Fig. 3.
+func (r *Fig3Result) Table() *report.Table {
+	headers := []string{"CPU\\MEM"}
+	for _, n := range r.Matrix.Nodes {
+		headers = append(headers, fmt.Sprintf("MEM%d", int(n)))
+	}
+	t := report.NewTable("Fig. 3 — STREAM Copy bandwidth matrix (Gb/s)", headers...)
+	for i, cpu := range r.Matrix.Nodes {
+		row := []string{fmt.Sprintf("CPU%d", int(cpu))}
+		for j := range r.Matrix.Nodes {
+			row = append(row, report.Gbps2(r.Matrix.BW[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig4Result holds the two STREAM-derived models of the target node.
+type Fig4Result struct {
+	Nodes      []topology.NodeID
+	CPUCentric []units.Bandwidth // threads on target, data sweeping
+	MemCentric []units.Bandwidth // data on target, threads sweeping
+}
+
+// Figure4 builds the CPU-centric and memory-centric models of node 7.
+func (l *Lab) Figure4() (*Fig4Result, error) {
+	r, err := stream.New(l.Sys, stream.Config{})
+	if err != nil {
+		return nil, err
+	}
+	mx, err := r.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	cpu, err := mx.CPUCentric(Target)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := mx.MemCentric(Target)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig4Result{Nodes: mx.Nodes, CPUCentric: cpu, MemCentric: mem}, nil
+}
+
+// Table renders both models side by side.
+func (r *Fig4Result) Table() (*report.Table, error) {
+	labels := make([]string, len(r.Nodes))
+	for i, n := range r.Nodes {
+		labels[i] = fmt.Sprintf("node%d", int(n))
+	}
+	return report.SeriesTable(
+		"Fig. 4 — STREAM models of node 7 (Gb/s)", "node",
+		report.Series{Name: "CPU centric", Labels: labels, Values: r.CPUCentric},
+		report.Series{Name: "memory centric", Labels: labels, Values: r.MemCentric},
+	)
+}

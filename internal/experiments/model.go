@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/report"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// characterize runs Algorithm 1 for the target in the given mode.
+func (l *Lab) characterize(mode core.Mode) (*core.Model, error) {
+	c, err := core.NewCharacterizer(l.Sys, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	return c.Characterize(Target, mode)
+}
+
+// Fig10Result holds the proposed methodology's write and read models.
+type Fig10Result struct {
+	Write *core.Model
+	Read  *core.Model
+}
+
+// Figure10 runs Algorithm 1 in both directions.
+func (l *Lab) Figure10() (*Fig10Result, error) {
+	w, err := l.characterize(core.ModeWrite)
+	if err != nil {
+		return nil, err
+	}
+	r, err := l.characterize(core.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Write: w, Read: r}, nil
+}
+
+// Table renders per-node write/read bandwidths of the proposed model.
+func (r *Fig10Result) Table() *report.Table {
+	t := report.NewTable("Fig. 10 — proposed memcpy model of node 7 (Gb/s)",
+		"node", "device write", "device read")
+	for _, s := range r.Write.Samples {
+		rb, _ := r.Read.SampleOf(s.Node)
+		t.AddRow(fmt.Sprintf("node%d", int(s.Node)), report.Gbps2(s.Bandwidth), report.Gbps2(rb))
+	}
+	return t
+}
+
+// MinMaxAvg summarizes measurements over the nodes of one class.
+type MinMaxAvg struct {
+	Min, Max, Avg units.Bandwidth
+}
+
+func summarize(vals []units.Bandwidth) MinMaxAvg {
+	var out MinMaxAvg
+	var sum float64
+	for i, v := range vals {
+		if i == 0 || v < out.Min {
+			out.Min = v
+		}
+		if v > out.Max {
+			out.Max = v
+		}
+		sum += float64(v)
+	}
+	if len(vals) > 0 {
+		out.Avg = units.Bandwidth(sum / float64(len(vals)))
+	}
+	return out
+}
+
+// ClassRow is one class of Table IV or V: the proposed model's statistics
+// next to the measured I/O statistics of every operation.
+type ClassRow struct {
+	Rank  int
+	Nodes []topology.NodeID
+	Stats map[string]MinMaxAvg // keyed by operation name
+}
+
+// Table45Result reproduces Table IV (write) or Table V (read).
+type Table45Result struct {
+	Mode  core.Mode
+	Model *core.Model
+	Ops   []string // operation display order
+	Rows  []ClassRow
+}
+
+// opConfig describes how an I/O operation is measured per node for the
+// class tables.
+type opConfig struct {
+	name    string
+	engine  string
+	numJobs int
+}
+
+func writeOps() []opConfig {
+	return []opConfig{
+		{"Proposed memcpy", device.EngineMemcpy, 4},
+		{"TCP sender", device.EngineTCPSend, 4},
+		{"RDMA_WRITE", device.EngineRDMAWrite, 2},
+		{"SSD write", device.EngineSSDWrite, 2},
+	}
+}
+
+func readOps() []opConfig {
+	return []opConfig{
+		{"Proposed memcpy", device.EngineMemcpy, 4},
+		{"TCP receiver", device.EngineTCPRecv, 4},
+		{"RDMA_READ", device.EngineRDMARead, 2},
+		{"SSD read", device.EngineSSDRead, 2},
+	}
+}
+
+// classTable builds Table IV or V: classify with the proposed model, then
+// measure every operation on every node and summarize per class.
+func (l *Lab) classTable(mode core.Mode) (*Table45Result, error) {
+	model, err := l.characterize(mode)
+	if err != nil {
+		return nil, err
+	}
+	ops := writeOps()
+	if mode == core.ModeRead {
+		ops = readOps()
+	}
+	runner := fio.NewRunner(l.Sys)
+
+	measure := func(op opConfig, n topology.NodeID) (units.Bandwidth, error) {
+		if op.engine == device.EngineMemcpy {
+			return model.SampleOf(n)
+		}
+		rep, err := runner.Run([]fio.Job{{
+			Name:    fmt.Sprintf("t45-%s-n%d", op.engine, int(n)),
+			Engine:  op.engine,
+			Node:    n,
+			NumJobs: op.numJobs,
+			Size:    ioSize,
+		}})
+		if err != nil {
+			return 0, err
+		}
+		return rep.Aggregate, nil
+	}
+
+	out := &Table45Result{Mode: mode, Model: model}
+	for _, op := range ops {
+		out.Ops = append(out.Ops, op.name)
+	}
+	for _, cls := range model.Classes {
+		row := ClassRow{Rank: cls.Rank, Nodes: cls.Nodes, Stats: make(map[string]MinMaxAvg)}
+		for _, op := range ops {
+			var vals []units.Bandwidth
+			for _, n := range cls.Nodes {
+				bw, err := measure(op, n)
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, bw)
+			}
+			row.Stats[op.name] = summarize(vals)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table4 reproduces Table IV: the device-write performance model.
+func (l *Lab) Table4() (*Table45Result, error) { return l.classTable(core.ModeWrite) }
+
+// Table5 reproduces Table V: the device-read performance model.
+func (l *Lab) Table5() (*Table45Result, error) { return l.classTable(core.ModeRead) }
+
+// Table renders the class table in the paper's layout.
+func (r *Table45Result) Table() *report.Table {
+	title := "Table IV — NUMA I/O bandwidth performance model for device write (Gb/s)"
+	if r.Mode == core.ModeRead {
+		title = "Table V — NUMA I/O bandwidth performance model for device read (Gb/s)"
+	}
+	headers := []string{"Operation", "Stat"}
+	for _, row := range r.Rows {
+		ns := make([]string, 0, len(row.Nodes))
+		for _, n := range row.Nodes {
+			ns = append(ns, fmt.Sprintf("%d", int(n)))
+		}
+		headers = append(headers, fmt.Sprintf("Class %d: {%s}", row.Rank, strings.Join(ns, ",")))
+	}
+	t := report.NewTable(title, headers...)
+	for _, op := range r.Ops {
+		rangeRow := []string{op, "Range"}
+		avgRow := []string{"", "Avg"}
+		for _, row := range r.Rows {
+			st := row.Stats[op]
+			rangeRow = append(rangeRow, report.Range(st.Min, st.Max))
+			avgRow = append(avgRow, report.Gbps(st.Avg))
+		}
+		t.AddRow(rangeRow...)
+		t.AddRow(avgRow...)
+	}
+	return t
+}
+
+// Eq1Result validates the mixture prediction (Sec. V-B).
+type Eq1Result struct {
+	Model      *core.Model
+	ClassRates map[int]units.Bandwidth
+	Mix        map[topology.NodeID]int
+	Predicted  units.Bandwidth
+	Measured   units.Bandwidth
+	RelErr     float64
+}
+
+// Eq1 reproduces the paper's worked example: two RDMA_READ processes on
+// node 2 and two on node 0 against single-class calibration runs.
+func (l *Lab) Eq1() (*Eq1Result, error) {
+	model, err := l.characterize(core.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	runner := fio.NewRunner(l.Sys)
+	rates := make(map[int]units.Bandwidth)
+	for _, rep := range model.RepresentativeNodes() {
+		cls, err := model.ClassOf(rep)
+		if err != nil {
+			return nil, err
+		}
+		run, err := runner.Run([]fio.Job{{
+			Name: fmt.Sprintf("eq1-cal-%d", cls.Rank), Engine: device.EngineRDMARead,
+			Node: rep, NumJobs: 2, Size: ioSize,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		rates[cls.Rank] = run.Aggregate
+	}
+
+	mix := map[topology.NodeID]int{2: 2, 0: 2}
+	predicted, err := model.PredictCounts(mix, rates)
+	if err != nil {
+		return nil, err
+	}
+	measured, err := runner.Run([]fio.Job{
+		{Name: "eq1-c2", Engine: device.EngineRDMARead, Node: 2, NumJobs: 2, Size: ioSize},
+		{Name: "eq1-c3", Engine: device.EngineRDMARead, Node: 0, NumJobs: 2, Size: ioSize},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Eq1Result{
+		Model:      model,
+		ClassRates: rates,
+		Mix:        mix,
+		Predicted:  predicted,
+		Measured:   measured.Aggregate,
+		RelErr:     core.RelativeError(predicted, measured.Aggregate),
+	}, nil
+}
+
+// Table renders the Eq. 1 validation.
+func (r *Eq1Result) Table() *report.Table {
+	t := report.NewTable("Eq. 1 — multi-user aggregate prediction (RDMA_READ, 2 procs on node 2 + 2 on node 0)",
+		"Quantity", "Gb/s")
+	t.AddRow("Predicted (Eq. 1)", report.Gbps2(r.Predicted))
+	t.AddRow("Measured (fio)", report.Gbps2(r.Measured))
+	t.AddRow("Relative error", fmt.Sprintf("%.1f%% (paper: 3.1%%)", r.RelErr*100))
+	return t
+}
+
+// SchedResult is the scheduler application experiment (Sec. V-B).
+type SchedResult struct {
+	TCP       *sched.Comparison
+	Memcpy    *sched.Comparison
+	Sweep     []sched.SweepPoint
+	Crossover int
+}
+
+// Scheduler compares placement policies for 8 parallel tasks and sweeps the
+// locality-versus-contention tradeoff for memcpy staging.
+func (l *Lab) Scheduler() (*SchedResult, error) {
+	write, err := l.characterize(core.ModeWrite)
+	if err != nil {
+		return nil, err
+	}
+	read, err := l.characterize(core.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sched.New(l.Sys, write, read)
+	if err != nil {
+		return nil, err
+	}
+
+	tcp, err := s.Compare(device.EngineTCPSend, 8, ioSize)
+	if err != nil {
+		return nil, err
+	}
+	s.Tolerance = 0.15
+	mc, err := s.Compare(device.EngineMemcpy, 8, ioSize)
+	if err != nil {
+		return nil, err
+	}
+	sweep, err := s.Sweep(device.EngineMemcpy, 6, ioSize)
+	if err != nil {
+		return nil, err
+	}
+	return &SchedResult{
+		TCP: tcp, Memcpy: mc, Sweep: sweep, Crossover: sched.Crossover(sweep),
+	}, nil
+}
+
+// Table renders the policy comparison.
+func (r *SchedResult) Table() *report.Table {
+	t := report.NewTable("Sec. V-B — scheduler placement comparison, 8 tasks (aggregate Gb/s)",
+		"Policy", "TCP send", "memcpy staging")
+	for _, p := range []sched.Policy{sched.LocalOnly, sched.HopDistance, sched.RoundRobin, sched.ClassBalanced} {
+		t.AddRow(p.String(),
+			report.Gbps2(r.TCP.Aggregate[p]),
+			report.Gbps2(r.Memcpy.Aggregate[p]))
+	}
+	return t
+}
+
+// SweepTable renders the locality-versus-contention sweep.
+func (r *SchedResult) SweepTable() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Locality vs contention sweep (memcpy staging; spreading wins from %d tasks)", r.Crossover),
+		"tasks", "local-only", "class-balanced")
+	for _, p := range r.Sweep {
+		t.AddRow(fmt.Sprintf("%d", p.Tasks), report.Gbps2(p.LocalOnly), report.Gbps2(p.ClassBalanced))
+	}
+	return t
+}

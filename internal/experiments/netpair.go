@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numaio/internal/netpair"
+	"numaio/internal/report"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// NetPairResult is experiment N1: the two-host end-to-end TCP matrix over
+// the Fig. 2 testbed (sender binding × receiver binding).
+type NetPairResult struct {
+	Nodes   []topology.NodeID
+	BW      [][]units.Bandwidth
+	Penalty float64
+}
+
+// NetPair measures every binding combination across two cabled hosts. The
+// worst-case penalty reproduces the ~30% misplacement loss reported for
+// 40 GbE NUMA hosts (reference [3] of the paper).
+func (l *Lab) NetPair() (*NetPairResult, error) {
+	p, err := netpair.New(topology.DL585G7)
+	if err != nil {
+		return nil, err
+	}
+	nodes, bw, err := p.Matrix(4, 2*units.GiB)
+	if err != nil {
+		return nil, err
+	}
+	return &NetPairResult{Nodes: nodes, BW: bw, Penalty: netpair.WorstPenalty(bw)}, nil
+}
+
+// Table renders the end-to-end matrix.
+func (r *NetPairResult) Table() *report.Table {
+	headers := []string{"send\\recv"}
+	for _, n := range r.Nodes {
+		headers = append(headers, fmt.Sprintf("n%d", int(n)))
+	}
+	t := report.NewTable(
+		fmt.Sprintf("N1 — end-to-end TCP over two hosts, 4 streams (Gb/s); worst-case penalty %.0f%%", r.Penalty*100),
+		headers...)
+	for i, sn := range r.Nodes {
+		row := []string{fmt.Sprintf("n%d", int(sn))}
+		for j := range r.Nodes {
+			row = append(row, report.Gbps(r.BW[i][j]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"fmt"
+
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/report"
+	"numaio/internal/stream"
+	"numaio/internal/topoinfer"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// InferResult is ablation A4: the Sec. IV-A topology-inference exercise.
+type InferResult struct {
+	Matches    []topoinfer.VariantMatch
+	Conclusive bool
+	IdealScore float64 // sanity: inference on hop-governed synthetic data
+}
+
+// AblationTopologyInference tries to recover the testbed's wiring from the
+// measured STREAM matrix. On synthetic hop-governed data the inference is
+// exact; on measured data no Fig. 1 variant matches — the paper's argument
+// that physical distance cannot be read off bandwidth.
+func (l *Lab) AblationTopologyInference() (*InferResult, error) {
+	r, err := stream.New(l.Sys, stream.Config{Sigma: -1})
+	if err != nil {
+		return nil, err
+	}
+	smx, err := r.Matrix()
+	if err != nil {
+		return nil, err
+	}
+	mx := &topoinfer.Matrix{Nodes: smx.Nodes, BW: smx.BW}
+	matches, err := topoinfer.MatchVariants(mx, 4)
+	if err != nil {
+		return nil, err
+	}
+
+	// Sanity branch: a hop-governed matrix over variant A must be exactly
+	// recoverable.
+	ideal := topology.MagnyCours4P(topology.VariantA)
+	imx := &topoinfer.Matrix{Nodes: ideal.NodeIDs()}
+	for i, a := range imx.Nodes {
+		row := make([]units.Bandwidth, len(imx.Nodes))
+		for j, b := range imx.Nodes {
+			h, err := ideal.HopDistance(a, b)
+			if err != nil {
+				return nil, err
+			}
+			row[j] = units.Bandwidth(60-15*h) * units.Gbps
+		}
+		imx.BW = append(imx.BW, row)
+		_ = i
+	}
+	inferred, err := topoinfer.InferAdjacency(imx, 4)
+	if err != nil {
+		return nil, err
+	}
+	idealScore := topoinfer.Score(inferred, topoinfer.TrueAdjacency(ideal))
+
+	return &InferResult{
+		Matches:    matches,
+		Conclusive: topoinfer.Conclusive(matches),
+		IdealScore: idealScore,
+	}, nil
+}
+
+// Table renders ablation A4.
+func (r *InferResult) Table() *report.Table {
+	t := report.NewTable("Ablation A4 — topology inference from measured bandwidth (Sec. IV-A)",
+		"candidate wiring", "Jaccard score")
+	for _, m := range r.Matches {
+		t.AddRow(m.Variant.String(), fmt.Sprintf("%.2f", m.Score))
+	}
+	verdict := "inconclusive (as the paper argues)"
+	if r.Conclusive {
+		verdict = "conclusive"
+	}
+	t.AddRow("verdict", verdict)
+	t.AddRow("sanity: hop-governed data", fmt.Sprintf("%.2f", r.IdealScore))
+	return t
+}
+
+// DegradeResult is ablation A5: re-characterization after a link failure.
+type DegradeResult struct {
+	Before, After     *core.Model
+	Node0ClassBefore  int
+	Node0ClassAfter   int
+	DegradedBandwidth units.Bandwidth
+}
+
+// AblationLinkDegradation halves the 0↔7 link (a renegotiated cable) and
+// re-runs Algorithm 1 on the mutated machine: node 0 (and node 1, routed
+// through it) fall out of their class, demonstrating that the model tracks
+// hardware state — cheaply, since no I/O benchmark is needed.
+func (l *Lab) AblationLinkDegradation() (*DegradeResult, error) {
+	before, err := l.characterize(core.ModeWrite)
+	if err != nil {
+		return nil, err
+	}
+	mutant := l.Sys.Machine().Clone()
+	if err := mutant.DegradeLinkBetween(
+		topology.NodeVertexID(0), topology.NodeVertexID(7), 0.35); err != nil {
+		return nil, err
+	}
+	sys, err := numa.NewSystem(mutant)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{})
+	if err != nil {
+		return nil, err
+	}
+	after, err := c.Characterize(Target, core.ModeWrite)
+	if err != nil {
+		return nil, err
+	}
+	cb, err := before.ClassOf(0)
+	if err != nil {
+		return nil, err
+	}
+	ca, err := after.ClassOf(0)
+	if err != nil {
+		return nil, err
+	}
+	bw, err := after.SampleOf(0)
+	if err != nil {
+		return nil, err
+	}
+	return &DegradeResult{
+		Before: before, After: after,
+		Node0ClassBefore: cb.Rank, Node0ClassAfter: ca.Rank,
+		DegradedBandwidth: bw,
+	}, nil
+}
+
+// Table renders ablation A5.
+func (r *DegradeResult) Table() *report.Table {
+	t := report.NewTable("Ablation A5 — re-characterization after degrading the 0↔7 link to 35%",
+		"quantity", "before", "after")
+	t.AddRow("node 0 class", fmt.Sprintf("%d", r.Node0ClassBefore), fmt.Sprintf("%d", r.Node0ClassAfter))
+	bb, _ := r.Before.SampleOf(0)
+	t.AddRow("node 0 memcpy Gb/s", report.Gbps(bb), report.Gbps(r.DegradedBandwidth))
+	t.AddRow("write classes", fmt.Sprintf("%d", r.Before.NumClasses()), fmt.Sprintf("%d", r.After.NumClasses()))
+	return t
+}

@@ -1,0 +1,31 @@
+package fio
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseJobFile exercises the job-file parser with arbitrary input: it
+// must never panic, and any successfully parsed job set must be non-empty
+// with engines set.
+func FuzzParseJobFile(f *testing.F) {
+	f.Add("[global]\nioengine=tcp_send\n[j]\nnode=3\n")
+	f.Add("[j]\nioengine=memcpy\nsrc=0\ndst=7\n")
+	f.Add("# comment only\n")
+	f.Add("[j]\nioengine=rdma_read\nsize=400g\nbs=128k\niodepth=16\nrate=2Gbps\ninterleave=yes\n")
+	f.Add("][")
+	f.Fuzz(func(t *testing.T, input string) {
+		jobs, err := ParseJobFile(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if len(jobs) == 0 {
+			t.Error("nil error but no jobs")
+		}
+		for _, j := range jobs {
+			if j.Engine == "" {
+				t.Errorf("parsed job %q without engine", j.Name)
+			}
+		}
+	})
+}

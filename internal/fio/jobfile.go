@@ -1,0 +1,189 @@
+package fio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// ParseJobFile parses a fio-style INI job file. A [global] section supplies
+// defaults inherited by every job section. Recognized keys:
+//
+//	ioengine = tcp_send | tcp_recv | rdma_write | rdma_read | rdma_send |
+//	           ssd_write | ssd_read | memcpy
+//	numjobs  = <int>
+//	size     = <size>       (e.g. 400g, 128k)
+//	bs       = <size>
+//	iodepth  = <int>
+//	node     = <int>        CPU node binding (numactl --cpunodebind)
+//	membind  = <int>        memory node binding (numactl --membind)
+//	interleave = <bool>     spread buffers over all nodes (--interleave=all)
+//	rate     = <bandwidth>  per-process rate cap (e.g. 2Gbps)
+//	runtime  = <duration>   time-based run (e.g. 30s) instead of size-based
+//	device   = <id>         explicit device (nic0, ssd0, ssd1)
+//	src      = <int>        memcpy source node (Algorithm 1)
+//	dst      = <int>        memcpy sink node
+//
+// Lines starting with '#' or ';' are comments. Keys are case-insensitive.
+func ParseJobFile(r io.Reader) ([]Job, error) {
+	type section struct {
+		name string
+		kv   map[string]string
+	}
+	var sections []*section
+	var cur *section
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("fio: line %d: malformed section %q", lineNo, line)
+			}
+			cur = &section{name: strings.TrimSpace(line[1 : len(line)-1]), kv: map[string]string{}}
+			if cur.name == "" {
+				return nil, fmt.Errorf("fio: line %d: empty section name", lineNo)
+			}
+			sections = append(sections, cur)
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("fio: line %d: key outside any section", lineNo)
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("fio: line %d: expected key=value, got %q", lineNo, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:eq]))
+		val := strings.TrimSpace(line[eq+1:])
+		if i := strings.IndexAny(val, "#;"); i >= 0 {
+			val = strings.TrimSpace(val[:i])
+		}
+		if key == "" {
+			return nil, fmt.Errorf("fio: line %d: empty key", lineNo)
+		}
+		cur.kv[key] = val
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fio: reading job file: %w", err)
+	}
+
+	global := map[string]string{}
+	var jobs []Job
+	for _, s := range sections {
+		if strings.EqualFold(s.name, "global") {
+			for k, v := range s.kv {
+				global[k] = v
+			}
+			continue
+		}
+		merged := map[string]string{}
+		for k, v := range global {
+			merged[k] = v
+		}
+		for k, v := range s.kv {
+			merged[k] = v
+		}
+		j, err := jobFromKV(s.name, merged)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fio: job file defines no jobs")
+	}
+	return jobs, nil
+}
+
+func jobFromKV(name string, kv map[string]string) (Job, error) {
+	j := Job{Name: name}
+	for key, val := range kv {
+		var err error
+		switch key {
+		case "ioengine":
+			j.Engine = val
+		case "device":
+			j.Device = val
+		case "numjobs":
+			j.NumJobs, err = atoi(val)
+		case "iodepth":
+			j.IODepth, err = atoi(val)
+		case "size":
+			j.Size, err = units.ParseSize(val)
+		case "bs", "blocksize":
+			j.BlockSize, err = units.ParseSize(val)
+		case "node", "cpunodebind":
+			var n int
+			n, err = atoi(val)
+			j.Node = topology.NodeID(n)
+		case "membind":
+			var n int
+			n, err = atoi(val)
+			nn := topology.NodeID(n)
+			j.MemNode = &nn
+		case "interleave":
+			j.Interleave, err = parseBool(val)
+		case "rate":
+			j.Rate, err = units.ParseBandwidth(val)
+		case "runtime":
+			var d time.Duration
+			d, err = time.ParseDuration(val)
+			if err == nil && d <= 0 {
+				err = fmt.Errorf("nonpositive runtime %q", val)
+			}
+			j.Runtime = units.Duration(d.Seconds())
+		case "src":
+			var n int
+			n, err = atoi(val)
+			nn := topology.NodeID(n)
+			j.SrcNode = &nn
+		case "dst":
+			var n int
+			n, err = atoi(val)
+			nn := topology.NodeID(n)
+			j.DstNode = &nn
+		default:
+			return j, fmt.Errorf("fio: job %q: unknown key %q", name, key)
+		}
+		if err != nil {
+			return j, fmt.Errorf("fio: job %q: key %q: %v", name, key, err)
+		}
+	}
+	if j.Engine == "" {
+		return j, fmt.Errorf("fio: job %q: missing ioengine", name)
+	}
+	return j, nil
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "1", "true", "yes", "on":
+		return true, nil
+	case "0", "false", "no", "off":
+		return false, nil
+	default:
+		return false, fmt.Errorf("not a boolean: %q", s)
+	}
+}
+
+func atoi(s string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative value %d", v)
+	}
+	return v, nil
+}

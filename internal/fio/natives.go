@@ -1,0 +1,175 @@
+package fio
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"numaio/internal/units"
+)
+
+// Native engines exercise real Go memory and network paths end-to-end. In
+// this environment there is no multi-node NUMA hardware and the Go runtime
+// cannot pin OS threads to cores, so the natives cannot reproduce the
+// paper's NUMA effects — they validate that the benchmark harness logic
+// (parallel streams, block-sized I/O, bandwidth accounting) is faithful,
+// per the substitution notes in DESIGN.md.
+
+// NativeMemcpyResult reports a native memory-copy run.
+type NativeMemcpyResult struct {
+	Threads   int
+	Bytes     units.Size
+	Elapsed   time.Duration
+	Bandwidth units.Bandwidth
+}
+
+// NativeMemcpy copies total bytes between real heap buffers using the given
+// number of goroutines, block by block, and reports the achieved rate. It
+// is the native twin of the paper's iomodel memcpy loop (Algorithm 1's
+// inner copy).
+func NativeMemcpy(total, blockSize units.Size, threads int) (*NativeMemcpyResult, error) {
+	if total <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("fio: native memcpy: sizes must be positive")
+	}
+	if threads <= 0 {
+		threads = runtime.NumCPU()
+	}
+	if blockSize > total {
+		blockSize = total
+	}
+	perThread := int64(total) / int64(threads)
+	if perThread < int64(blockSize) {
+		perThread = int64(blockSize)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var moved int64 = int64(perThread) * int64(threads)
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			src := make([]byte, blockSize)
+			dst := make([]byte, blockSize)
+			for i := range src {
+				src[i] = byte(i)
+			}
+			var done int64
+			for done < perThread {
+				copy(dst, src)
+				done += int64(blockSize)
+			}
+			// Keep dst alive so the copy is not elided.
+			runtime.KeepAlive(dst)
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	return &NativeMemcpyResult{
+		Threads:   threads,
+		Bytes:     units.Size(moved),
+		Elapsed:   elapsed,
+		Bandwidth: units.Bandwidth(float64(moved) * 8 / elapsed.Seconds()),
+	}, nil
+}
+
+// NativeTCPResult reports a native loopback TCP run.
+type NativeTCPResult struct {
+	Streams   int
+	Bytes     units.Size
+	Elapsed   time.Duration
+	Bandwidth units.Bandwidth
+}
+
+// NativeTCP moves total bytes per stream over loopback TCP connections with
+// the given block size and reports the aggregate rate — the native twin of
+// the tcp_send engine.
+func NativeTCP(totalPerStream, blockSize units.Size, streams int) (*NativeTCPResult, error) {
+	if totalPerStream <= 0 || blockSize <= 0 {
+		return nil, fmt.Errorf("fio: native tcp: sizes must be positive")
+	}
+	if streams <= 0 {
+		streams = 1
+	}
+	if blockSize > totalPerStream {
+		blockSize = totalPerStream
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fio: native tcp: %w", err)
+	}
+	defer ln.Close()
+
+	errc := make(chan error, 2*streams)
+	var recvWG sync.WaitGroup
+	recvWG.Add(streams)
+	go func() {
+		for i := 0; i < streams; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- err
+				recvWG.Done()
+				continue
+			}
+			go func(c net.Conn) {
+				defer recvWG.Done()
+				defer c.Close()
+				if _, err := io.Copy(io.Discard, c); err != nil {
+					errc <- err
+				}
+			}(conn)
+		}
+	}()
+
+	start := time.Now()
+	var sendWG sync.WaitGroup
+	for i := 0; i < streams; i++ {
+		sendWG.Add(1)
+		go func() {
+			defer sendWG.Done()
+			conn, err := net.Dial("tcp", ln.Addr().String())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer conn.Close()
+			buf := make([]byte, blockSize)
+			var sent int64
+			for sent < int64(totalPerStream) {
+				n := int64(blockSize)
+				if rem := int64(totalPerStream) - sent; rem < n {
+					n = rem
+				}
+				if _, err := conn.Write(buf[:n]); err != nil {
+					errc <- err
+					return
+				}
+				sent += n
+			}
+		}()
+	}
+	sendWG.Wait()
+	recvWG.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errc:
+		return nil, fmt.Errorf("fio: native tcp: %w", err)
+	default:
+	}
+	if elapsed <= 0 {
+		elapsed = time.Nanosecond
+	}
+	total := int64(totalPerStream) * int64(streams)
+	return &NativeTCPResult{
+		Streams:   streams,
+		Bytes:     units.Size(total),
+		Elapsed:   elapsed,
+		Bandwidth: units.Bandwidth(float64(total) * 8 / elapsed.Seconds()),
+	}, nil
+}

@@ -1,0 +1,135 @@
+// Package netpair models the paper's full network testbed (Fig. 2): two
+// identical NUMA hosts whose 40 GbE adapters are cabled back to back. An
+// end-to-end TCP transfer is limited by whichever side is weaker — the
+// sender's path to its NIC, the wire, or the receiver's path from its NIC —
+// so NUMA misconfiguration on either host caps the whole connection, the
+// effect the 40 GbE study cited by the paper ([3]) reports as a 30% loss.
+package netpair
+
+import (
+	"fmt"
+
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// WireBandwidth is the usable rate of the 40 GbE link after 8b/10b
+// encoding; it matches the PCIe Gen2 x8 data rate, so the wire itself never
+// constrains a single adapter.
+const WireBandwidth = 32 * units.Gbps
+
+// Pair is two identical hosts connected NIC to NIC.
+type Pair struct {
+	Sender, Receiver *numa.System
+}
+
+// New boots a pair of identical machines. The builder is called twice so
+// each host gets an independent simulated instance.
+func New(build func() *topology.Machine) (*Pair, error) {
+	a, err := numa.NewSystem(build())
+	if err != nil {
+		return nil, fmt.Errorf("netpair: sender: %w", err)
+	}
+	b, err := numa.NewSystem(build())
+	if err != nil {
+		return nil, fmt.Errorf("netpair: receiver: %w", err)
+	}
+	return &Pair{Sender: a, Receiver: b}, nil
+}
+
+// TransferResult reports one end-to-end measurement.
+type TransferResult struct {
+	SendSide  units.Bandwidth // sender host's achievable TCP send rate
+	RecvSide  units.Bandwidth // receiver host's achievable TCP receive rate
+	Wire      units.Bandwidth
+	EndToEnd  units.Bandwidth // min of the three
+	Bottlneck string          // "send", "receive" or "wire"
+}
+
+// Transfer measures an end-to-end TCP transfer with the given process
+// bindings on each side and the given number of parallel streams.
+func (p *Pair) Transfer(sendNode, recvNode topology.NodeID, streams int, size units.Size) (*TransferResult, error) {
+	if streams <= 0 {
+		return nil, fmt.Errorf("netpair: streams must be positive")
+	}
+	if size <= 0 {
+		size = 4 * units.GiB
+	}
+	sendRunner := fio.NewRunner(p.Sender)
+	sendRunner.Sigma = 0
+	sendRep, err := sendRunner.Run([]fio.Job{{
+		Name: "send", Engine: device.EngineTCPSend, Node: sendNode,
+		NumJobs: streams, Size: size,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("netpair: send side: %w", err)
+	}
+	recvRunner := fio.NewRunner(p.Receiver)
+	recvRunner.Sigma = 0
+	recvRep, err := recvRunner.Run([]fio.Job{{
+		Name: "recv", Engine: device.EngineTCPRecv, Node: recvNode,
+		NumJobs: streams, Size: size,
+	}})
+	if err != nil {
+		return nil, fmt.Errorf("netpair: receive side: %w", err)
+	}
+
+	out := &TransferResult{
+		SendSide: sendRep.Aggregate,
+		RecvSide: recvRep.Aggregate,
+		Wire:     WireBandwidth,
+	}
+	out.EndToEnd, out.Bottlneck = out.SendSide, "send"
+	if out.RecvSide < out.EndToEnd {
+		out.EndToEnd, out.Bottlneck = out.RecvSide, "receive"
+	}
+	if out.Wire < out.EndToEnd {
+		out.EndToEnd, out.Bottlneck = out.Wire, "wire"
+	}
+	return out, nil
+}
+
+// Matrix measures the end-to-end rate for every (sender binding, receiver
+// binding) pair — the exhaustive two-host characterization whose cost the
+// paper's class model cuts down.
+func (p *Pair) Matrix(streams int, size units.Size) (nodes []topology.NodeID, bw [][]units.Bandwidth, err error) {
+	nodes = p.Sender.Machine().NodeIDs()
+	for _, sn := range nodes {
+		var row []units.Bandwidth
+		for _, rn := range nodes {
+			res, err := p.Transfer(sn, rn, streams, size)
+			if err != nil {
+				return nil, nil, err
+			}
+			row = append(row, res.EndToEnd)
+		}
+		bw = append(bw, row)
+	}
+	return nodes, bw, nil
+}
+
+// WorstPenalty returns the relative end-to-end loss between the best and
+// worst bindings of a matrix — comparable to the ~30% misplacement penalty
+// reported for 40 GbE in [3].
+func WorstPenalty(bw [][]units.Bandwidth) float64 {
+	var best, worst units.Bandwidth
+	first := true
+	for _, row := range bw {
+		for _, v := range row {
+			if first || v > best {
+				best = v
+			}
+			if first || v < worst {
+				worst = v
+			}
+			first = false
+		}
+	}
+	if best <= 0 {
+		return 0
+	}
+	return 1 - float64(worst)/float64(best)
+}

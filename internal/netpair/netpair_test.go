@@ -1,0 +1,127 @@
+package netpair
+
+import (
+	"math"
+	"testing"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func newPair(t *testing.T) *Pair {
+	t.Helper()
+	p, err := New(topology.DL585G7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTransferBestBindings(t *testing.T) {
+	p := newPair(t)
+	res, err := p.Transfer(6, 6, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both sides near their ceilings; wire never the bottleneck.
+	if res.EndToEnd.Gbps() < 19.5 || res.EndToEnd.Gbps() > 22 {
+		t.Errorf("end-to-end = %.2f, want ~20-21", res.EndToEnd.Gbps())
+	}
+	if res.Bottlneck == "wire" {
+		t.Error("the wire should never constrain a single adapter")
+	}
+	if res.Wire != WireBandwidth {
+		t.Error("wire bandwidth mislabeled")
+	}
+}
+
+// Misbinding either side caps the whole connection.
+func TestWeakerSideDominates(t *testing.T) {
+	p := newPair(t)
+	good, err := p.Transfer(6, 6, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badSender, err := p.Transfer(2, 6, 4, 0) // class-3 send binding
+	if err != nil {
+		t.Fatal(err)
+	}
+	badReceiver, err := p.Transfer(6, 4, 4, 0) // class-4 receive binding
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(badSender.EndToEnd < good.EndToEnd*0.9) {
+		t.Errorf("bad sender binding should cap the connection: %.2f vs %.2f",
+			badSender.EndToEnd.Gbps(), good.EndToEnd.Gbps())
+	}
+	if badSender.Bottlneck != "send" {
+		t.Errorf("bottleneck = %q, want send", badSender.Bottlneck)
+	}
+	if !(badReceiver.EndToEnd < good.EndToEnd*0.9) {
+		t.Errorf("bad receiver binding should cap the connection: %.2f vs %.2f",
+			badReceiver.EndToEnd.Gbps(), good.EndToEnd.Gbps())
+	}
+	if badReceiver.Bottlneck != "receive" {
+		t.Errorf("bottleneck = %q, want receive", badReceiver.Bottlneck)
+	}
+}
+
+func TestTransferValidation(t *testing.T) {
+	p := newPair(t)
+	if _, err := p.Transfer(6, 6, 0, 0); err == nil {
+		t.Error("zero streams should fail")
+	}
+	if _, err := p.Transfer(42, 6, 2, 0); err == nil {
+		t.Error("unknown sender node should fail")
+	}
+	if _, err := p.Transfer(6, 42, 2, 0); err == nil {
+		t.Error("unknown receiver node should fail")
+	}
+}
+
+// The full matrix reproduces the ~30% misplacement penalty reported for
+// 40 GbE NUMA hosts ([3] in the paper).
+func TestMatrixPenalty(t *testing.T) {
+	p := newPair(t)
+	nodes, bw, err := p.Matrix(4, 2*units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 8 || len(bw) != 8 || len(bw[0]) != 8 {
+		t.Fatalf("matrix shape wrong")
+	}
+	penalty := WorstPenalty(bw)
+	if penalty < 0.20 || penalty > 0.45 {
+		t.Errorf("worst-case misplacement penalty = %.0f%%, want ~30%%", penalty*100)
+	}
+	// The best cell uses neither the class-3 send bindings nor the class-4
+	// receive binding.
+	var bi, bj int
+	best := units.Bandwidth(0)
+	for i := range bw {
+		for j := range bw[i] {
+			if bw[i][j] > best {
+				best, bi, bj = bw[i][j], i, j
+			}
+		}
+	}
+	if nodes[bi] == 2 || nodes[bi] == 3 || nodes[bj] == 4 {
+		t.Errorf("best cell uses a starved binding: send %d recv %d", nodes[bi], nodes[bj])
+	}
+}
+
+func TestWorstPenaltyEdgeCases(t *testing.T) {
+	if WorstPenalty(nil) != 0 {
+		t.Error("empty matrix should have zero penalty")
+	}
+	uniform := [][]units.Bandwidth{{10 * units.Gbps, 10 * units.Gbps}}
+	if p := WorstPenalty(uniform); math.Abs(p) > 1e-9 {
+		t.Errorf("uniform matrix penalty = %v, want 0", p)
+	}
+}
+
+func TestNewPropagatesErrors(t *testing.T) {
+	if _, err := New(func() *topology.Machine { return topology.New("bad", nil) }); err == nil {
+		t.Error("invalid machine should fail")
+	}
+}

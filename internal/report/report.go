@@ -1,0 +1,163 @@
+// Package report renders experiment results as aligned ASCII tables, CSV
+// and Markdown — the output layer of the paperbench harness and the
+// EXPERIMENTS.md generator.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"numaio/internal/units"
+)
+
+// Table is a simple rectangular table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// widths returns the per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		w[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render produces an aligned ASCII rendering.
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	w := t.widths()
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", w[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", w[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Markdown produces a GitHub-flavoured Markdown rendering.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.Headers, " | ") + " |\n")
+	seps := make([]string, len(t.Headers))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// CSV produces a comma-separated rendering (naive quoting: cells containing
+// commas or quotes are double-quoted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Gbps formats a bandwidth as a bare Gb/s number with one decimal.
+func Gbps(bw units.Bandwidth) string { return fmt.Sprintf("%.1f", bw.Gbps()) }
+
+// Gbps2 formats a bandwidth with two decimals.
+func Gbps2(bw units.Bandwidth) string { return fmt.Sprintf("%.2f", bw.Gbps()) }
+
+// Range formats a min-max bandwidth range like the paper's tables.
+func Range(min, max units.Bandwidth) string {
+	return fmt.Sprintf("%.1f – %.1f", min.Gbps(), max.Gbps())
+}
+
+// Series is a named sequence of (label, value) points, used for the
+// figure-style outputs (bandwidth vs. stream count, per-node bars).
+type Series struct {
+	Name   string
+	Labels []string
+	Values []units.Bandwidth
+}
+
+// SeriesTable renders several series sharing the same labels as one table:
+// first column the label, then one column per series.
+func SeriesTable(title, labelHeader string, series ...Series) (*Table, error) {
+	if len(series) == 0 {
+		return nil, fmt.Errorf("report: no series")
+	}
+	n := len(series[0].Labels)
+	headers := []string{labelHeader}
+	for _, s := range series {
+		if len(s.Labels) != n || len(s.Values) != n {
+			return nil, fmt.Errorf("report: series %q has inconsistent length", s.Name)
+		}
+		headers = append(headers, s.Name)
+	}
+	t := NewTable(title, headers...)
+	for i := 0; i < n; i++ {
+		row := []string{series[0].Labels[i]}
+		for _, s := range series {
+			row = append(row, Gbps2(s.Values[i]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

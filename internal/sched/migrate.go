@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// This file implements the paper's first future-work item (Sec. VI):
+// mechanisms for placing and migrating parallel I/O threads based on the
+// characterization results.
+
+// Move describes one task migration.
+type Move struct {
+	Task     int // index into the placement slice
+	From, To topology.NodeID
+}
+
+// Rebalance extends a running placement by add new tasks and rebalances the
+// whole set toward the class-balanced target distribution with the fewest
+// possible migrations: existing tasks keep their node when the target
+// distribution still wants one there.
+func (s *Scheduler) Rebalance(engine string, current []topology.NodeID, add int) ([]topology.NodeID, []Move, error) {
+	if add < 0 {
+		return nil, nil, fmt.Errorf("sched: negative add count")
+	}
+	total := len(current) + add
+	if total == 0 {
+		return nil, nil, fmt.Errorf("sched: nothing to place")
+	}
+	target, err := s.Place(engine, total, ClassBalanced)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Desired multiset of node slots.
+	want := make(map[topology.NodeID]int)
+	for _, n := range target {
+		want[n]++
+	}
+
+	// Keep existing tasks in place where slots remain.
+	out := make([]topology.NodeID, total)
+	var moves []Move
+	var displaced []int
+	for i, n := range current {
+		if want[n] > 0 {
+			want[n]--
+			out[i] = n
+		} else {
+			displaced = append(displaced, i)
+		}
+	}
+	// Remaining slots, deterministic order.
+	var slots []topology.NodeID
+	nodes := make([]topology.NodeID, 0, len(want))
+	for n := range want {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		for k := 0; k < want[n]; k++ {
+			slots = append(slots, n)
+		}
+	}
+	si := 0
+	for _, i := range displaced {
+		out[i] = slots[si]
+		moves = append(moves, Move{Task: i, From: current[i], To: slots[si]})
+		si++
+	}
+	for i := len(current); i < total; i++ {
+		out[i] = slots[si]
+		si++
+	}
+	return out, moves, nil
+}
+
+// SweepPoint is one task count of a locality-versus-contention sweep.
+type SweepPoint struct {
+	Tasks         int
+	LocalOnly     units.Bandwidth
+	ClassBalanced units.Bandwidth
+}
+
+// Sweep evaluates local-only against class-balanced placement for task
+// counts 1..maxTasks — the paper's second future-work item, the tradeoff
+// between data locality and resource contention. The returned series shows
+// where spreading overtakes locality.
+func (s *Scheduler) Sweep(engine string, maxTasks int, sizePerTask units.Size) ([]SweepPoint, error) {
+	if maxTasks <= 0 {
+		return nil, fmt.Errorf("sched: maxTasks must be positive")
+	}
+	var out []SweepPoint
+	for n := 1; n <= maxTasks; n++ {
+		pt := SweepPoint{Tasks: n}
+		for _, p := range []Policy{LocalOnly, ClassBalanced} {
+			placement, err := s.Place(engine, n, p)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := s.Evaluate(engine, placement, sizePerTask)
+			if err != nil {
+				return nil, err
+			}
+			if p == LocalOnly {
+				pt.LocalOnly = rep.Aggregate
+			} else {
+				pt.ClassBalanced = rep.Aggregate
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// Crossover returns the smallest task count at which class-balanced
+// placement strictly beats local-only, or 0 if it never does within the
+// sweep.
+func Crossover(points []SweepPoint) int {
+	for _, p := range points {
+		if p.ClassBalanced > p.LocalOnly {
+			return p.Tasks
+		}
+	}
+	return 0
+}

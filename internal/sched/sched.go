@@ -1,0 +1,290 @@
+// Package sched applies the iomodel to I/O task placement (Sec. V-B and the
+// paper's first future-work direction): given write/read performance models
+// of the device's node, it spreads concurrent I/O tasks across the nodes of
+// performance-equivalent classes instead of piling them onto the local
+// node, avoiding the contention the paper warns about (interrupt handling,
+// core saturation, memory-controller pressure).
+//
+// Baseline policies (local-only, hop-distance-greedy, blind round-robin)
+// are provided for the comparison experiments.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Policy selects a placement strategy.
+type Policy int
+
+// Policies.
+const (
+	// LocalOnly binds every task to the device's node — the naive
+	// "maximize locality" strategy.
+	LocalOnly Policy = iota
+	// HopDistance fills nodes nearest to the device first (the metric the
+	// paper shows is unreliable).
+	HopDistance
+	// RoundRobin spreads tasks over all nodes blindly.
+	RoundRobin
+	// ClassBalanced spreads tasks over the nodes of the model's
+	// top equivalent classes — the paper's recommendation.
+	ClassBalanced
+)
+
+func (p Policy) String() string {
+	switch p {
+	case LocalOnly:
+		return "local-only"
+	case HopDistance:
+		return "hop-distance"
+	case RoundRobin:
+		return "round-robin"
+	case ClassBalanced:
+		return "class-balanced"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Scheduler places I/O tasks using the characterized models.
+type Scheduler struct {
+	sys        *numa.System
+	writeModel *core.Model
+	readModel  *core.Model
+	// Tolerance is the relative rate difference within which classes count
+	// as equivalent for spreading; default 0.10.
+	Tolerance float64
+}
+
+// New builds a scheduler from the two directional models of one target
+// node. Both models must describe the same target.
+func New(sys *numa.System, write, read *core.Model) (*Scheduler, error) {
+	if write == nil || read == nil {
+		return nil, fmt.Errorf("sched: both models are required")
+	}
+	if write.Target != read.Target {
+		return nil, fmt.Errorf("sched: models describe different targets (%d vs %d)",
+			int(write.Target), int(read.Target))
+	}
+	if write.Mode != core.ModeWrite || read.Mode != core.ModeRead {
+		return nil, fmt.Errorf("sched: model modes are swapped")
+	}
+	return &Scheduler{sys: sys, writeModel: write, readModel: read, Tolerance: 0.10}, nil
+}
+
+// Target returns the device node the models describe.
+func (s *Scheduler) Target() topology.NodeID { return s.writeModel.Target }
+
+// ModelFor returns the directional model an engine's traffic follows.
+func (s *Scheduler) ModelFor(engine string) (*core.Model, error) {
+	if engine == device.EngineMemcpy {
+		return s.writeModel, nil
+	}
+	spec, err := device.SpecFor(engine)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Direction == device.ToDevice {
+		return s.writeModel, nil
+	}
+	return s.readModel, nil
+}
+
+// classRate estimates the single-class I/O rate of a model class for the
+// engine: the engine's ClassRate at the class's representative node, or the
+// model's own memcpy average for the memcpy engine.
+func (s *Scheduler) classRate(engine string, cls core.Class) (units.Bandwidth, error) {
+	if engine == device.EngineMemcpy {
+		return cls.Avg, nil
+	}
+	spec, err := device.SpecFor(engine)
+	if err != nil {
+		return 0, err
+	}
+	devs := spec.DevicesOfKind(s.sys.Machine())
+	if len(devs) == 0 {
+		return 0, fmt.Errorf("sched: no %v device", spec.Kind)
+	}
+	if len(cls.Nodes) == 0 {
+		return 0, fmt.Errorf("sched: empty class %d", cls.Rank)
+	}
+	return spec.ClassRate(s.sys.Machine(), devs[0].ID, cls.Nodes[0])
+}
+
+// EligibleNodes returns the nodes of all classes whose engine-level rate is
+// within Tolerance of the best class — the interchangeable set of Sec. V-B.
+func (s *Scheduler) EligibleNodes(engine string) ([]topology.NodeID, error) {
+	model, err := s.ModelFor(engine)
+	if err != nil {
+		return nil, err
+	}
+	best := units.Bandwidth(0)
+	rates := make(map[int]units.Bandwidth)
+	for _, cls := range model.Classes {
+		r, err := s.classRate(engine, cls)
+		if err != nil {
+			return nil, err
+		}
+		rates[cls.Rank] = r
+		if r > best {
+			best = r
+		}
+	}
+	var nodes []topology.NodeID
+	for _, cls := range model.Classes {
+		if float64(rates[cls.Rank]) >= (1-s.Tolerance)*float64(best) {
+			nodes = append(nodes, cls.Nodes...)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("sched: no eligible nodes for %s", engine)
+	}
+	return nodes, nil
+}
+
+// Place assigns count tasks to nodes under the given policy.
+func (s *Scheduler) Place(engine string, count int, policy Policy) ([]topology.NodeID, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("sched: task count must be positive")
+	}
+	m := s.sys.Machine()
+	switch policy {
+	case LocalOnly:
+		out := make([]topology.NodeID, count)
+		for i := range out {
+			out[i] = s.Target()
+		}
+		return out, nil
+
+	case RoundRobin:
+		ids := m.NodeIDs()
+		out := make([]topology.NodeID, count)
+		for i := range out {
+			out[i] = ids[i%len(ids)]
+		}
+		return out, nil
+
+	case HopDistance:
+		type hopNode struct {
+			n    topology.NodeID
+			hops int
+		}
+		var order []hopNode
+		for _, n := range m.NodeIDs() {
+			h, err := m.HopDistance(s.Target(), n)
+			if err != nil {
+				return nil, err
+			}
+			order = append(order, hopNode{n, h})
+		}
+		sort.Slice(order, func(i, j int) bool {
+			if order[i].hops != order[j].hops {
+				return order[i].hops < order[j].hops
+			}
+			return order[i].n < order[j].n
+		})
+		// Fill nearest nodes up to their core count first.
+		var out []topology.NodeID
+		for _, hn := range order {
+			cores := m.MustNode(hn.n).Cores
+			for c := 0; c < cores && len(out) < count; c++ {
+				out = append(out, hn.n)
+			}
+			if len(out) == count {
+				return out, nil
+			}
+		}
+		// Overflow: wrap around.
+		for len(out) < count {
+			out = append(out, order[len(out)%len(order)].n)
+		}
+		return out, nil
+
+	case ClassBalanced:
+		nodes, err := s.EligibleNodes(engine)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]topology.NodeID, count)
+		for i := range out {
+			out[i] = nodes[i%len(nodes)]
+		}
+		return out, nil
+
+	default:
+		return nil, fmt.Errorf("sched: unknown policy %v", policy)
+	}
+}
+
+// Evaluate runs the engine with the given placement (one fio process per
+// task) and reports the measured bandwidths.
+func (s *Scheduler) Evaluate(engine string, placement []topology.NodeID, sizePerTask units.Size) (*fio.Report, error) {
+	if len(placement) == 0 {
+		return nil, fmt.Errorf("sched: empty placement")
+	}
+	if sizePerTask <= 0 {
+		sizePerTask = 4 * units.GiB
+	}
+	counts := make(map[topology.NodeID]int)
+	for _, n := range placement {
+		counts[n]++
+	}
+	nodes := make([]topology.NodeID, 0, len(counts))
+	for n := range counts {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	target := s.Target()
+	var jobs []fio.Job
+	for _, n := range nodes {
+		j := fio.Job{
+			Name:    fmt.Sprintf("%s-n%d", engine, int(n)),
+			Engine:  engine,
+			Node:    n,
+			NumJobs: counts[n],
+			Size:    sizePerTask,
+		}
+		if engine == device.EngineMemcpy {
+			src := n
+			j.SrcNode, j.DstNode = &src, &target
+		}
+		jobs = append(jobs, j)
+	}
+	runner := fio.NewRunner(s.sys)
+	runner.Sigma = 0
+	return runner.Run(jobs)
+}
+
+// Comparison is the outcome of comparing policies for one task count.
+type Comparison struct {
+	Engine    string
+	Tasks     int
+	Aggregate map[Policy]units.Bandwidth
+}
+
+// Compare places and evaluates the same workload under every policy.
+func (s *Scheduler) Compare(engine string, count int, sizePerTask units.Size) (*Comparison, error) {
+	out := &Comparison{Engine: engine, Tasks: count, Aggregate: make(map[Policy]units.Bandwidth)}
+	for _, p := range []Policy{LocalOnly, HopDistance, RoundRobin, ClassBalanced} {
+		placement, err := s.Place(engine, count, p)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := s.Evaluate(engine, placement, sizePerTask)
+		if err != nil {
+			return nil, err
+		}
+		out.Aggregate[p] = rep.Aggregate
+	}
+	return out, nil
+}

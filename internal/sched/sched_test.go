@@ -1,0 +1,503 @@
+package sched
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func newScheduler(t *testing.T) (*numa.System, *Scheduler) {
+	t.Helper()
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, err := c.Characterize(7, core.ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := c.Characterize(7, core.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sys, write, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, s
+}
+
+func TestNewValidation(t *testing.T) {
+	sys, s := newScheduler(t)
+	if _, err := New(sys, nil, nil); err == nil {
+		t.Error("nil models should fail")
+	}
+	if _, err := New(sys, s.writeModel, s.writeModel); err == nil {
+		t.Error("swapped modes should fail")
+	}
+	other := *s.readModel
+	other.Target = 3
+	if _, err := New(sys, s.writeModel, &other); err == nil {
+		t.Error("different targets should fail")
+	}
+	if s.Target() != 7 {
+		t.Errorf("target = %d", s.Target())
+	}
+}
+
+func TestModelFor(t *testing.T) {
+	_, s := newScheduler(t)
+	m, err := s.ModelFor(device.EngineRDMAWrite)
+	if err != nil || m.Mode != core.ModeWrite {
+		t.Errorf("rdma_write -> %v, %v", m.Mode, err)
+	}
+	m, err = s.ModelFor(device.EngineTCPRecv)
+	if err != nil || m.Mode != core.ModeRead {
+		t.Errorf("tcp_recv -> %v, %v", m.Mode, err)
+	}
+	m, err = s.ModelFor(device.EngineMemcpy)
+	if err != nil || m.Mode != core.ModeWrite {
+		t.Errorf("memcpy -> %v, %v", m.Mode, err)
+	}
+	if _, err := s.ModelFor("warp"); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+// Sec. V-B: for RDMA_WRITE, classes 1 and 2 have near-identical I/O rates,
+// so the eligible set spans both: {0,1,4,5,6,7}.
+func TestEligibleNodesRDMAWrite(t *testing.T) {
+	_, s := newScheduler(t)
+	nodes, err := s.EligibleNodes(device.EngineRDMAWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []topology.NodeID{0, 1, 4, 5, 6, 7}
+	if !reflect.DeepEqual(nodes, want) {
+		t.Errorf("eligible = %v, want %v", nodes, want)
+	}
+}
+
+// For raw memcpy staging, only class 1 is within 10% of the best.
+func TestEligibleNodesMemcpy(t *testing.T) {
+	_, s := newScheduler(t)
+	nodes, err := s.EligibleNodes(device.EngineMemcpy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nodes, []topology.NodeID{6, 7}) {
+		t.Errorf("eligible = %v, want [6 7]", nodes)
+	}
+	// A looser tolerance admits class 2 as well.
+	s.Tolerance = 0.15
+	nodes, err = s.EligibleNodes(device.EngineMemcpy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(nodes, []topology.NodeID{0, 1, 4, 5, 6, 7}) {
+		t.Errorf("eligible(0.15) = %v", nodes)
+	}
+}
+
+func TestPlacePolicies(t *testing.T) {
+	_, s := newScheduler(t)
+
+	local, err := s.Place(device.EngineRDMAWrite, 3, LocalOnly)
+	if err != nil || !reflect.DeepEqual(local, []topology.NodeID{7, 7, 7}) {
+		t.Errorf("local = %v, %v", local, err)
+	}
+
+	rr, err := s.Place(device.EngineRDMAWrite, 10, RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr[0] != 0 || rr[7] != 7 || rr[8] != 0 {
+		t.Errorf("round robin = %v", rr)
+	}
+
+	hop, err := s.Place(device.EngineRDMAWrite, 6, HopDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device node first (4 cores), then the nearest 1-hop node.
+	if !reflect.DeepEqual(hop[:4], []topology.NodeID{7, 7, 7, 7}) {
+		t.Errorf("hop placement should fill node 7 first: %v", hop)
+	}
+	if hop[4] != 0 || hop[5] != 0 {
+		t.Errorf("hop placement overflow = %v, want node 0 next", hop)
+	}
+
+	cb, err := s.Place(device.EngineRDMAWrite, 8, ClassBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[topology.NodeID]int{}
+	for _, n := range cb {
+		counts[n]++
+	}
+	for _, n := range []topology.NodeID{0, 1, 4, 5, 6, 7} {
+		if counts[n] < 1 {
+			t.Errorf("class-balanced left node %d empty: %v", n, cb)
+		}
+	}
+
+	if _, err := s.Place(device.EngineRDMAWrite, 0, LocalOnly); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, err := s.Place(device.EngineRDMAWrite, 1, Policy(42)); err == nil {
+		t.Error("unknown policy should fail")
+	}
+	if _, err := s.Place("warp", 1, ClassBalanced); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+func TestHopDistanceOverflowWraps(t *testing.T) {
+	_, s := newScheduler(t)
+	// 8 nodes * 4 cores = 32 slots; ask for more to hit the wrap path.
+	p, err := s.Place(device.EngineRDMAWrite, 40, HopDistance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 40 {
+		t.Fatalf("placement len = %d", len(p))
+	}
+}
+
+// The paper's contention argument, staged with memcpy tasks: piling all
+// staging copies onto node 7 serializes on its memory controller, while
+// class-balanced spreading nearly doubles the aggregate.
+func TestMemcpySpreadBeatsLocal(t *testing.T) {
+	_, s := newScheduler(t)
+	localPlace, err := s.Place(device.EngineMemcpy, 8, LocalOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRep, err := s.Evaluate(device.EngineMemcpy, localPlace, units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Tolerance = 0.15
+	cbPlace, err := s.Place(device.EngineMemcpy, 8, ClassBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cbRep, err := s.Evaluate(device.EngineMemcpy, cbPlace, units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := localRep.Aggregate.Gbps(), cbRep.Aggregate.Gbps()
+	if !(hi > 1.3*lo) {
+		t.Errorf("class-balanced (%.1f) should beat local-only (%.1f) by >30%%", hi, lo)
+	}
+	if lo < 50 || lo > 56 {
+		t.Errorf("local-only memcpy aggregate = %.1f, want ~53 (controller-bound)", lo)
+	}
+}
+
+// For TCP send, spreading relieves node 7's interrupt-burdened cores.
+func TestTCPSpreadBeatsLocal(t *testing.T) {
+	_, s := newScheduler(t)
+	cmp, err := s.Compare(device.EngineTCPSend, 8, units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := cmp.Aggregate[LocalOnly].Gbps()
+	cb := cmp.Aggregate[ClassBalanced].Gbps()
+	if !(cb > local) {
+		t.Errorf("class-balanced (%.2f) should beat local-only (%.2f)", cb, local)
+	}
+	// Round-robin also spreads but wastes slots on class-3 nodes; it must
+	// not beat the model-driven placement.
+	if rrBW := cmp.Aggregate[RoundRobin].Gbps(); rrBW > cb+0.01 {
+		t.Errorf("round-robin (%.2f) should not beat class-balanced (%.2f)", rrBW, cb)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	_, s := newScheduler(t)
+	if _, err := s.Evaluate(device.EngineTCPSend, nil, units.GiB); err == nil {
+		t.Error("empty placement should fail")
+	}
+	// Default size kicks in for zero.
+	rep, err := s.Evaluate(device.EngineRDMAWrite, []topology.NodeID{7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregate <= 0 {
+		t.Error("evaluation produced no bandwidth")
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	_, s := newScheduler(t)
+	cur, err := s.Place(device.EngineRDMAWrite, 4, LocalOnly) // all on 7
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, moves, err := s.Rebalance(device.EngineRDMAWrite, cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 6 {
+		t.Fatalf("rebalanced placement len = %d", len(out))
+	}
+	// Result must match the class-balanced target multiset for 6 tasks.
+	want, err := s.Place(device.EngineRDMAWrite, 6, ClassBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := append([]topology.NodeID(nil), out...)
+	b := append([]topology.NodeID(nil), want...)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("rebalanced multiset %v != target %v", a, b)
+	}
+	// One original task stays on node 7 (the target wants exactly one 7 in
+	// its first 6 slots), so moves < len(cur).
+	if len(moves) >= len(cur) {
+		t.Errorf("too many migrations: %v", moves)
+	}
+	for _, mv := range moves {
+		if mv.From != 7 {
+			t.Errorf("move from %d, expected 7", mv.From)
+		}
+		if out[mv.Task] != mv.To {
+			t.Errorf("move %v inconsistent with placement", mv)
+		}
+	}
+
+	if _, _, err := s.Rebalance(device.EngineRDMAWrite, nil, 0); err == nil {
+		t.Error("empty rebalance should fail")
+	}
+	if _, _, err := s.Rebalance(device.EngineRDMAWrite, cur, -1); err == nil {
+		t.Error("negative add should fail")
+	}
+}
+
+func TestRebalanceKeepsMatchingTasks(t *testing.T) {
+	_, s := newScheduler(t)
+	// Current placement already class-balanced: zero moves expected.
+	cur, err := s.Place(device.EngineRDMAWrite, 6, ClassBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, moves, err := s.Rebalance(device.EngineRDMAWrite, cur, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Errorf("expected no moves, got %v", moves)
+	}
+	if !reflect.DeepEqual(out, cur) {
+		t.Errorf("placement changed without moves: %v vs %v", out, cur)
+	}
+}
+
+func TestSweepAndCrossover(t *testing.T) {
+	_, s := newScheduler(t)
+	s.Tolerance = 0.15
+	points, err := s.Sweep(device.EngineMemcpy, 4, units.GiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("sweep points = %d", len(points))
+	}
+	// Local-only memcpy is pinned at the controller limit regardless of
+	// task count; spreading grows with tasks.
+	for i := 1; i < len(points); i++ {
+		if points[i].ClassBalanced < points[i-1].ClassBalanced {
+			t.Errorf("class-balanced should be nondecreasing: %+v", points)
+		}
+	}
+	cross := Crossover(points)
+	if cross == 0 || cross > 3 {
+		t.Errorf("crossover = %d, want <= 3", cross)
+	}
+	if Crossover(nil) != 0 {
+		t.Error("empty sweep should have no crossover")
+	}
+	if _, err := s.Sweep(device.EngineMemcpy, 0, units.GiB); err == nil {
+		t.Error("zero maxTasks should fail")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		LocalOnly: "local-only", HopDistance: "hop-distance",
+		RoundRobin: "round-robin", ClassBalanced: "class-balanced",
+	} {
+		if p.String() != want {
+			t.Errorf("%d = %q", int(p), p.String())
+		}
+	}
+	if Policy(42).String() == "" {
+		t.Error("fallback string")
+	}
+}
+
+// The analytic estimator must track the full simulation within ~10% for
+// device engines across placements and policies.
+func TestEstimateTracksEvaluation(t *testing.T) {
+	_, s := newScheduler(t)
+	cases := []struct {
+		engine string
+		count  int
+		policy Policy
+	}{
+		{device.EngineTCPSend, 8, LocalOnly},
+		{device.EngineTCPSend, 8, ClassBalanced},
+		{device.EngineTCPSend, 4, RoundRobin},
+		{device.EngineRDMAWrite, 4, LocalOnly},
+		{device.EngineRDMAWrite, 4, RoundRobin},
+		{device.EngineRDMARead, 4, ClassBalanced},
+		{device.EngineSSDWrite, 2, HopDistance},
+	}
+	for _, c := range cases {
+		placement, err := s.Place(c.engine, c.count, c.policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := s.Estimate(c.engine, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Evaluate(c.engine, placement, units.GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := rep.Aggregate.Gbps()
+		if rel := absf(est.Gbps()-measured) / measured; rel > 0.10 {
+			t.Errorf("%s/%v: estimate %.2f vs measured %.2f (off %.0f%%)",
+				c.engine, c.policy, est.Gbps(), measured, rel*100)
+		}
+	}
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEstimateMemcpy(t *testing.T) {
+	_, s := newScheduler(t)
+	s.Tolerance = 0.15
+	for _, p := range []Policy{LocalOnly, ClassBalanced} {
+		placement, err := s.Place(device.EngineMemcpy, 8, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := s.Estimate(device.EngineMemcpy, placement)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Evaluate(device.EngineMemcpy, placement, units.GiB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		measured := rep.Aggregate.Gbps()
+		if rel := absf(est.Gbps()-measured) / measured; rel > 0.20 {
+			t.Errorf("memcpy/%v: estimate %.2f vs measured %.2f (off %.0f%%)",
+				p, est.Gbps(), measured, rel*100)
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	_, s := newScheduler(t)
+	if _, err := s.Estimate(device.EngineTCPSend, nil); err == nil {
+		t.Error("empty placement should fail")
+	}
+	if _, err := s.Estimate("warp", []topology.NodeID{7}); err == nil {
+		t.Error("unknown engine should fail")
+	}
+	if _, err := s.Estimate(device.EngineTCPSend, []topology.NodeID{42}); err == nil {
+		t.Error("unknown node should fail")
+	}
+}
+
+// BestPlacement must prefer spreading for host-bound TCP and never pick a
+// policy whose estimate trails the winner.
+func TestBestPlacement(t *testing.T) {
+	_, s := newScheduler(t)
+	adv, err := s.BestPlacement(device.EngineTCPSend, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Policy == LocalOnly {
+		t.Errorf("local-only should not win for 8 TCP streams: %+v", adv.PerPolicy)
+	}
+	for p, est := range adv.PerPolicy {
+		if est > adv.Estimate {
+			t.Errorf("policy %v estimate %.2f exceeds winner %.2f", p, est.Gbps(), adv.Estimate.Gbps())
+		}
+	}
+	if len(adv.Placement) != 8 {
+		t.Errorf("placement = %v", adv.Placement)
+	}
+	if _, err := s.BestPlacement("warp", 4); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+// After a link failure the re-characterized scheduler stops sending work to
+// the degraded node — the closed loop of characterize → place → degrade →
+// re-characterize → re-place.
+func TestSchedulerAdaptsToDegradedLink(t *testing.T) {
+	mutant := topology.DL585G7().Clone()
+	if err := mutant.DegradeLinkBetween("node0", "node7", 0.3); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := numa.NewSystem(mutant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, err := c.Characterize(7, core.ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := c.Characterize(7, core.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(sys, write, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes, err := s.EligibleNodes(device.EngineRDMAWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		if n == 0 {
+			t.Errorf("degraded node 0 must not be eligible: %v", nodes)
+		}
+	}
+	placement, err := s.Place(device.EngineRDMAWrite, 8, ClassBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range placement {
+		if n == 0 {
+			t.Errorf("placement uses degraded node 0: %v", placement)
+		}
+	}
+}

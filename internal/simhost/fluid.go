@@ -1,0 +1,155 @@
+package simhost
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"numaio/internal/fabric"
+	"numaio/internal/units"
+)
+
+// Transfer is one bulk data movement to run to completion.
+type Transfer struct {
+	ID     string
+	Bytes  units.Size
+	Demand units.Bandwidth // per-transfer rate cap; <= 0 means unbounded
+	Usages []fabric.Usage
+}
+
+// TransferResult reports one completed transfer.
+type TransferResult struct {
+	ID       string
+	Bytes    units.Size
+	Duration units.Duration
+	// Bandwidth is the average rate over the transfer's lifetime.
+	Bandwidth units.Bandwidth
+	// InitialRate is the rate while all transfers were still active, which
+	// is what a steady-state benchmark with equal-sized jobs reports.
+	InitialRate units.Bandwidth
+}
+
+// SessionResult reports a whole fluid run.
+type SessionResult struct {
+	Transfers map[string]TransferResult
+	// Makespan is the completion time of the last transfer.
+	Makespan units.Duration
+	// AggregateBandwidth is total bytes moved divided by the makespan.
+	AggregateBandwidth units.Bandwidth
+	// SteadyAggregate is the sum of initial (all-active) rates, the number
+	// a long-running benchmark such as fio converges to when all jobs move
+	// the same amount of data.
+	SteadyAggregate units.Bandwidth
+	// Timeline records every constant-rate phase of the run, including
+	// per-resource utilization — the observability layer for contention
+	// analysis.
+	Timeline Timeline
+}
+
+// RunFluid advances the given transfers through a max-min fair fabric until
+// all complete, re-solving the allocation whenever a transfer finishes
+// (fluid-flow approximation of the real time-shared hardware).
+func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult, error) {
+	if len(transfers) == 0 {
+		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
+	}
+	remaining := make(map[string]float64, len(transfers)) // bits
+	results := make(map[string]TransferResult, len(transfers))
+	active := make(map[string]Transfer, len(transfers))
+	for _, tr := range transfers {
+		if tr.Bytes <= 0 {
+			return nil, fmt.Errorf("simhost: transfer %q has nonpositive size", tr.ID)
+		}
+		if _, dup := active[tr.ID]; dup {
+			return nil, fmt.Errorf("simhost: duplicate transfer %q", tr.ID)
+		}
+		active[tr.ID] = tr
+		remaining[tr.ID] = tr.Bytes.Bits()
+	}
+
+	var now float64 // seconds
+	var totalBits float64
+	var timeline Timeline
+	first := true
+	for len(active) > 0 {
+		s := fabric.NewSolver()
+		for _, r := range resources {
+			if err := s.SetResource(r); err != nil {
+				return nil, err
+			}
+		}
+		// Deterministic flow order.
+		ids := make([]string, 0, len(active))
+		for id := range active {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			tr := active[id]
+			if err := s.AddFlow(fabric.Flow{ID: id, Demand: tr.Demand, Usages: tr.Usages}); err != nil {
+				return nil, err
+			}
+		}
+		alloc, err := s.Solve()
+		if err != nil {
+			return nil, err
+		}
+
+		// Time until the next completion at current rates.
+		dt := math.Inf(1)
+		for _, id := range ids {
+			rate := float64(alloc.Rate(id))
+			if rate <= 0 {
+				return nil, fmt.Errorf("simhost: transfer %q starved (zero rate)", id)
+			}
+			if t := remaining[id] / rate; t < dt {
+				dt = t
+			}
+		}
+
+		phase := Phase{
+			Start:       units.Duration(now),
+			Duration:    units.Duration(dt),
+			Rates:       make(map[string]units.Bandwidth, len(ids)),
+			Utilization: alloc.Utilization,
+		}
+		for _, id := range ids {
+			rate := float64(alloc.Rate(id))
+			phase.Rates[id] = units.Bandwidth(rate)
+			if first {
+				res := results[id]
+				res.ID = id
+				res.InitialRate = units.Bandwidth(rate)
+				results[id] = res
+			}
+			remaining[id] -= rate * dt
+			if remaining[id] <= 1e-3 { // sub-bit residue
+				tr := active[id]
+				res := results[id]
+				res.Bytes = tr.Bytes
+				res.Duration = units.Duration(now + dt)
+				res.Bandwidth = units.Rate(tr.Bytes, res.Duration)
+				results[id] = res
+				totalBits += tr.Bytes.Bits()
+				phase.Completed = append(phase.Completed, id)
+				delete(active, id)
+			}
+		}
+		timeline.Phases = append(timeline.Phases, phase)
+		now += dt
+		first = false
+	}
+
+	out := &SessionResult{
+		Transfers: results,
+		Makespan:  units.Duration(now),
+		Timeline:  timeline,
+	}
+	if now > 0 {
+		out.AggregateBandwidth = units.Bandwidth(totalBits / now)
+	}
+	for _, r := range results {
+		out.SteadyAggregate += r.InitialRate
+	}
+	return out, nil
+}

@@ -1,0 +1,379 @@
+// Package simhost turns a static topology.Machine into a runnable simulated
+// host: a NUMA-aware memory allocator with the Linux allocation policies and
+// numastat-style counters, deterministic measurement jitter, and a fluid
+// transfer executor that advances concurrent transfers through the fabric
+// solver until completion.
+//
+// This package substitutes for the real DL585 G7 testbed (see DESIGN.md):
+// programs written against it exercise the same decisions — where threads
+// run, where buffers live — that libnuma/numactl control on real hardware.
+package simhost
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Policy is a NUMA memory allocation policy, mirroring Linux mempolicy.
+type Policy int
+
+// Policies.
+const (
+	// PolicyLocalPreferred allocates on the requesting task's node when
+	// possible and falls back to the emptiest other node (the Linux 2.6
+	// default, Sec. II-B).
+	PolicyLocalPreferred Policy = iota
+	// PolicyBind allocates strictly on the given node and fails when it
+	// is full.
+	PolicyBind
+	// PolicyPreferred allocates on the given node when possible, falling
+	// back like local-preferred.
+	PolicyPreferred
+	// PolicyInterleave spreads the allocation evenly across the given
+	// nodes (or all nodes when none are specified).
+	PolicyInterleave
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyLocalPreferred:
+		return "local-preferred"
+	case PolicyBind:
+		return "bind"
+	case PolicyPreferred:
+		return "preferred"
+	case PolicyInterleave:
+		return "interleave"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// NodeStats are numastat-style counters for one node.
+type NodeStats struct {
+	NumaHit       int64 // allocations that landed on the intended node
+	NumaMiss      int64 // allocations placed here though intended elsewhere
+	NumaForeign   int64 // allocations intended here but placed elsewhere
+	InterleaveHit int64 // interleaved allocations that landed as intended
+	LocalNode     int64 // allocations on the requesting task's node
+	OtherNode     int64 // allocations on this node for tasks running elsewhere
+}
+
+// Buffer is an allocated simulated memory region. Pages records how the
+// buffer is spread across nodes (a single entry except for interleaving).
+type Buffer struct {
+	ID    int
+	Size  units.Size
+	Pages map[topology.NodeID]units.Size
+	freed bool
+}
+
+// HomeNode returns the node holding the largest share of the buffer, which
+// for non-interleaved buffers is the only node. Ties break toward the
+// lowest node ID.
+func (b *Buffer) HomeNode() topology.NodeID {
+	var best topology.NodeID
+	var bestSize units.Size = -1
+	ids := make([]topology.NodeID, 0, len(b.Pages))
+	for n := range b.Pages {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, n := range ids {
+		if b.Pages[n] > bestSize {
+			best, bestSize = n, b.Pages[n]
+		}
+	}
+	return best
+}
+
+// DefaultOSReservation is the memory the OS pins on node 0 at boot. The
+// paper observes ~2.5 GB in use on node 0 of an otherwise idle 4 GB/node
+// host ("numactl --hardware" shows 1.5 GB free, Sec. IV-A).
+const DefaultOSReservation = units.Size(2.5 * float64(units.GiB))
+
+// Host is a runnable simulated NUMA host.
+type Host struct {
+	M *topology.Machine
+
+	mu     sync.Mutex
+	free   map[topology.NodeID]units.Size
+	stats  map[topology.NodeID]*NodeStats
+	nextID int
+}
+
+// Option configures a Host.
+type Option func(*hostConfig)
+
+type hostConfig struct {
+	osReservation units.Size
+}
+
+// WithOSReservation overrides the boot-time OS memory reserved on node 0.
+func WithOSReservation(s units.Size) Option {
+	return func(c *hostConfig) { c.osReservation = s }
+}
+
+// NewHost validates the machine and boots a host on it.
+func NewHost(m *topology.Machine, opts ...Option) (*Host, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := hostConfig{osReservation: DefaultOSReservation}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	h := &Host{
+		M:     m,
+		free:  make(map[topology.NodeID]units.Size),
+		stats: make(map[topology.NodeID]*NodeStats),
+	}
+	for _, n := range m.Nodes {
+		h.free[n.ID] = n.Memory
+		h.stats[n.ID] = &NodeStats{}
+	}
+	// The OS boots on node 0 (or the lowest node).
+	ids := m.NodeIDs()
+	boot := ids[0]
+	res := cfg.osReservation
+	if res > h.free[boot] {
+		res = h.free[boot]
+	}
+	h.free[boot] -= res
+	return h, nil
+}
+
+// FreeMem returns the free memory on a node.
+func (h *Host) FreeMem(n topology.NodeID) units.Size {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.free[n]
+}
+
+// Stats returns a copy of a node's numastat counters.
+func (h *Host) Stats(n topology.NodeID) NodeStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if s, ok := h.stats[n]; ok {
+		return *s
+	}
+	return NodeStats{}
+}
+
+// AllocRequest describes an allocation.
+type AllocRequest struct {
+	Size   units.Size
+	Policy Policy
+	// Target is the bind/preferred node (ignored for local-preferred and
+	// interleave).
+	Target topology.NodeID
+	// TaskNode is the node the requesting task runs on.
+	TaskNode topology.NodeID
+	// InterleaveNodes restricts interleaving; empty means all nodes.
+	InterleaveNodes []topology.NodeID
+}
+
+// Alloc allocates a simulated buffer under the given policy.
+func (h *Host) Alloc(req AllocRequest) (*Buffer, error) {
+	if req.Size <= 0 {
+		return nil, fmt.Errorf("simhost: nonpositive allocation size %v", req.Size)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	if _, ok := h.free[req.TaskNode]; !ok {
+		return nil, fmt.Errorf("simhost: unknown task node %d", int(req.TaskNode))
+	}
+
+	switch req.Policy {
+	case PolicyBind:
+		return h.allocOn(req.Target, req, true)
+	case PolicyPreferred:
+		return h.allocOn(req.Target, req, false)
+	case PolicyLocalPreferred:
+		return h.allocOn(req.TaskNode, req, false)
+	case PolicyInterleave:
+		return h.allocInterleaved(req)
+	default:
+		return nil, fmt.Errorf("simhost: unknown policy %v", req.Policy)
+	}
+}
+
+// allocOn places the buffer on node want, falling back to the emptiest node
+// unless strict.
+func (h *Host) allocOn(want topology.NodeID, req AllocRequest, strict bool) (*Buffer, error) {
+	if _, ok := h.free[want]; !ok {
+		return nil, fmt.Errorf("simhost: unknown node %d", int(want))
+	}
+	got := want
+	if h.free[want] < req.Size {
+		if strict {
+			return nil, fmt.Errorf("simhost: node %d has %v free, need %v",
+				int(want), h.free[want], req.Size)
+		}
+		got = h.emptiestNodeWith(req.Size)
+		if got < 0 {
+			return nil, fmt.Errorf("simhost: no node can hold %v", req.Size)
+		}
+	}
+	h.free[got] -= req.Size
+	h.account(want, got, req.TaskNode, false)
+	return h.newBuffer(req.Size, map[topology.NodeID]units.Size{got: req.Size}), nil
+}
+
+func (h *Host) allocInterleaved(req AllocRequest) (*Buffer, error) {
+	nodes := req.InterleaveNodes
+	if len(nodes) == 0 {
+		nodes = h.M.NodeIDs()
+	}
+	for _, n := range nodes {
+		if _, ok := h.free[n]; !ok {
+			return nil, fmt.Errorf("simhost: unknown interleave node %d", int(n))
+		}
+	}
+	pages := make(map[topology.NodeID]units.Size)
+	share := req.Size / units.Size(len(nodes))
+	rem := req.Size - share*units.Size(len(nodes))
+	type need struct {
+		node topology.NodeID
+		want units.Size
+	}
+	var needs []need
+	for i, n := range nodes {
+		w := share
+		if units.Size(i) < rem {
+			w++
+		}
+		needs = append(needs, need{n, w})
+	}
+	var spill units.Size
+	for _, nd := range needs {
+		take := nd.want
+		if h.free[nd.node] < take {
+			spill += take - h.free[nd.node]
+			take = h.free[nd.node]
+		}
+		if take > 0 {
+			h.free[nd.node] -= take
+			pages[nd.node] += take
+			h.account(nd.node, nd.node, req.TaskNode, true)
+		} else {
+			h.stats[nd.node].NumaForeign++
+		}
+	}
+	// Spill overflow to the emptiest nodes.
+	for spill > 0 {
+		n := h.emptiestNodeWith(1)
+		if n < 0 {
+			// Roll back.
+			for node, sz := range pages {
+				h.free[node] += sz
+			}
+			return nil, fmt.Errorf("simhost: interleave cannot place %v", req.Size)
+		}
+		take := spill
+		if h.free[n] < take {
+			take = h.free[n]
+		}
+		h.free[n] -= take
+		pages[n] += take
+		h.stats[n].NumaMiss++
+		spill -= take
+	}
+	return h.newBuffer(req.Size, pages), nil
+}
+
+func (h *Host) emptiestNodeWith(size units.Size) topology.NodeID {
+	best := topology.NodeID(-1)
+	var bestFree units.Size = -1
+	for _, n := range h.M.NodeIDs() {
+		if h.free[n] >= size && h.free[n] > bestFree {
+			best, bestFree = n, h.free[n]
+		}
+	}
+	return best
+}
+
+// account updates numastat counters for a placement decision.
+func (h *Host) account(want, got, task topology.NodeID, interleave bool) {
+	if got == want {
+		h.stats[got].NumaHit++
+		if interleave {
+			h.stats[got].InterleaveHit++
+		}
+	} else {
+		h.stats[got].NumaMiss++
+		h.stats[want].NumaForeign++
+	}
+	if got == task {
+		h.stats[got].LocalNode++
+	} else {
+		h.stats[got].OtherNode++
+	}
+}
+
+func (h *Host) newBuffer(size units.Size, pages map[topology.NodeID]units.Size) *Buffer {
+	h.nextID++
+	return &Buffer{ID: h.nextID, Size: size, Pages: pages}
+}
+
+// Free releases a buffer. Freeing twice is an error.
+func (h *Host) Free(b *Buffer) error {
+	if b == nil {
+		return fmt.Errorf("simhost: Free(nil)")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if b.freed {
+		return fmt.Errorf("simhost: double free of buffer %d", b.ID)
+	}
+	for n, sz := range b.Pages {
+		h.free[n] += sz
+	}
+	b.freed = true
+	return nil
+}
+
+// Hardware renders "numactl --hardware"-style output.
+func (h *Host) Hardware() string {
+	h.mu.Lock()
+	ids := h.M.NodeIDs()
+	out := fmt.Sprintf("available: %d nodes (0-%d)\n", len(ids), int(ids[len(ids)-1]))
+	for _, id := range ids {
+		n := h.M.MustNode(id)
+		cores := make([]string, 0, n.Cores)
+		for c := 0; c < n.Cores; c++ {
+			cores = append(cores, fmt.Sprintf("%d", int(id)*n.Cores+c))
+		}
+		out += fmt.Sprintf("node %d cpus:", int(id))
+		for _, c := range cores {
+			out += " " + c
+		}
+		out += "\n"
+		out += fmt.Sprintf("node %d size: %d MB\n", int(id), n.Memory/units.MiB)
+		out += fmt.Sprintf("node %d free: %d MB\n", int(id), h.free[id]/units.MiB)
+	}
+	h.mu.Unlock()
+
+	slit, err := h.M.SLIT()
+	if err != nil {
+		return out
+	}
+	out += "node distances:\nnode "
+	for _, id := range ids {
+		out += fmt.Sprintf("%4d", int(id))
+	}
+	out += "\n"
+	for i, id := range ids {
+		out += fmt.Sprintf("%4d:", int(id))
+		for j := range ids {
+			out += fmt.Sprintf("%4d", slit[i][j])
+		}
+		out += "\n"
+	}
+	return out
+}

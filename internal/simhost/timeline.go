@@ -1,0 +1,103 @@
+package simhost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"numaio/internal/fabric"
+	"numaio/internal/units"
+)
+
+// Phase is one constant-rate interval of a fluid run: the allocation is
+// fixed between transfer completions.
+type Phase struct {
+	Start    units.Duration
+	Duration units.Duration
+	// Rates holds the per-transfer allocation during the phase.
+	Rates map[string]units.Bandwidth
+	// Utilization holds the per-resource load fraction during the phase.
+	Utilization map[fabric.ResourceID]float64
+	// Completed lists transfers that finish exactly at the end of the
+	// phase.
+	Completed []string
+}
+
+// Aggregate returns the summed rate of the phase.
+func (p *Phase) Aggregate() units.Bandwidth {
+	var sum units.Bandwidth
+	for _, r := range p.Rates {
+		sum += r
+	}
+	return sum
+}
+
+// Timeline is the phase-by-phase record of a fluid run.
+type Timeline struct {
+	Phases []Phase
+}
+
+// Makespan returns the total traced time.
+func (t *Timeline) Makespan() units.Duration {
+	if len(t.Phases) == 0 {
+		return 0
+	}
+	last := t.Phases[len(t.Phases)-1]
+	return last.Start + last.Duration
+}
+
+// AvgUtilization returns a resource's time-weighted mean utilization.
+func (t *Timeline) AvgUtilization(r fabric.ResourceID) float64 {
+	var weighted, total float64
+	for _, p := range t.Phases {
+		weighted += p.Utilization[r] * p.Duration.Seconds()
+		total += p.Duration.Seconds()
+	}
+	if total == 0 {
+		return 0
+	}
+	return weighted / total
+}
+
+// Bottlenecks returns the resources that are ~saturated (≥ thresh) in at
+// least one phase, sorted by ID.
+func (t *Timeline) Bottlenecks(thresh float64) []fabric.ResourceID {
+	seen := make(map[fabric.ResourceID]bool)
+	for _, p := range t.Phases {
+		for id, u := range p.Utilization {
+			if u >= thresh {
+				seen[id] = true
+			}
+		}
+	}
+	out := make([]fabric.ResourceID, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RateOf returns a transfer's rate during phase i (0 if inactive).
+func (t *Timeline) RateOf(id string, i int) units.Bandwidth {
+	if i < 0 || i >= len(t.Phases) {
+		return 0
+	}
+	return t.Phases[i].Rates[id]
+}
+
+// Summary renders a compact per-phase view: time span, aggregate rate,
+// active transfers and completions.
+func (t *Timeline) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %d phases, makespan %v\n", len(t.Phases), t.Makespan())
+	for i, p := range t.Phases {
+		fmt.Fprintf(&b, "  phase %d @%v (+%v): %d active, aggregate %v",
+			i, p.Start, p.Duration, len(p.Rates), p.Aggregate())
+		if len(p.Completed) > 0 {
+			fmt.Fprintf(&b, ", completes %s", strings.Join(p.Completed, ","))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

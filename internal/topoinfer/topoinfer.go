@@ -1,0 +1,195 @@
+// Package topoinfer attempts to recover a machine's interconnect topology
+// from a measured node-to-node bandwidth matrix — the exercise of Sec. IV-A
+// of the paper. If hop distance governed bandwidth, the best-performing
+// peers of each node would be its direct neighbours and the inferred graph
+// would match one of the published wirings (Fig. 1). The paper finds (and
+// the experiments here confirm) that the inference fails on real
+// measurements, which is the first argument for measurement-driven models.
+package topoinfer
+
+import (
+	"fmt"
+	"sort"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Matrix is a square node-to-node bandwidth matrix (BW[i][j] is the rate
+// from Nodes[i] to Nodes[j] under some workload).
+type Matrix struct {
+	Nodes []topology.NodeID
+	BW    [][]units.Bandwidth
+}
+
+// Validate checks the matrix shape.
+func (m *Matrix) Validate() error {
+	if len(m.Nodes) == 0 {
+		return fmt.Errorf("topoinfer: empty matrix")
+	}
+	if len(m.BW) != len(m.Nodes) {
+		return fmt.Errorf("topoinfer: %d rows for %d nodes", len(m.BW), len(m.Nodes))
+	}
+	for i, row := range m.BW {
+		if len(row) != len(m.Nodes) {
+			return fmt.Errorf("topoinfer: row %d has %d columns", i, len(row))
+		}
+	}
+	return nil
+}
+
+// Edge is an undirected inferred link.
+type Edge struct {
+	A, B topology.NodeID // A < B
+}
+
+// edge normalizes the order.
+func edge(a, b topology.NodeID) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// InferAdjacency guesses each node's direct neighbours as its degree best
+// peers by symmetric bandwidth (min of the two directions — a real link
+// helps both). An edge is kept when both endpoints nominate each other.
+func InferAdjacency(m *Matrix, degree int) (map[Edge]bool, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if degree < 1 || degree >= len(m.Nodes) {
+		return nil, fmt.Errorf("topoinfer: degree %d out of range", degree)
+	}
+	type peer struct {
+		n  topology.NodeID
+		bw float64
+	}
+	nominations := make(map[topology.NodeID][]topology.NodeID)
+	for i, a := range m.Nodes {
+		var peers []peer
+		for j, b := range m.Nodes {
+			if i == j {
+				continue
+			}
+			sym := float64(m.BW[i][j])
+			if back := float64(m.BW[j][i]); back < sym {
+				sym = back
+			}
+			peers = append(peers, peer{b, sym})
+		}
+		sort.Slice(peers, func(x, y int) bool {
+			if peers[x].bw != peers[y].bw {
+				return peers[x].bw > peers[y].bw
+			}
+			return peers[x].n < peers[y].n
+		})
+		for k := 0; k < degree && k < len(peers); k++ {
+			nominations[a] = append(nominations[a], peers[k].n)
+		}
+	}
+	edges := make(map[Edge]bool)
+	for a, ps := range nominations {
+		for _, b := range ps {
+			mutual := false
+			for _, back := range nominations[b] {
+				if back == a {
+					mutual = true
+					break
+				}
+			}
+			if mutual {
+				edges[edge(a, b)] = true
+			}
+		}
+	}
+	return edges, nil
+}
+
+// TrueAdjacency extracts a machine's actual node-to-node links.
+func TrueAdjacency(mach *topology.Machine) map[Edge]bool {
+	edges := make(map[Edge]bool)
+	for _, l := range mach.Links() {
+		av, aok := mach.Vertex(l.From)
+		bv, bok := mach.Vertex(l.To)
+		if !aok || !bok {
+			continue
+		}
+		if av.Kind != topology.VertexNode || bv.Kind != topology.VertexNode {
+			continue
+		}
+		edges[edge(av.Node, bv.Node)] = true
+	}
+	return edges
+}
+
+// Score compares an inferred edge set against a reference: the Jaccard
+// similarity |∩| / |∪|. 1 means the topologies match exactly.
+func Score(inferred, reference map[Edge]bool) float64 {
+	if len(inferred) == 0 && len(reference) == 0 {
+		return 1
+	}
+	inter, union := 0, 0
+	seen := make(map[Edge]bool)
+	for e := range inferred {
+		seen[e] = true
+		union++
+		if reference[e] {
+			inter++
+		}
+	}
+	for e := range reference {
+		if !seen[e] {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// VariantMatch is the inference outcome against one candidate wiring.
+type VariantMatch struct {
+	Variant topology.MagnyVariant
+	Score   float64
+}
+
+// MatchVariants scores the inferred adjacency against all four Fig. 1
+// wirings, best first. Conclusive identification needs a score near 1; the
+// paper's point is that measured bandwidth yields no such match.
+func MatchVariants(m *Matrix, degree int) ([]VariantMatch, error) {
+	inferred, err := InferAdjacency(m, degree)
+	if err != nil {
+		return nil, err
+	}
+	var out []VariantMatch
+	for _, v := range []topology.MagnyVariant{
+		topology.VariantA, topology.VariantB, topology.VariantC, topology.VariantD,
+	} {
+		ref := TrueAdjacency(topology.MagnyCours4P(v))
+		out = append(out, VariantMatch{Variant: v, Score: Score(inferred, ref)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Variant < out[j].Variant
+	})
+	return out, nil
+}
+
+// Conclusive reports whether the best match is trustworthy: a near-perfect
+// score with a clear margin over the runner-up.
+func Conclusive(matches []VariantMatch) bool {
+	if len(matches) == 0 {
+		return false
+	}
+	if matches[0].Score < 0.9 {
+		return false
+	}
+	if len(matches) > 1 && matches[0].Score-matches[1].Score < 0.1 {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,222 @@
+package topoinfer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"numaio/internal/numa"
+	"numaio/internal/stream"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// idealMatrix builds a matrix where bandwidth perfectly reflects hop
+// distance on the given machine: direct neighbours get 40, 2 hops 20,
+// 3 hops 10 Gb/s — the world in which hop-based inference *would* work.
+func idealMatrix(t *testing.T, m *topology.Machine) *Matrix {
+	t.Helper()
+	ids := m.NodeIDs()
+	out := &Matrix{Nodes: ids, BW: make([][]units.Bandwidth, len(ids))}
+	for i, a := range ids {
+		out.BW[i] = make([]units.Bandwidth, len(ids))
+		for j, b := range ids {
+			h, err := m.HopDistance(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			switch h {
+			case 0:
+				out.BW[i][j] = 60 * units.Gbps
+			case 1:
+				out.BW[i][j] = 40 * units.Gbps
+			case 2:
+				out.BW[i][j] = 20 * units.Gbps
+			default:
+				out.BW[i][j] = 10 * units.Gbps
+			}
+		}
+	}
+	return out
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Matrix{}).Validate(); err == nil {
+		t.Error("empty matrix should fail")
+	}
+	bad := &Matrix{Nodes: []topology.NodeID{0, 1}, BW: [][]units.Bandwidth{{1, 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("row count mismatch should fail")
+	}
+	ragged := &Matrix{Nodes: []topology.NodeID{0, 1}, BW: [][]units.Bandwidth{{1, 2}, {1}}}
+	if err := ragged.Validate(); err == nil {
+		t.Error("ragged matrix should fail")
+	}
+}
+
+// On an ideal hop-governed matrix, inference recovers the true wiring
+// exactly for every Fig. 1 variant.
+func TestInferRecoversIdealTopology(t *testing.T) {
+	for _, v := range []topology.MagnyVariant{
+		topology.VariantA, topology.VariantC,
+	} {
+		m := topology.MagnyCours4P(v)
+		mx := idealMatrix(t, m)
+		inferred, err := InferAdjacency(mx, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := TrueAdjacency(m)
+		if got := Score(inferred, truth); got != 1 {
+			t.Errorf("%v: ideal inference score = %v, want 1", v, got)
+		}
+	}
+}
+
+func TestInferAdjacencyValidation(t *testing.T) {
+	m := topology.MagnyCours4P(topology.VariantA)
+	mx := idealMatrix(t, m)
+	if _, err := InferAdjacency(mx, 0); err == nil {
+		t.Error("degree 0 should fail")
+	}
+	if _, err := InferAdjacency(mx, 8); err == nil {
+		t.Error("degree >= nodes should fail")
+	}
+	if _, err := InferAdjacency(&Matrix{}, 2); err == nil {
+		t.Error("invalid matrix should fail")
+	}
+}
+
+func TestScoreEdgeCases(t *testing.T) {
+	if Score(nil, nil) != 1 {
+		t.Error("two empty sets should score 1")
+	}
+	a := map[Edge]bool{{0, 1}: true}
+	if Score(a, nil) != 0 {
+		t.Error("disjoint sets should score 0")
+	}
+	if Score(a, a) != 1 {
+		t.Error("identical sets should score 1")
+	}
+	// Order normalization: (1,0) equals (0,1).
+	b := map[Edge]bool{edge(1, 0): true}
+	if Score(a, b) != 1 {
+		t.Error("edge order should not matter")
+	}
+}
+
+func TestMatchVariantsOnIdealData(t *testing.T) {
+	m := topology.MagnyCours4P(topology.VariantC)
+	mx := idealMatrix(t, m)
+	matches, err := MatchVariants(mx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matches[0].Variant != topology.VariantC || matches[0].Score != 1 {
+		t.Errorf("best match = %+v, want variant-c at 1.0", matches[0])
+	}
+	if !Conclusive(matches) {
+		t.Errorf("ideal data should identify the variant conclusively: %+v", matches)
+	}
+}
+
+// The paper's Sec. IV-A result: inference from the *measured* STREAM matrix
+// of the testbed identifies no Fig. 1 variant conclusively — bandwidth does
+// not encode hop distance.
+func TestMeasuredMatrixIsInconclusive(t *testing.T) {
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := stream.New(sys, stream.Config{Sigma: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	smx, err := r.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mx := &Matrix{Nodes: smx.Nodes, BW: smx.BW}
+	matches, err := MatchVariants(mx, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Conclusive(matches) {
+		t.Errorf("measured data should NOT identify a variant: %+v", matches)
+	}
+	if matches[0].Score >= 0.9 {
+		t.Errorf("best score %.2f suspiciously high for measured data", matches[0].Score)
+	}
+}
+
+func TestConclusiveEdgeCases(t *testing.T) {
+	if Conclusive(nil) {
+		t.Error("no matches cannot be conclusive")
+	}
+	if Conclusive([]VariantMatch{{Score: 0.5}}) {
+		t.Error("low score cannot be conclusive")
+	}
+	if Conclusive([]VariantMatch{{Score: 0.95}, {Score: 0.94}}) {
+		t.Error("narrow margin cannot be conclusive")
+	}
+	if !Conclusive([]VariantMatch{{Score: 0.95}, {Score: 0.5}}) {
+		t.Error("high score with margin should be conclusive")
+	}
+	if !Conclusive([]VariantMatch{{Score: 1}}) {
+		t.Error("single perfect match should be conclusive")
+	}
+}
+
+func TestTrueAdjacencyIgnoresDevices(t *testing.T) {
+	m := topology.DL585G7()
+	edges := TrueAdjacency(m)
+	// 4 intra-package + 12 inter-package node links; hub/device links must
+	// not appear.
+	if len(edges) != 16 {
+		t.Errorf("edges = %d, want 16", len(edges))
+	}
+	for e := range edges {
+		if e.A < 0 || e.B > 7 {
+			t.Errorf("unexpected edge %+v", e)
+		}
+	}
+}
+
+// Property: inference never panics and scores stay in [0, 1] for random
+// matrices over the variant-A node set.
+func TestInferenceProperties(t *testing.T) {
+	f := func(seed int64, degree uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := topology.MagnyCours4P(topology.VariantA)
+		mx := &Matrix{Nodes: m.NodeIDs()}
+		for range mx.Nodes {
+			row := make([]units.Bandwidth, len(mx.Nodes))
+			for j := range row {
+				row[j] = units.Bandwidth(1+rng.Float64()*50) * units.Gbps
+			}
+			mx.BW = append(mx.BW, row)
+		}
+		d := 1 + int(degree)%6
+		edges, err := InferAdjacency(mx, d)
+		if err != nil {
+			return false
+		}
+		score := Score(edges, TrueAdjacency(m))
+		if score < 0 || score > 1 {
+			return false
+		}
+		matches, err := MatchVariants(mx, d)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < len(matches); i++ {
+			if matches[i-1].Score < matches[i].Score {
+				return false // must be sorted best-first
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON codec for machines, so users can model their own hosts and feed them
+// to every tool via -machine-file. The on-disk format is explicit about
+// vertices, directed links and pinned routes — exactly the information the
+// calibrated profiles encode in Go.
+
+type machineJSON struct {
+	Name             string      `json:"name"`
+	OSMemoryFraction float64     `json:"os_memory_fraction,omitempty"`
+	Nodes            []Node      `json:"nodes"`
+	Vertices         []Vertex    `json:"vertices,omitempty"` // non-node vertices only
+	Links            []Link      `json:"links"`
+	Devices          []Device    `json:"devices,omitempty"`
+	Routes           []routeJSON `json:"routes,omitempty"`
+}
+
+type routeJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Path []int  `json:"path"`
+}
+
+// EncodeJSON writes the machine in the portable JSON format.
+func (m *Machine) EncodeJSON(w io.Writer) error {
+	mj := machineJSON{
+		Name:             m.Name,
+		OSMemoryFraction: m.OSMemoryFraction,
+		Nodes:            append([]Node(nil), m.Nodes...),
+		Links:            append([]Link(nil), m.links...),
+		Devices:          append([]Device(nil), m.devices...),
+	}
+	for _, id := range m.vorder {
+		v := m.vertices[id]
+		if v.Kind != VertexNode {
+			mj.Vertices = append(mj.Vertices, *v)
+		}
+	}
+	for k, path := range m.routes {
+		mj.Routes = append(mj.Routes, routeJSON{From: k.from, To: k.to, Path: append([]int(nil), path...)})
+	}
+	// Deterministic route order for reproducible files.
+	sortRoutes(mj.Routes)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(mj); err != nil {
+		return fmt.Errorf("topology: encoding machine: %w", err)
+	}
+	return nil
+}
+
+func sortRoutes(rs []routeJSON) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rs[j-1], rs[j]
+			if a.From < b.From || (a.From == b.From && a.To <= b.To) {
+				break
+			}
+			rs[j-1], rs[j] = b, a
+		}
+	}
+}
+
+// DecodeJSON reads a machine written by EncodeJSON (or hand-authored) and
+// validates it.
+func DecodeJSON(r io.Reader) (*Machine, error) {
+	var mj machineJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mj); err != nil {
+		return nil, fmt.Errorf("topology: decoding machine: %w", err)
+	}
+	m := New(mj.Name, mj.Nodes)
+	m.OSMemoryFraction = mj.OSMemoryFraction
+	for _, v := range mj.Vertices {
+		if v.Kind == VertexNode {
+			return nil, fmt.Errorf("topology: vertex %q: node vertices are implied by nodes", v.ID)
+		}
+		m.addVertex(v)
+	}
+	for i, l := range mj.Links {
+		if _, ok := m.vertices[l.From]; !ok {
+			return nil, fmt.Errorf("topology: link %d: unknown vertex %q", i, l.From)
+		}
+		if _, ok := m.vertices[l.To]; !ok {
+			return nil, fmt.Errorf("topology: link %d: unknown vertex %q", i, l.To)
+		}
+		m.AddLink(l)
+	}
+	for _, d := range mj.Devices {
+		hv, ok := m.vertices[d.Hub]
+		if !ok {
+			return nil, fmt.Errorf("topology: device %q: unknown hub %q", d.ID, d.Hub)
+		}
+		if _, ok := m.vertices[d.ID]; !ok {
+			return nil, fmt.Errorf("topology: device %q has no vertex", d.ID)
+		}
+		if d.Node != hv.Node {
+			return nil, fmt.Errorf("topology: device %q: node %d does not match hub's node %d",
+				d.ID, int(d.Node), int(hv.Node))
+		}
+		m.devices = append(m.devices, d)
+	}
+	for _, rt := range mj.Routes {
+		if err := m.SetRoute(rt.From, rt.To, rt.Path); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadMachine resolves a machine from either a canned profile name or,
+// when the name ends in ".json", a machine file.
+func LoadMachine(nameOrPath string, open func(string) (io.ReadCloser, error)) (*Machine, error) {
+	if len(nameOrPath) > 5 && nameOrPath[len(nameOrPath)-5:] == ".json" {
+		f, err := open(nameOrPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return DecodeJSON(f)
+	}
+	return ProfileByName(nameOrPath)
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Round trip: every canned profile survives encode/decode with identical
+// routing behaviour and NUMA factor.
+func TestCodecRoundTrip(t *testing.T) {
+	profiles := []*Machine{DL585G7(), MagnyCours4P(VariantB), Intel4S4N(), HPBlade32()}
+	for _, orig := range profiles {
+		var buf bytes.Buffer
+		if err := orig.EncodeJSON(&buf); err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		back, err := DecodeJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if back.Name != orig.Name || back.NumNodes() != orig.NumNodes() ||
+			back.NumLinks() != orig.NumLinks() || len(back.Devices()) != len(orig.Devices()) {
+			t.Errorf("%s: structure changed over round trip", orig.Name)
+		}
+		// Routing behaviour identical (including pinned routes).
+		for _, a := range orig.NodeIDs() {
+			for _, b := range orig.NodeIDs() {
+				r1, err1 := orig.RouteNodes(a, b)
+				r2, err2 := back.RouteNodes(a, b)
+				if (err1 == nil) != (err2 == nil) || len(r1) != len(r2) {
+					t.Errorf("%s: route %d->%d changed", orig.Name, a, b)
+				}
+				for i := range r1 {
+					if orig.Link(r1[i]) != back.Link(r2[i]) {
+						t.Errorf("%s: route %d->%d link %d changed", orig.Name, a, b, i)
+					}
+				}
+			}
+		}
+		f1, err := orig.NUMAFactor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := back.NUMAFactor()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f1 != f2 {
+			t.Errorf("%s: NUMA factor changed %v -> %v", orig.Name, f1, f2)
+		}
+	}
+}
+
+func TestDecodeJSONErrors(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","nodes":[],"links":[]}`, // no nodes
+		`{"name":"x","nodes":[{"ID":0,"Cores":1,"Memory":1073741824,"MemBandwidth":1e9}],
+		  "links":[{"From":"node0","To":"ghost","Capacity":1e9}]}`, // unknown vertex
+		`{"name":"x","nodes":[{"ID":0,"Cores":1,"Memory":1073741824,"MemBandwidth":1e9}],
+		  "vertices":[{"ID":"node0","Kind":0,"Node":0}],"links":[]}`, // node vertex in vertices
+		`{"name":"x","nodes":[{"ID":0,"Cores":1,"Memory":1073741824,"MemBandwidth":1e9}],
+		  "links":[],"devices":[{"ID":"d","Kind":0,"Node":0,"Hub":"missing"}]}`, // unknown hub
+		`{"name":"x","bogus":1,"nodes":[],"links":[]}`, // unknown field
+	}
+	for _, src := range cases {
+		if _, err := DecodeJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %s", src)
+		}
+	}
+}
+
+func TestDecodeJSONDeviceNodeMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DL585G7().EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the first device's node.
+	s := strings.Replace(buf.String(), `"ID": "nic0",
+      "Kind": 0,
+      "Node": 7,`, `"ID": "nic0",
+      "Kind": 0,
+      "Node": 3,`, 1)
+	if s == buf.String() {
+		t.Skip("device JSON layout changed; mismatch case not exercised")
+	}
+	if _, err := DecodeJSON(strings.NewReader(s)); err == nil {
+		t.Error("device/hub node mismatch should fail")
+	}
+}
+
+func TestLoadMachine(t *testing.T) {
+	// Profile path.
+	m, err := LoadMachine("intel-4s4n", nil)
+	if err != nil || m.Name != "intel-4s-4n" {
+		t.Errorf("profile load failed: %v, %v", m, err)
+	}
+
+	// File path.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "machine.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DL585G7().EncodeJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	opener := func(p string) (io.ReadCloser, error) { return os.Open(p) }
+	m, err = LoadMachine(path, opener)
+	if err != nil || m.Name != "hp-dl585-g7" {
+		t.Errorf("file load failed: %v", err)
+	}
+	if _, err := LoadMachine(filepath.Join(dir, "missing.json"), opener); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := LoadMachine("warp", nil); err == nil {
+		t.Error("unknown profile should fail")
+	}
+}
+
+func TestEncodeDOT(t *testing.T) {
+	var buf bytes.Buffer
+	if err := DL585G7().EncodeDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		`digraph "hp-dl585-g7"`,
+		`subgraph cluster_pkg3`,
+		`"node7" [label="node 7`,
+		`"nic0" [shape=ellipse, style=dashed]`,
+		// The asymmetric 2<->7 pair must appear as two single edges.
+		`"node2" -> "node7" [label="26.50Gb/s"]`,
+		`"node7" -> "node2" [label="49.50Gb/s"]`,
+		// A symmetric pair collapses into one double-headed edge.
+		`dir=both`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT missing %q:\n%s", want, s[:400])
+		}
+	}
+}

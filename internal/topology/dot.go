@@ -1,0 +1,72 @@
+package topology
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// EncodeDOT writes the machine as a Graphviz digraph: one box per NUMA node
+// (grouped into package clusters), ellipses for hubs and devices, and one
+// edge per directed link labelled with its capacity. Asymmetric pairs are
+// immediately visible as differing labels — render with `dot -Tsvg`.
+func (m *Machine) EncodeDOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", m.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box];\n")
+
+	// Package clusters.
+	byPackage := make(map[int][]Node)
+	for _, n := range m.Nodes {
+		byPackage[n.Package] = append(byPackage[n.Package], n)
+	}
+	pkgs := make([]int, 0, len(byPackage))
+	for p := range byPackage {
+		pkgs = append(pkgs, p)
+	}
+	sort.Ints(pkgs)
+	for _, p := range pkgs {
+		fmt.Fprintf(&b, "  subgraph cluster_pkg%d {\n    label=\"package %d\";\n", p, p)
+		nodes := byPackage[p]
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+		for _, n := range nodes {
+			fmt.Fprintf(&b, "    %q [label=\"node %d\\n%d cores, %s\"];\n",
+				NodeVertexID(n.ID), int(n.ID), n.Cores, n.Memory)
+		}
+		b.WriteString("  }\n")
+	}
+
+	// Hubs and devices.
+	for _, id := range m.vorder {
+		v := m.vertices[id]
+		switch v.Kind {
+		case VertexIOHub:
+			fmt.Fprintf(&b, "  %q [shape=ellipse];\n", v.ID)
+		case VertexDevice:
+			fmt.Fprintf(&b, "  %q [shape=ellipse, style=dashed];\n", v.ID)
+		}
+	}
+
+	// Directed links. Symmetric pairs collapse into one double-headed edge
+	// to keep the drawing readable; asymmetric pairs stay as two edges.
+	drawn := make(map[[2]string]bool)
+	for _, l := range m.links {
+		if drawn[[2]string{l.From, l.To}] {
+			continue
+		}
+		rev := m.FindLink(l.To, l.From)
+		if rev >= 0 && m.links[rev].Capacity == l.Capacity {
+			fmt.Fprintf(&b, "  %q -> %q [dir=both, label=%q];\n",
+				l.From, l.To, l.Capacity.String())
+			drawn[[2]string{l.From, l.To}] = true
+			drawn[[2]string{l.To, l.From}] = true
+			continue
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", l.From, l.To, l.Capacity.String())
+		drawn[[2]string{l.From, l.To}] = true
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

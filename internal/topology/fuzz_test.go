@@ -1,0 +1,29 @@
+package topology
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeJSON: the machine decoder must never panic and must only
+// produce machines that pass validation.
+func FuzzDecodeJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := DL585G7().EncodeJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"name":"x","nodes":[{"ID":0,"Cores":1,"Memory":1073741824,"MemBandwidth":1e9}],"links":[]}`)
+	f.Add(`{`)
+	f.Add(`{"name":"x","nodes":[],"links":[]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		m, err := DecodeJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("decoder returned invalid machine: %v", err)
+		}
+	})
+}

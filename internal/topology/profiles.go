@@ -1,0 +1,441 @@
+package topology
+
+import (
+	"fmt"
+
+	"numaio/internal/units"
+)
+
+// Profile-wide default parameters for the AMD Magny-Cours generation.
+const (
+	defaultCoresPerNode = 4
+	defaultLLC          = 5 * units.MiB
+	defaultNodeMemory   = 4 * units.GiB
+
+	// ht16 and ht8 are the usable per-direction capacities of 16-bit and
+	// 8-bit HT 3.0 links in this calibration.
+	ht16 = 46 * units.Gbps
+	ht8  = 26 * units.Gbps
+
+	// memBW is the per-node memory controller capacity: a node-local copy
+	// (read + write on the same controller) achieves half of this.
+	memBW = 106 * units.Gbps
+
+	// coreIssueBW is the aggregate PIO rate four cores can drive.
+	coreIssueBW = 37 * units.Gbps
+
+	// Latencies calibrated so the AMD 4P/8-node machine lands at the
+	// Table I NUMA factor of ~2.7.
+	memLat       = units.Duration(100e-9)
+	onPackageLat = units.Duration(25e-9)
+	htLat        = units.Duration(82.5e-9)
+	hubLat       = units.Duration(30e-9)
+	pcieLat      = units.Duration(250e-9)
+)
+
+// MagnyVariant selects one of the four published 4P Magny-Cours topology
+// variants from Fig. 1 of the paper.
+type MagnyVariant int
+
+// Topology variants of Fig. 1.
+const (
+	VariantA MagnyVariant = iota // Fig. 1(a): twisted ladder, all 16-bit
+	VariantB                     // Fig. 1(b): same wiring, diagonal links 8-bit
+	VariantC                     // Fig. 1(c): straight ladder
+	VariantD                     // Fig. 1(d): package ring + two 8-bit diagonals
+)
+
+func (v MagnyVariant) String() string {
+	switch v {
+	case VariantA:
+		return "variant-a"
+	case VariantB:
+		return "variant-b"
+	case VariantC:
+		return "variant-c"
+	case VariantD:
+		return "variant-d"
+	default:
+		return fmt.Sprintf("MagnyVariant(%d)", int(v))
+	}
+}
+
+// magnyNodes builds the eight NUMA nodes of a 4P Magny-Cours host:
+// package i holds dies 2i and 2i+1.
+func magnyNodes() []Node {
+	nodes := make([]Node, 8)
+	for i := range nodes {
+		nodes[i] = Node{
+			ID:                 NodeID(i),
+			Package:            i / 2,
+			Die:                i % 2,
+			Cores:              defaultCoresPerNode,
+			Memory:             defaultNodeMemory,
+			LLC:                defaultLLC,
+			MemBandwidth:       memBW,
+			MemLatency:         memLat,
+			CoreIssueBandwidth: coreIssueBW,
+		}
+	}
+	return nodes
+}
+
+type pair struct{ a, b int }
+
+// interPackageWiring returns the inter-package HT link pairs of a variant.
+func interPackageWiring(v MagnyVariant) []pair {
+	switch v {
+	case VariantA, VariantB:
+		// Twisted ladder: every package pair connected by two crossed links.
+		return []pair{
+			{0, 3}, {1, 2}, // A-B
+			{0, 5}, {1, 4}, // A-C
+			{0, 7}, {1, 6}, // A-D
+			{2, 5}, {3, 4}, // B-C
+			{2, 7}, {3, 6}, // B-D
+			{4, 7}, {5, 6}, // C-D
+		}
+	case VariantC:
+		// Straight ladder: like-numbered dies connect.
+		return []pair{
+			{0, 2}, {1, 3},
+			{0, 4}, {1, 5},
+			{0, 6}, {1, 7},
+			{2, 4}, {3, 5},
+			{2, 6}, {3, 7},
+			{4, 6}, {5, 7},
+		}
+	case VariantD:
+		// Package ring with two diagonals.
+		return []pair{
+			{0, 2}, {1, 3}, // A-B
+			{2, 4}, {3, 5}, // B-C
+			{4, 6}, {5, 7}, // C-D
+			{6, 0}, {7, 1}, // D-A
+			{0, 4}, // A-C diagonal
+			{3, 6}, // B-D diagonal
+		}
+	default:
+		panic(fmt.Sprintf("topology: unknown variant %v", v))
+	}
+}
+
+// eightBitLinks returns, for a variant, the set of inter-package pairs that
+// use 8-bit instead of 16-bit HT lanes.
+func eightBitLinks(v MagnyVariant) map[pair]bool {
+	out := make(map[pair]bool)
+	switch v {
+	case VariantB:
+		for _, p := range []pair{{0, 5}, {1, 4}, {2, 7}, {3, 6}} {
+			out[p] = true
+		}
+	case VariantD:
+		out[pair{0, 4}] = true
+		out[pair{3, 6}] = true
+	}
+	return out
+}
+
+// MagnyCours4P builds one of the Fig. 1 4P Magny-Cours topology variants
+// with uniform per-width link capacities. These machines are used to show
+// that hop-distance-derived expectations do not match measured bandwidth.
+func MagnyCours4P(v MagnyVariant) *Machine {
+	m := New("magny-cours-4p-"+v.String(), magnyNodes())
+	for p := 0; p < 4; p++ {
+		m.AddDuplexLink(NodeVertexID(NodeID(2*p)), NodeVertexID(NodeID(2*p+1)),
+			LinkInternal, 16, ht16, onPackageLat)
+	}
+	narrow := eightBitLinks(v)
+	for _, p := range interPackageWiring(v) {
+		width, cap := 16, units.Bandwidth(ht16)
+		if narrow[p] {
+			width, cap = 8, ht8
+		}
+		m.AddDuplexLink(NodeVertexID(NodeID(p.a)), NodeVertexID(NodeID(p.b)),
+			LinkHT, width, cap, htLat)
+	}
+	return m
+}
+
+// Device and hub identifiers of the characterization testbed (Fig. 2).
+const (
+	IOHub7 = "iohub7"
+	NIC0   = "nic0"
+	SSD0   = "ssd0"
+	SSD1   = "ssd1"
+)
+
+// DL585G7 builds the calibrated model of the paper's testbed: an HP ProLiant
+// DL585 G7 with four Opteron 6136 packages (8 NUMA nodes), a dual-port
+// 40 GbE RoCE NIC and two LSI Nytro SSDs on the I/O hub of node 7.
+//
+// The wiring follows Fig. 1(a); per-direction capacities and three firmware
+// routing-table entries are calibrated so the emergent bandwidth model
+// reproduces the measured class structure of Tables IV and V:
+//
+//   - links into node 7 from package B (nodes 2,3) are response-buffer
+//     starved (≈26.5 Gb/s usable) while the opposite direction is full
+//     width, giving the write-model class 3 = {2,3};
+//   - the 7→4 direction is half-width (≈28 Gb/s), giving the read-model
+//     class 4 = {4};
+//   - PIO read-response penalties on 7→4 and 2→7 reproduce the STREAM
+//     asymmetries of Fig. 3 (21.34 vs 18.45 Gb/s).
+func DL585G7() *Machine {
+	m := New("hp-dl585-g7", magnyNodes())
+	m.OSMemoryFraction = 0.05
+
+	// Intra-package links.
+	m.AddAsymLink(NodeVertexID(0), NodeVertexID(1), LinkInternal, 16, 46*units.Gbps, 46*units.Gbps, onPackageLat)
+	m.AddAsymLink(NodeVertexID(2), NodeVertexID(3), LinkInternal, 16, 48.5*units.Gbps, 48.5*units.Gbps, onPackageLat)
+	m.AddAsymLink(NodeVertexID(4), NodeVertexID(5), LinkInternal, 16, 46*units.Gbps, 46*units.Gbps, onPackageLat)
+	m.AddAsymLink(NodeVertexID(6), NodeVertexID(7), LinkInternal, 16, 47*units.Gbps, 47.5*units.Gbps, onPackageLat)
+
+	type dlink struct {
+		from, to int
+		cap      units.Bandwidth
+		width    int
+		pioPen   float64
+	}
+	directed := []dlink{
+		// A-B
+		{0, 3, 45 * units.Gbps, 16, 0}, {3, 0, 45 * units.Gbps, 16, 0},
+		{1, 2, 45 * units.Gbps, 16, 0}, {2, 1, 45 * units.Gbps, 16, 0},
+		// A-C
+		{0, 5, 44 * units.Gbps, 16, 0}, {5, 0, 44 * units.Gbps, 16, 0},
+		{1, 4, 44 * units.Gbps, 16, 0}, {4, 1, 44 * units.Gbps, 16, 0},
+		// A-D
+		{0, 7, 45.5 * units.Gbps, 16, 0}, {7, 0, 41 * units.Gbps, 16, 0},
+		{1, 6, 40 * units.Gbps, 16, 0}, {6, 1, 40.5 * units.Gbps, 16, 0},
+		// B-C
+		{2, 5, 44 * units.Gbps, 16, 0}, {5, 2, 44 * units.Gbps, 16, 0},
+		{3, 4, 44 * units.Gbps, 16, 0}, {4, 3, 44 * units.Gbps, 16, 0},
+		// B-D: into node 7 response-buffer starved; out of node 7 full.
+		{2, 7, 26.5 * units.Gbps, 16, 0.92}, {7, 2, 49.5 * units.Gbps, 16, 0},
+		{3, 6, 26 * units.Gbps, 16, 0}, {6, 3, 44 * units.Gbps, 16, 0},
+		// C-D: 7→4 half width.
+		{4, 7, 44 * units.Gbps, 16, 0}, {7, 4, 28 * units.Gbps, 8, 0.78},
+		{5, 6, 43.5 * units.Gbps, 16, 0}, {6, 5, 40.5 * units.Gbps, 16, 0},
+	}
+	for _, d := range directed {
+		m.AddLink(Link{
+			From: NodeVertexID(NodeID(d.from)), To: NodeVertexID(NodeID(d.to)),
+			Kind: LinkHT, WidthBits: d.width, Capacity: d.cap, Latency: htLat,
+			PIOResponsePenalty: d.pioPen,
+		})
+	}
+
+	// I/O hub and PCIe devices on node 7 (Fig. 2). The hub-to-node HT link
+	// is wide enough not to bottleneck a single adapter; PCIe Gen2 x8
+	// yields 32 Gb/s of data bandwidth after 8b/10b encoding.
+	m.AddIOHub(IOHub7, 7, 50*units.Gbps, hubLat)
+	m.AddDevice(NIC0, DeviceNIC, IOHub7, 32*units.Gbps, pcieLat)
+	m.AddDevice(SSD0, DeviceSSD, IOHub7, 32*units.Gbps, pcieLat)
+	m.AddDevice(SSD1, DeviceSSD, IOHub7, 32*units.Gbps, pcieLat)
+
+	// Firmware routing-table entries (hop-minimal but not widest): traffic
+	// from node 3 to node 7 goes via its package mate; node 7 reaches
+	// nodes 1 and 5 via nodes 0 and 6 respectively.
+	mustRouteVia(m, NodeVertexID(3), NodeVertexID(2), NodeVertexID(7))
+	mustRouteVia(m, NodeVertexID(7), NodeVertexID(0), NodeVertexID(1))
+	mustRouteVia(m, NodeVertexID(7), NodeVertexID(6), NodeVertexID(5))
+	return m
+}
+
+// Dual-port variant identifiers.
+const (
+	NICCard = "nic0card"
+	NIC0P0  = "nic0p0"
+	NIC0P1  = "nic0p1"
+)
+
+// DL585G7DualPort builds the testbed with both ports of the ConnectX-3
+// adapter wired up. The two 40 GbE ports share the card's single PCIe Gen2
+// x8 interface (32 Gb/s of data bandwidth), so driving both ports cannot
+// exceed the card's host attachment — the adapter-level bottleneck the
+// paper's single-port experiments sidestep.
+func DL585G7DualPort() *Machine {
+	m := DL585G7()
+	m.Name = "hp-dl585-g7-dualport"
+	m.AddSwitch(NICCard, IOHub7, 32*units.Gbps, pcieLat)
+	m.AddDevice(NIC0P0, DeviceNIC, NICCard, 40*units.Gbps, units.Duration(50e-9))
+	m.AddDevice(NIC0P1, DeviceNIC, NICCard, 40*units.Gbps, units.Duration(50e-9))
+	return m
+}
+
+// FindLink returns the index of the first directed link from one vertex to
+// another, or -1.
+func (m *Machine) FindLink(from, to string) int {
+	for _, li := range m.adj[from] {
+		if m.links[li].To == to {
+			return li
+		}
+	}
+	return -1
+}
+
+// RouteVia pins the route along the listed vertices (each consecutive pair
+// must be directly linked).
+func (m *Machine) RouteVia(vertices ...string) error {
+	if len(vertices) < 2 {
+		return fmt.Errorf("topology: RouteVia needs at least two vertices")
+	}
+	var path []int
+	for i := 0; i+1 < len(vertices); i++ {
+		li := m.FindLink(vertices[i], vertices[i+1])
+		if li < 0 {
+			return fmt.Errorf("topology: RouteVia: no link %s->%s", vertices[i], vertices[i+1])
+		}
+		path = append(path, li)
+	}
+	return m.SetRoute(vertices[0], vertices[len(vertices)-1], path)
+}
+
+func mustRouteVia(m *Machine, vertices ...string) {
+	if err := m.RouteVia(vertices...); err != nil {
+		panic(err)
+	}
+}
+
+// Intel4S4N builds the 4-socket/4-node Intel machine of Table I
+// (NUMA factor ≈ 1.5): a full QPI mesh.
+func Intel4S4N() *Machine {
+	nodes := make([]Node, 4)
+	for i := range nodes {
+		nodes[i] = Node{
+			ID: NodeID(i), Package: i, Cores: 8,
+			Memory: 16 * units.GiB, LLC: 20 * units.MiB,
+			MemBandwidth: 180 * units.Gbps, MemLatency: memLat,
+			CoreIssueBandwidth: 60 * units.Gbps,
+		}
+	}
+	m := New("intel-4s-4n", nodes)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			m.AddDuplexLink(NodeVertexID(NodeID(i)), NodeVertexID(NodeID(j)),
+				LinkHT, 16, 80*units.Gbps, units.Duration(25e-9))
+		}
+	}
+	return m
+}
+
+// AMD4S8N builds the 4-socket/8-node AMD machine of Table I (NUMA factor
+// ≈ 2.7); it is the Fig. 1(a) wiring with the calibrated latencies.
+func AMD4S8N() *Machine {
+	m := MagnyCours4P(VariantA)
+	m.Name = "amd-4s-8n"
+	return m
+}
+
+// AMD8S8N builds the 8-socket/8-node AMD machine of Table I (NUMA factor
+// ≈ 2.8): eight single-die sockets in a ring with cross links.
+func AMD8S8N() *Machine {
+	nodes := make([]Node, 8)
+	for i := range nodes {
+		nodes[i] = Node{
+			ID: NodeID(i), Package: i, Cores: 4,
+			Memory: defaultNodeMemory, LLC: defaultLLC,
+			MemBandwidth: memBW, MemLatency: memLat,
+			CoreIssueBandwidth: coreIssueBW,
+		}
+	}
+	m := New("amd-8s-8n", nodes)
+	lat := units.Duration(57.3e-9)
+	for i := 0; i < 8; i++ {
+		m.AddDuplexLink(NodeVertexID(NodeID(i)), NodeVertexID(NodeID((i+1)%8)),
+			LinkHT, 16, ht16, lat)
+	}
+	for i := 0; i < 4; i++ {
+		m.AddDuplexLink(NodeVertexID(NodeID(i)), NodeVertexID(NodeID(i+4)),
+			LinkHT, 16, ht16, lat)
+	}
+	return m
+}
+
+// HPBlade32 builds the 32-node HP blade system of Table I (NUMA factor
+// ≈ 5.5): eight blades of four fully-meshed nodes, blades joined by a ring
+// of backplane switches.
+func HPBlade32() *Machine {
+	const blades, perBlade = 8, 4
+	nodes := make([]Node, blades*perBlade)
+	for i := range nodes {
+		nodes[i] = Node{
+			ID: NodeID(i), Package: i / perBlade, Die: i % perBlade, Cores: 4,
+			Memory: defaultNodeMemory, LLC: defaultLLC,
+			MemBandwidth: memBW, MemLatency: memLat,
+			CoreIssueBandwidth: coreIssueBW,
+		}
+	}
+	m := New("hp-blade-32n", nodes)
+	// Intra-blade full mesh.
+	for b := 0; b < blades; b++ {
+		for i := 0; i < perBlade; i++ {
+			for j := i + 1; j < perBlade; j++ {
+				m.AddDuplexLink(
+					NodeVertexID(NodeID(b*perBlade+i)),
+					NodeVertexID(NodeID(b*perBlade+j)),
+					LinkHT, 16, ht16, units.Duration(30e-9))
+			}
+		}
+	}
+	// Backplane: one switch per blade, switches in a ring.
+	for b := 0; b < blades; b++ {
+		sw := fmt.Sprintf("bswitch%d", b)
+		m.addVertex(Vertex{ID: sw, Kind: VertexIOHub, Node: NodeID(b * perBlade)})
+		for i := 0; i < perBlade; i++ {
+			m.AddDuplexLink(NodeVertexID(NodeID(b*perBlade+i)), sw,
+				LinkHT, 16, 40*units.Gbps, units.Duration(40e-9))
+		}
+	}
+	for b := 0; b < blades; b++ {
+		m.AddDuplexLink(fmt.Sprintf("bswitch%d", b), fmt.Sprintf("bswitch%d", (b+1)%blades),
+			LinkHT, 16, 60*units.Gbps, units.Duration(72e-9))
+	}
+	return m
+}
+
+// ProfileByName returns a canned machine profile by name. Known names:
+// dl585g7 (default testbed), dl585g7-dualport, magny-a .. magny-d (Fig. 1 variants),
+// intel-4s4n, amd-4s8n, amd-8s8n, hp-blade32.
+func ProfileByName(name string) (*Machine, error) {
+	switch name {
+	case "", "dl585g7", "testbed":
+		return DL585G7(), nil
+	case "dl585g7-dualport":
+		return DL585G7DualPort(), nil
+	case "magny-a":
+		return MagnyCours4P(VariantA), nil
+	case "magny-b":
+		return MagnyCours4P(VariantB), nil
+	case "magny-c":
+		return MagnyCours4P(VariantC), nil
+	case "magny-d":
+		return MagnyCours4P(VariantD), nil
+	case "intel-4s4n":
+		return Intel4S4N(), nil
+	case "amd-4s8n":
+		return AMD4S8N(), nil
+	case "amd-8s8n":
+		return AMD8S8N(), nil
+	case "hp-blade32":
+		return HPBlade32(), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown profile %q (try dl585g7, magny-a..d, intel-4s4n, amd-4s8n, amd-8s8n, hp-blade32)", name)
+	}
+}
+
+// TableIMachines returns the four server configurations of Table I together
+// with the NUMA factor the paper reports for them.
+func TableIMachines() []struct {
+	Machine *Machine
+	Paper   float64
+} {
+	return []struct {
+		Machine *Machine
+		Paper   float64
+	}{
+		{Intel4S4N(), 1.5},
+		{AMD4S8N(), 2.7},
+		{AMD8S8N(), 2.8},
+		{HPBlade32(), 5.5},
+	}
+}

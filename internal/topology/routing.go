@@ -1,0 +1,255 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"numaio/internal/units"
+)
+
+// Route returns the link indices of the route from one vertex to another.
+// If an explicit route was configured with SetRoute it wins; otherwise the
+// route is the widest-shortest path: among all minimum-hop paths, the one
+// with the largest bottleneck capacity (ties broken deterministically by
+// link index). This mirrors real HT routing tables, which are hop-minimal
+// but can prefer wider links.
+//
+// A route from a vertex to itself is the empty path.
+func (m *Machine) Route(from, to string) ([]int, error) {
+	if r, ok := m.routes[routeKey{from, to}]; ok {
+		return append([]int(nil), r...), nil
+	}
+	if _, ok := m.vertices[from]; !ok {
+		return nil, fmt.Errorf("route: unknown vertex %q", from)
+	}
+	if _, ok := m.vertices[to]; !ok {
+		return nil, fmt.Errorf("route: unknown vertex %q", to)
+	}
+	if from == to {
+		return nil, nil
+	}
+
+	dist := m.bfsDistances(from)
+	dTo, ok := dist[to]
+	if !ok {
+		return nil, fmt.Errorf("route: no path from %q to %q", from, to)
+	}
+
+	// Dynamic program over BFS levels, computing for each vertex on a
+	// shortest path the best (widest) bottleneck and the predecessor link
+	// achieving it.
+	type best struct {
+		width units.Bandwidth
+		prev  int // link index into vertex, -1 at source
+	}
+	bests := map[string]best{from: {width: units.Bandwidth(math.Inf(1)), prev: -1}}
+	frontier := []string{from}
+	for level := 0; level < dTo; level++ {
+		next := make(map[string]bool)
+		// Deterministic order: sort frontier.
+		sort.Strings(frontier)
+		for _, v := range frontier {
+			bv := bests[v]
+			for _, li := range m.adj[v] {
+				l := m.links[li]
+				if dist[l.To] != level+1 {
+					continue
+				}
+				w := bv.width
+				if l.Capacity < w {
+					w = l.Capacity
+				}
+				cur, seen := bests[l.To]
+				if !seen || w > cur.width || (w == cur.width && li < cur.prev) {
+					bests[l.To] = best{width: w, prev: li}
+				}
+				next[l.To] = true
+			}
+		}
+		frontier = frontier[:0]
+		for v := range next {
+			frontier = append(frontier, v)
+		}
+	}
+
+	// Walk back from to.
+	var rev []int
+	cur := to
+	for cur != from {
+		b, ok := bests[cur]
+		if !ok || b.prev < 0 {
+			return nil, fmt.Errorf("route: internal: broken predecessor chain at %q", cur)
+		}
+		rev = append(rev, b.prev)
+		cur = m.links[b.prev].From
+	}
+	path := make([]int, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	return path, nil
+}
+
+// bfsDistances returns hop distances from the given vertex to every
+// reachable vertex.
+func (m *Machine) bfsDistances(from string) map[string]int {
+	dist := map[string]int{from: 0}
+	queue := []string{from}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, li := range m.adj[v] {
+			to := m.links[li].To
+			if _, ok := dist[to]; !ok {
+				dist[to] = dist[v] + 1
+				queue = append(queue, to)
+			}
+		}
+	}
+	return dist
+}
+
+// RouteNodes returns the route between two NUMA nodes' vertices.
+func (m *Machine) RouteNodes(a, b NodeID) ([]int, error) {
+	return m.Route(NodeVertexID(a), NodeVertexID(b))
+}
+
+// HopDistance returns the number of links on the route between two nodes
+// (0 for a node to itself). This is the metric the paper argues is NOT a
+// reliable NUMA cost indicator; it is provided as the baseline.
+func (m *Machine) HopDistance(a, b NodeID) (int, error) {
+	r, err := m.RouteNodes(a, b)
+	if err != nil {
+		return 0, err
+	}
+	return len(r), nil
+}
+
+// PathCapacity returns the bottleneck capacity along a route. An empty route
+// (vertex to itself) has infinite capacity.
+func (m *Machine) PathCapacity(route []int) units.Bandwidth {
+	cap := units.Bandwidth(math.Inf(1))
+	for _, li := range route {
+		if c := m.links[li].Capacity; c < cap {
+			cap = c
+		}
+	}
+	return cap
+}
+
+// PathLatency returns the summed link latency along a route.
+func (m *Machine) PathLatency(route []int) units.Duration {
+	var lat units.Duration
+	for _, li := range route {
+		lat += m.links[li].Latency
+	}
+	return lat
+}
+
+// AccessLatency returns the latency for a core on node c to fetch a cache
+// line from memory on node mem: the memory latency of mem plus the request
+// and response link traversal.
+func (m *Machine) AccessLatency(c, mem NodeID) (units.Duration, error) {
+	n := m.MustNode(mem)
+	if c == mem {
+		return n.MemLatency, nil
+	}
+	req, err := m.RouteNodes(c, mem)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := m.RouteNodes(mem, c)
+	if err != nil {
+		return 0, err
+	}
+	return n.MemLatency + m.PathLatency(req) + m.PathLatency(resp), nil
+}
+
+// NUMAFactor returns the machine's NUMA factor as defined in Table I of the
+// paper: the ratio of the average remote access latency to the average
+// local access latency, over all ordered node pairs.
+func (m *Machine) NUMAFactor() (float64, error) {
+	var localSum, remoteSum float64
+	var localN, remoteN int
+	for _, a := range m.Nodes {
+		for _, b := range m.Nodes {
+			lat, err := m.AccessLatency(a.ID, b.ID)
+			if err != nil {
+				return 0, err
+			}
+			if a.ID == b.ID {
+				localSum += lat.Seconds()
+				localN++
+			} else {
+				remoteSum += lat.Seconds()
+				remoteN++
+			}
+		}
+	}
+	if localN == 0 || remoteN == 0 || localSum == 0 {
+		return 0, fmt.Errorf("topology: NUMAFactor: degenerate machine %q", m.Name)
+	}
+	return (remoteSum / float64(remoteN)) / (localSum / float64(localN)), nil
+}
+
+// SLIT returns an ACPI SLIT-style distance matrix: 10 on the diagonal and
+// 10 + 10*hops off it. numactl prints this table; the paper notes it is
+// "often inaccurate" as a performance model, which the experiments
+// demonstrate.
+func (m *Machine) SLIT() ([][]int, error) {
+	ids := m.NodeIDs()
+	out := make([][]int, len(ids))
+	for i, a := range ids {
+		out[i] = make([]int, len(ids))
+		for j, b := range ids {
+			if a == b {
+				out[i][j] = 10
+				continue
+			}
+			h, err := m.HopDistance(a, b)
+			if err != nil {
+				return nil, err
+			}
+			out[i][j] = 10 + 10*h
+		}
+	}
+	return out, nil
+}
+
+// DevicePath describes the two directed routes between a device and a NUMA
+// node's memory, as traversed by the device's DMA engine.
+type DevicePath struct {
+	ToMemory   []int // device -> node (device writes host memory: reads)
+	FromMemory []int // node -> device (device reads host memory: writes)
+}
+
+// DeviceRoutes returns the DMA routes between a device and a node. DMA
+// traffic physically enters and leaves the fabric through the device's
+// owning node, so the node-to-node leg uses the machine's (possibly pinned)
+// inter-node routes rather than a fresh shortest path past the hub.
+func (m *Machine) DeviceRoutes(deviceID string, node NodeID) (DevicePath, error) {
+	dev, ok := m.DeviceByID(deviceID)
+	if !ok {
+		return DevicePath{}, fmt.Errorf("topology: unknown device %q", deviceID)
+	}
+	devToOwner, err := m.Route(deviceID, NodeVertexID(dev.Node))
+	if err != nil {
+		return DevicePath{}, err
+	}
+	ownerToDev, err := m.Route(NodeVertexID(dev.Node), deviceID)
+	if err != nil {
+		return DevicePath{}, err
+	}
+	ownerToNode, err := m.RouteNodes(dev.Node, node)
+	if err != nil {
+		return DevicePath{}, err
+	}
+	nodeToOwner, err := m.RouteNodes(node, dev.Node)
+	if err != nil {
+		return DevicePath{}, err
+	}
+	toMem := append(append([]int(nil), devToOwner...), ownerToNode...)
+	fromMem := append(append([]int(nil), nodeToOwner...), ownerToDev...)
+	return DevicePath{ToMemory: toMem, FromMemory: fromMem}, nil
+}

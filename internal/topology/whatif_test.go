@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"testing"
+
+	"numaio/internal/units"
+)
+
+func TestCloneIsDeep(t *testing.T) {
+	m := DL585G7()
+	c := m.Clone()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+
+	// Mutating the clone's links must not touch the original.
+	li := c.FindLink("node0", "node7")
+	if li < 0 {
+		t.Fatal("missing link")
+	}
+	orig := m.Link(li).Capacity
+	if err := c.SetLinkCapacity(li, 5*units.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	if m.Link(li).Capacity != orig {
+		t.Error("clone mutation leaked into the original")
+	}
+	if c.Link(li).Capacity != 5*units.Gbps {
+		t.Error("clone mutation did not apply")
+	}
+
+	// Nodes, devices and routes are copied too.
+	c.Nodes[0].Cores = 99
+	if m.Nodes[0].Cores == 99 {
+		t.Error("node mutation leaked")
+	}
+	if len(c.Devices()) != len(m.Devices()) {
+		t.Error("devices not copied")
+	}
+	r1, err := m.RouteNodes(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.RouteNodes(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1) != len(r2) {
+		t.Error("pinned routes not copied")
+	}
+}
+
+func TestSetLinkCapacityValidation(t *testing.T) {
+	m := DL585G7()
+	if err := m.SetLinkCapacity(-1, units.Gbps); err == nil {
+		t.Error("negative index should fail")
+	}
+	if err := m.SetLinkCapacity(10_000, units.Gbps); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if err := m.SetLinkCapacity(0, 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+}
+
+func TestScaleLink(t *testing.T) {
+	m := DL585G7()
+	li := m.FindLink("node0", "node7")
+	before := m.Link(li).Capacity
+	if err := m.ScaleLink(li, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Link(li).Capacity; got != before/2 {
+		t.Errorf("scaled capacity = %v, want %v", got, before/2)
+	}
+	if err := m.ScaleLink(li, 0); err == nil {
+		t.Error("zero factor should fail")
+	}
+	if err := m.ScaleLink(-1, 0.5); err == nil {
+		t.Error("bad index should fail")
+	}
+}
+
+func TestDegradeLinkBetween(t *testing.T) {
+	m := DL585G7()
+	ab := m.FindLink("node0", "node7")
+	ba := m.FindLink("node7", "node0")
+	capAB, capBA := m.Link(ab).Capacity, m.Link(ba).Capacity
+	if err := m.DegradeLinkBetween("node0", "node7", 0.25); err != nil {
+		t.Fatal(err)
+	}
+	if m.Link(ab).Capacity != capAB/4 || m.Link(ba).Capacity != capBA/4 {
+		t.Error("degradation not applied to both directions")
+	}
+	if err := m.DegradeLinkBetween("node0", "node4", 0.5); err == nil {
+		t.Error("missing duplex link should fail")
+	}
+	if err := m.DegradeLinkBetween("node0", "node7", -1); err == nil {
+		t.Error("negative factor should fail")
+	}
+}

@@ -1,0 +1,41 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParseSize: the parser must never panic and never return negatives.
+func FuzzParseSize(f *testing.F) {
+	f.Add("128KiB")
+	f.Add("400g")
+	f.Add("-3m")
+	f.Add("1e18")
+	f.Add("kib")
+	f.Fuzz(func(t *testing.T, input string) {
+		s, err := ParseSize(input)
+		if err != nil {
+			return
+		}
+		if s < 0 {
+			t.Errorf("ParseSize(%q) = %d, negative", input, s)
+		}
+	})
+}
+
+// FuzzParseBandwidth: same guarantees for bandwidth strings.
+func FuzzParseBandwidth(f *testing.F) {
+	f.Add("40Gbps")
+	f.Add("25 Gb/s")
+	f.Add("NaNbps")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		b, err := ParseBandwidth(input)
+		if err != nil {
+			return
+		}
+		if b < 0 || math.IsNaN(float64(b)) {
+			t.Errorf("ParseBandwidth(%q) = %v", input, b)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package workload composes the paper's motivating application: bulk data
+// movers on a multi-user NUMA host. A mover task reads from the PCIe SSDs
+// and simultaneously ships the data out through the NIC, so its steady
+// throughput is capped by the weaker of its two I/O legs — and the two legs
+// follow *different* performance models (device read vs device write),
+// which is why placement needs both halves of the characterization.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"numaio/internal/device"
+	"numaio/internal/fio"
+	"numaio/internal/numa"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Spec describes a data-mover fleet.
+type Spec struct {
+	// Movers is the number of concurrent mover tasks.
+	Movers int
+	// SizePerStage is the bytes each task moves per leg; 0 means 4 GiB.
+	SizePerStage units.Size
+	// ReadEngine ingests data (default ssd_read).
+	ReadEngine string
+	// SendEngine ships data out (default tcp_send).
+	SendEngine string
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.SizePerStage == 0 {
+		s.SizePerStage = 4 * units.GiB
+	}
+	if s.ReadEngine == "" {
+		s.ReadEngine = device.EngineSSDRead
+	}
+	if s.SendEngine == "" {
+		s.SendEngine = device.EngineTCPSend
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.Movers <= 0 {
+		return fmt.Errorf("workload: movers must be positive")
+	}
+	return nil
+}
+
+// Result reports a data-mover run.
+type Result struct {
+	ReadAggregate units.Bandwidth
+	SendAggregate units.Bandwidth
+	// Throughput is the pipeline's steady rate: the weaker leg.
+	Throughput units.Bandwidth
+	Report     *fio.Report
+}
+
+// Run executes the fleet with the given placement (one mover per entry):
+// both legs of every mover run concurrently on the fabric, so they contend
+// for the same links, controllers and cores.
+func Run(sys *numa.System, spec Spec, placement []topology.NodeID) (*Result, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	if len(placement) != spec.Movers {
+		return nil, fmt.Errorf("workload: placement has %d entries for %d movers",
+			len(placement), spec.Movers)
+	}
+
+	counts := make(map[topology.NodeID]int)
+	for _, n := range placement {
+		counts[n]++
+	}
+	nodes := make([]topology.NodeID, 0, len(counts))
+	for n := range counts {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	var jobs []fio.Job
+	for _, n := range nodes {
+		jobs = append(jobs,
+			fio.Job{
+				Name: fmt.Sprintf("read-n%d", int(n)), Engine: spec.ReadEngine,
+				Node: n, NumJobs: counts[n], Size: spec.SizePerStage,
+			},
+			fio.Job{
+				Name: fmt.Sprintf("send-n%d", int(n)), Engine: spec.SendEngine,
+				Node: n, NumJobs: counts[n], Size: spec.SizePerStage,
+			},
+		)
+	}
+	runner := fio.NewRunner(sys)
+	runner.Sigma = 0
+	rep, err := runner.Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &Result{Report: rep}
+	for name, bw := range rep.PerJob {
+		if len(name) >= 4 && name[:4] == "read" {
+			out.ReadAggregate += bw
+		} else {
+			out.SendAggregate += bw
+		}
+	}
+	out.Throughput = out.ReadAggregate
+	if out.SendAggregate < out.Throughput {
+		out.Throughput = out.SendAggregate
+	}
+	return out, nil
+}
+
+// Placement derives a mover placement from both directional models: a node
+// qualifies only when it is in the eligible (top-equivalent-class) set of
+// BOTH legs, because a mover is throttled by its weaker leg. Movers spread
+// round-robin over the qualified nodes; if the intersection is empty the
+// scheduler's class-balanced placement for the send leg is used as a
+// fallback.
+func Placement(s *sched.Scheduler, spec Spec, count int) ([]topology.NodeID, error) {
+	if count <= 0 {
+		return nil, fmt.Errorf("workload: count must be positive")
+	}
+	spec = spec.withDefaults()
+	readNodes, err := s.EligibleNodes(spec.ReadEngine)
+	if err != nil {
+		return nil, err
+	}
+	sendNodes, err := s.EligibleNodes(spec.SendEngine)
+	if err != nil {
+		return nil, err
+	}
+	inSend := make(map[topology.NodeID]bool, len(sendNodes))
+	for _, n := range sendNodes {
+		inSend[n] = true
+	}
+	var both []topology.NodeID
+	for _, n := range readNodes {
+		if inSend[n] {
+			both = append(both, n)
+		}
+	}
+	if len(both) == 0 {
+		return s.Place(spec.SendEngine, count, sched.ClassBalanced)
+	}
+	out := make([]topology.NodeID, count)
+	for i := range out {
+		out[i] = both[i%len(both)]
+	}
+	return out, nil
+}
+
+// Compare runs the fleet under the naive all-local placement and under the
+// model-driven Placement, returning both results.
+func Compare(sys *numa.System, s *sched.Scheduler, spec Spec) (local, modelDriven *Result, err error) {
+	if err := spec.validate(); err != nil {
+		return nil, nil, err
+	}
+	localPlace := make([]topology.NodeID, spec.Movers)
+	for i := range localPlace {
+		localPlace[i] = s.Target()
+	}
+	local, err = Run(sys, spec, localPlace)
+	if err != nil {
+		return nil, nil, err
+	}
+	place, err := Placement(s, spec, spec.Movers)
+	if err != nil {
+		return nil, nil, err
+	}
+	modelDriven, err = Run(sys, spec, place)
+	if err != nil {
+		return nil, nil, err
+	}
+	return local, modelDriven, nil
+}

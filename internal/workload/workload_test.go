@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"testing"
+
+	"numaio/internal/core"
+	"numaio/internal/device"
+	"numaio/internal/numa"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+func newEnv(t *testing.T) (*numa.System, *sched.Scheduler) {
+	t.Helper()
+	sys, err := numa.NewSystem(topology.DL585G7())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewCharacterizer(sys, core.Config{Sigma: -1, Repeats: 1, BytesPerThread: units.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	write, err := c.Characterize(7, core.ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, err := c.Characterize(7, core.ModeRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(sys, write, read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys, s
+}
+
+func TestSpecValidation(t *testing.T) {
+	sys, s := newEnv(t)
+	if _, err := Run(sys, Spec{Movers: 0}, nil); err == nil {
+		t.Error("zero movers should fail")
+	}
+	if _, err := Run(sys, Spec{Movers: 2}, []topology.NodeID{7}); err == nil {
+		t.Error("placement length mismatch should fail")
+	}
+	if _, err := Placement(s, Spec{}, 0); err == nil {
+		t.Error("zero count should fail")
+	}
+	if _, _, err := Compare(sys, s, Spec{Movers: 0}); err == nil {
+		t.Error("invalid spec should fail in Compare")
+	}
+	if _, err := Run(sys, Spec{Movers: 1, ReadEngine: "warp"}, []topology.NodeID{7}); err == nil {
+		t.Error("unknown engine should fail")
+	}
+}
+
+// The qualified set is the intersection of both legs' eligible nodes: it
+// must exclude the send-starved nodes {2,3} and the read-starved node {4}.
+func TestPlacementIntersectsModels(t *testing.T) {
+	_, s := newEnv(t)
+	place, err := Placement(s, Spec{}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(place) != 10 {
+		t.Fatalf("placement = %v", place)
+	}
+	for _, n := range place {
+		if n == 2 || n == 3 || n == 4 {
+			t.Errorf("placement uses starved node %d: %v", n, place)
+		}
+	}
+}
+
+// A mover pipeline runs at the weaker leg's rate.
+func TestPipelineThroughputIsWeakerLeg(t *testing.T) {
+	sys, _ := newEnv(t)
+	res, err := Run(sys, Spec{Movers: 2}, []topology.NodeID{6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != res.ReadAggregate && res.Throughput != res.SendAggregate {
+		t.Errorf("throughput %v matches neither leg (%v / %v)",
+			res.Throughput, res.ReadAggregate, res.SendAggregate)
+	}
+	if res.Throughput > res.ReadAggregate || res.Throughput > res.SendAggregate {
+		t.Errorf("throughput must be the min of the legs")
+	}
+	// On node 6 both legs are near their ceilings: SSD read >> TCP send, so
+	// TCP is the cap.
+	if res.Throughput != res.SendAggregate {
+		t.Errorf("TCP should cap the node-6 pipeline: %+v", res)
+	}
+}
+
+// The model-driven placement beats piling every mover on the device node.
+func TestModelDrivenBeatsLocal(t *testing.T) {
+	sys, s := newEnv(t)
+	local, model, err := Compare(sys, s, Spec{Movers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(model.Throughput > local.Throughput) {
+		t.Errorf("model-driven %.2f should beat all-local %.2f",
+			model.Throughput.Gbps(), local.Throughput.Gbps())
+	}
+}
+
+// RDMA movers exercise the fallback-free path with a different send model.
+func TestRDMAMovers(t *testing.T) {
+	sys, s := newEnv(t)
+	spec := Spec{Movers: 4, SendEngine: device.EngineRDMAWrite}
+	place, err := Placement(s, spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, spec, place)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Error("no throughput")
+	}
+}
+
+// Both legs really share the fabric: movers on the starved node 2 lose on
+// the send leg.
+func TestStarvedNodeCapsPipeline(t *testing.T) {
+	sys, _ := newEnv(t)
+	good, err := Run(sys, Spec{Movers: 4}, []topology.NodeID{6, 6, 6, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := Run(sys, Spec{Movers: 4}, []topology.NodeID{2, 2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bad.Throughput < good.Throughput*0.9) {
+		t.Errorf("node-2 movers %.2f should clearly trail node-6 movers %.2f",
+			bad.Throughput.Gbps(), good.Throughput.Gbps())
+	}
+}
