@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples clean
+.PHONY: all build vet test race cover bench experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -38,6 +38,11 @@ examples:
 	$(GO) run ./examples/datamover
 	$(GO) run ./examples/cluster
 	$(GO) run ./examples/calibrate
+	$(GO) run ./examples/client
+
+# Boot numaiod on an ephemeral port, curl the API, SIGTERM, verify drain.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 clean:
 	$(GO) clean ./...

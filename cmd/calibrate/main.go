@@ -24,10 +24,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "calibrate:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("calibrate", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -38,12 +35,12 @@ func run(args []string, out io.Writer) error {
 	outPath := fs.String("o", "", "write the fitted machine JSON here")
 	iters := fs.Int("iters", 0, "maximum fit iterations (0 = default)")
 	tol := fs.Float64("tol", 0, "target maximum relative error (0 = default)")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if *modelsPath == "" {
 		fs.Usage()
-		return fmt.Errorf("missing -models")
+		return cli.Usagef("missing -models")
 	}
 
 	f, err := os.Open(*modelsPath)

@@ -28,10 +28,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "cbench:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("cbench", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -39,7 +36,7 @@ func run(args []string, out io.Writer) error {
 	machine := fs.String("machine", "dl585g7", "machine profile or .json file")
 	target := fs.Int("target", 7, "node the I/O device is attached to")
 	engine := fs.String("engine", device.EngineRDMARead, "I/O engine to measure against")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 

@@ -22,10 +22,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "fiosim:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("fiosim", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -42,7 +39,7 @@ func run(args []string, out io.Writer) error {
 	bs := fs.String("bs", "128k", "native engines: block size")
 	threads := fs.Int("threads", 4, "native memcpy: thread count")
 	streams := fs.Int("streams", 2, "native tcp: stream count")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
@@ -82,7 +79,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: fiosim [flags] job.fio")
+		return cli.Usagef("usage: fiosim [flags] job.fio")
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {

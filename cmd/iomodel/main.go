@@ -23,10 +23,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "iomodel:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("iomodel", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -39,7 +36,7 @@ func run(args []string, out io.Writer) error {
 	all := fs.Bool("all", false, "characterize every node as a target (whole-host model)")
 	gap := fs.Float64("gap", 0, "classification gap threshold in (0,1); 0 = default 0.2")
 	outPath := fs.String("o", "", "write the model(s) as JSON to this file")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 

@@ -22,10 +22,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "netpair:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("netpair", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -34,7 +31,7 @@ func run(args []string, out io.Writer) error {
 	streams := fs.Int("streams", 4, "parallel TCP streams")
 	send := fs.Int("send", -1, "single-transfer mode: sender binding")
 	recv := fs.Int("recv", -1, "single-transfer mode: receiver binding")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"numaio/internal/cli"
+)
+
+// Exit-code contract (internal/cli): 0 success or -h, 1 runtime failure,
+// 2 usage error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"nothing to do", nil, 2},
+		{"unknown machine", []string{"-hardware", "-machine", "warp"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Errorf("args %v: exit code %d (err: %v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}

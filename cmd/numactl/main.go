@@ -20,10 +20,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "numactl:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("numactl", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -34,7 +31,7 @@ func run(args []string, out io.Writer) error {
 	factor := fs.Bool("factor", false, "show the machine's NUMA factor (Table I)")
 	latency := fs.Bool("latency", false, "show the node-to-node access latency matrix (ns)")
 	dot := fs.Bool("dot", false, "emit the machine as a Graphviz digraph")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
@@ -101,7 +98,7 @@ func run(args []string, out io.Writer) error {
 	}
 	if !did {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass -hardware, -slit, -factor, -latency or -dot")
+		return cli.Usagef("nothing to do: pass -hardware, -slit, -factor, -latency or -dot")
 	}
 	return nil
 }

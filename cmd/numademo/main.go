@@ -33,21 +33,18 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "numademo:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("numademo", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("numademo", flag.ContinueOnError)
 	machine := fs.String("machine", "dl585g7", "machine profile")
 	target := fs.Int("target", 7, "target node for the iomodel module")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: numademo [flags] <memcpy|memset|stream|policies|iomodel>")
+		return cli.Usagef("usage: numademo [flags] <memcpy|memset|stream|policies|iomodel>")
 	}
 
 	m, err := cli.Machine(*machine)

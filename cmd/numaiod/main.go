@@ -1,0 +1,108 @@
+// Command numaiod is the model-serving daemon: it characterizes machines
+// with Algorithm 1 on demand, caches the resulting models by topology
+// fingerprint, and serves Eq. 1 predictions, placement decisions and
+// what-if diffs over an HTTP JSON API. See docs/SERVICE.md for the API.
+//
+// Usage:
+//
+//	numaiod [-addr host:port] [-workers n] [-cache-entries n] [-cache-ttl d]
+//
+// The daemon prints "listening on http://ADDR" once the socket is bound
+// (use -addr 127.0.0.1:0 for an ephemeral port) and shuts down gracefully
+// on SIGINT/SIGTERM, draining in-flight characterization jobs.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"numaio/internal/cli"
+	"numaio/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(cli.Main("numaiod", run(ctx, os.Args[1:], os.Stdout)))
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("numaiod", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 4, "max concurrent characterizations")
+	cacheEntries := fs.Int("cache-entries", 64, "model cache capacity")
+	cacheTTL := fs.Duration("cache-ttl", time.Hour, "model cache entry lifetime (negative disables expiry)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
+	quiet := fs.Bool("quiet", false, "suppress request logs")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if *workers < 1 {
+		return cli.Usagef("-workers must be at least 1, got %d", *workers)
+	}
+
+	logDst := io.Writer(os.Stderr)
+	if *quiet {
+		logDst = io.Discard
+	}
+	logger := slog.New(slog.NewTextHandler(logDst, nil))
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		CacheEntries: *cacheEntries,
+		CacheTTL:     *cacheTTL,
+		Logger:       logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "listening on http://%s\n", ln.Addr())
+
+	srv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+		close(errc)
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting, finish open requests, then drain
+	// async characterization jobs.
+	logger.Info("shutting down", "drain_timeout", *drainTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := svc.Drain(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "numaiod: drained, bye")
+	return nil
+}

@@ -22,17 +22,14 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "numastat:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("numastat", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("numastat", flag.ContinueOnError)
 	machine := fs.String("machine", "dl585g7", "machine profile")
 	jobFile := fs.String("job", "", "fio job file to run before reporting")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 

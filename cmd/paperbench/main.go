@@ -17,15 +17,13 @@ import (
 	"sort"
 	"strings"
 
+	"numaio/internal/cli"
 	"numaio/internal/experiments"
 	"numaio/internal/report"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "paperbench:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("paperbench", run(os.Args[1:], os.Stdout)))
 }
 
 // section is one reproducible artifact.
@@ -402,7 +400,7 @@ func run(args []string, out io.Writer) error {
 	md := fs.Bool("md", false, "emit the EXPERIMENTS.md markdown document")
 	only := fs.String("only", "", "run a single experiment by ID")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if *list {
@@ -433,10 +431,12 @@ func run(args []string, out io.Writer) error {
 	if *md {
 		fmt.Fprint(out, mdHeader)
 	}
+	matched := false
 	for _, s := range secs {
 		if *only != "" && !strings.EqualFold(*only, s.ID) {
 			continue
 		}
+		matched = true
 		tables, shape, err := s.Run(lab)
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.ID, err)
@@ -457,6 +457,9 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintln(out, t.Render())
 		}
 		fmt.Fprintf(out, "shape: %s\n\n", shape)
+	}
+	if !matched {
+		return cli.Usagef("unknown experiment ID %q (use -list)", *only)
 	}
 	return nil
 }

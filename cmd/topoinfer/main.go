@@ -26,10 +26,7 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "topoinfer:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("topoinfer", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -37,7 +34,7 @@ func run(args []string, out io.Writer) error {
 	machine := fs.String("machine", "dl585g7", "machine profile or .json file")
 	degree := fs.Int("degree", 4, "assumed links per node")
 	source := fs.String("source", "stream", "bandwidth matrix source: stream or memcpy")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 

@@ -31,10 +31,7 @@ func (d *degradeFlag) String() string     { return strings.Join(*d, ",") }
 func (d *degradeFlag) Set(v string) error { *d = append(*d, v); return nil }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "whatif:", err)
-		os.Exit(1)
-	}
+	os.Exit(cli.Main("whatif", run(os.Args[1:], os.Stdout)))
 }
 
 func run(args []string, out io.Writer) error {
@@ -43,12 +40,12 @@ func run(args []string, out io.Writer) error {
 	target := fs.Int("target", 7, "node the I/O device is attached to")
 	var degrades degradeFlag
 	fs.Var(&degrades, "degrade", "vertexA:vertexB:factor — scale both directions of a link (repeatable)")
-	if err := fs.Parse(args); err != nil {
+	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 	if len(degrades) == 0 {
 		fs.Usage()
-		return fmt.Errorf("nothing to do: pass at least one -degrade")
+		return cli.Usagef("nothing to do: pass at least one -degrade")
 	}
 
 	base, err := cli.Machine(*machine)

@@ -1,0 +1,146 @@
+// Client: drive the numaiod model-serving API end to end. The example
+// hosts the service in-process on an ephemeral port (so it runs anywhere
+// without a daemon already listening), then talks to it over real HTTP the
+// way any remote client would: characterize a machine, observe the cache
+// hit on the second request, fetch the model by fingerprint, predict a
+// multi-user mix with Eq. 1, compare placement policies, run a link-failure
+// what-if, and read the metrics.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"numaio/internal/service"
+)
+
+func main() {
+	// A real deployment runs `numaiod -addr :8080` and clients point at
+	// it; here the server lives in-process for a self-contained example.
+	ts := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer ts.Close()
+	fmt.Println("numaiod serving at", ts.URL)
+
+	// 1. Characterize: the first request runs Algorithm 1 for every node
+	// of the machine in both directions; cheap config for the example.
+	const machineBody = `{"machine": "intel-4s4n", "config": {"repeats": 2}}`
+	var char struct {
+		Fingerprint   string  `json:"fingerprint"`
+		Cached        bool    `json:"cached"`
+		CostReduction float64 `json:"cost_reduction"`
+	}
+	post(ts.URL+"/v1/characterize", machineBody, &char)
+	fmt.Printf("characterized: fingerprint %s, cached=%v, cost reduction %.0f%%\n",
+		char.Fingerprint, char.Cached, 100*char.CostReduction)
+
+	// 2. The identical request again: served from cache, no Algorithm 1.
+	post(ts.URL+"/v1/characterize", machineBody, &char)
+	fmt.Printf("repeated:      fingerprint %s, cached=%v\n", char.Fingerprint, char.Cached)
+
+	// 3. The model is addressable by fingerprint alone.
+	var model struct {
+		Machine string `json:"machine"`
+		Models  []struct {
+			Target int `json:"target"`
+			Mode   int `json:"mode"`
+		} `json:"models"`
+	}
+	get(ts.URL+"/v1/models/"+char.Fingerprint, &model)
+	fmt.Printf("cached model of %q holds %d directional models\n", model.Machine, len(model.Models))
+
+	// 4. Eq. 1 prediction for a two-node 50/50 mix against node 0's
+	// write model — by fingerprint, so nothing is re-characterized.
+	var pred struct {
+		PredictedGbps float64 `json:"predicted_gbps"`
+	}
+	post(ts.URL+"/v1/predict", fmt.Sprintf(
+		`{"fingerprint": %q, "target": 0, "mode": "write", "mix": {"0": 0.5, "2": 0.5}}`,
+		char.Fingerprint), &pred)
+	fmt.Printf("predicted aggregate for mix {0: 50%%, 2: 50%%}: %.1f Gb/s\n", pred.PredictedGbps)
+
+	// 5. Placement: compare every policy for 8 tasks on the device node.
+	var place struct {
+		Results []struct {
+			Policy      string  `json:"policy"`
+			Placement   []int   `json:"placement"`
+			EstimateBPS float64 `json:"estimate_bps"`
+			MeasuredBPS float64 `json:"measured_bps"`
+		} `json:"results"`
+	}
+	post(ts.URL+"/v1/place",
+		`{"machine": "intel-4s4n", "config": {"repeats": 2}, "target": 0, "tasks": 8, "evaluate": true}`,
+		&place)
+	for _, r := range place.Results {
+		fmt.Printf("  %-15s nodes %v  measured %.1f Gb/s\n",
+			r.Policy, r.Placement, r.MeasuredBPS/1e9)
+	}
+
+	// 6. What-if: halve the node0<->node3 QPI link and diff the models.
+	var whatif struct {
+		Results []struct {
+			Mode         string `json:"mode"`
+			ChangedNodes []int  `json:"changed_nodes"`
+		} `json:"results"`
+	}
+	post(ts.URL+"/v1/whatif",
+		`{"machine": "intel-4s4n", "config": {"repeats": 2}, "target": 3,
+		  "degrade": [{"a": "node0", "b": "node3", "factor": 0.5}]}`,
+		&whatif)
+	for _, r := range whatif.Results {
+		fmt.Printf("whatif %s model: class changes on nodes %v\n", r.Mode, r.ChangedNodes)
+	}
+
+	// 7. Metrics: request counters and cache hits accumulated above.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("metrics excerpt:")
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(line, "numaiod_requests_total") ||
+			strings.HasPrefix(line, "numaiod_model_cache{") {
+			fmt.Println(" ", line)
+		}
+	}
+}
+
+func post(url, body string, into any) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(url, resp, into)
+}
+
+func get(url string, into any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	decode(url, resp, into)
+}
+
+func decode(url string, resp *http.Response, into any) {
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("%s: HTTP %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, into); err != nil {
+		log.Fatalf("%s: %v", url, err)
+	}
+}

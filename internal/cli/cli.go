@@ -1,7 +1,14 @@
-// Package cli holds small helpers shared by the command-line tools.
+// Package cli holds small helpers shared by the command-line tools: machine
+// resolution for the -machine flag (also reused by the numaiod server for
+// request bodies) and the exit-code contract every binary follows.
 package cli
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
 	"io"
 	"os"
 
@@ -14,4 +21,93 @@ func Machine(nameOrPath string) (*topology.Machine, error) {
 	return topology.LoadMachine(nameOrPath, func(p string) (io.ReadCloser, error) {
 		return os.Open(p)
 	})
+}
+
+// ResolveMachine resolves a machine from a JSON value that is either a
+// string (profile name or .json path, like the -machine flag) or an inline
+// machine object (the topology.EncodeJSON format). It is the resolution
+// the numaiod request bodies share with the command-line tools.
+func ResolveMachine(raw json.RawMessage) (*topology.Machine, error) {
+	if len(raw) == 0 {
+		return Machine("")
+	}
+	var name string
+	if err := json.Unmarshal(raw, &name); err == nil {
+		return Machine(name)
+	}
+	m, err := topology.DecodeJSON(bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("cli: machine must be a profile name or an inline machine object: %w", err)
+	}
+	return m, nil
+}
+
+// Exit-code contract for the cmd/* binaries:
+//
+//	0 — success (including -h / -help)
+//	1 — runtime failure (bad input data, I/O error, model error)
+//	2 — usage error (unparseable flags, missing or contradictory arguments)
+//
+// run() functions wrap usage problems with Usage/Usagef; main() funnels the
+// returned error through Main, which prints to stderr and picks the code.
+
+// usageError marks an error as a command-line usage problem.
+type usageError struct{ err error }
+
+func (u *usageError) Error() string { return u.err.Error() }
+func (u *usageError) Unwrap() error { return u.err }
+
+// Usage marks err as a usage error (exit code 2). A nil err stays nil.
+func Usage(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &usageError{err: err}
+}
+
+// Usagef builds a usage error (exit code 2) from a format string.
+func Usagef(format string, args ...any) error {
+	return &usageError{err: fmt.Errorf(format, args...)}
+}
+
+// IsUsage reports whether err is marked as a usage error. Flag-parse
+// failures count as usage errors even when not explicitly wrapped.
+func IsUsage(err error) bool {
+	var u *usageError
+	return errors.As(err, &u)
+}
+
+// ExitCode maps an error returned by a tool's run() to its process exit
+// code under the contract above.
+func ExitCode(err error) int {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return 0
+	case IsUsage(err):
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Main finalises a tool invocation: prints the error (if any, and unless it
+// is the help pseudo-error, which flag already printed) prefixed with the
+// tool name to stderr, and returns the exit code for os.Exit.
+func Main(tool string, err error) int {
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
+	return ExitCode(err)
+}
+
+// Parse runs fs.Parse and marks any failure as a usage error (-h/-help
+// passes through as flag.ErrHelp, which ExitCode maps to 0).
+func Parse(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return Usage(err)
+	}
+	return nil
 }

@@ -62,6 +62,43 @@ func New(build func() *topology.Machine, target topology.NodeID, names ...string
 	return c, nil
 }
 
+// HostSpec describes one pre-characterized host for FromModels.
+type HostSpec struct {
+	Name   string
+	Sys    *numa.System
+	Models *core.MachineModel
+	Target topology.NodeID
+}
+
+// FromModels builds a cluster from hosts whose characterizations already
+// exist — the request-scoped entry point for services that cache
+// MachineModels: no Algorithm 1 runs here, only model lookup and scheduler
+// construction.
+func FromModels(specs []HostSpec) (*Cluster, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("cluster: no hosts")
+	}
+	c := &Cluster{}
+	for _, spec := range specs {
+		s, err := sched.FromMachineModel(spec.Sys, spec.Models, spec.Target)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: host %q: %w", spec.Name, err)
+		}
+		c.Hosts = append(c.Hosts, &Host{Name: spec.Name, Sys: spec.Sys, Scheduler: s})
+	}
+	return c, nil
+}
+
+// ParsePolicy maps the wire/CLI spelling of a cluster policy to its value.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{PackFirst, SpreadEven, ModelGreedy} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cluster: unknown policy %q (want pack-first, spread-even, or model-greedy)", s)
+}
+
 // HostByName returns the named host.
 func (c *Cluster) HostByName(name string) (*Host, bool) {
 	for _, h := range c.Hosts {

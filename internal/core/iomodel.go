@@ -52,6 +52,18 @@ func (m Mode) String() string {
 	}
 }
 
+// ParseMode maps the wire/CLI spelling of a mode back to its value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "write":
+		return ModeWrite, nil
+	case "read":
+		return ModeRead, nil
+	default:
+		return 0, fmt.Errorf("core: unknown mode %q (want write or read)", s)
+	}
+}
+
 // Sample is one measured point of the model.
 type Sample struct {
 	Node      topology.NodeID `json:"node"`

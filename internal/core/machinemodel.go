@@ -12,15 +12,23 @@ import (
 // generalization calls for: Algorithm 1 run for every node in both
 // directions, so a scheduler can reason about devices attached anywhere.
 type MachineModel struct {
-	Machine string   `json:"machine"`
-	Models  []*Model `json:"models"`
+	Machine string `json:"machine"`
+	// Fingerprint is the topology fingerprint of the characterized machine
+	// (topology.Fingerprint); model caches key on it to recognise a host
+	// they have already characterized.
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Models      []*Model `json:"models"`
 }
 
 // CharacterizeAll runs Algorithm 1 for every node of the machine in both
 // modes.
 func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 	m := c.sys.Machine()
-	out := &MachineModel{Machine: m.Name}
+	fp, err := topology.Fingerprint(m)
+	if err != nil {
+		return nil, err
+	}
+	out := &MachineModel{Machine: m.Name, Fingerprint: fp}
 	for _, target := range m.NodeIDs() {
 		for _, mode := range []Mode{ModeWrite, ModeRead} {
 			model, err := c.Characterize(target, mode)

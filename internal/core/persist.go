@@ -30,6 +30,12 @@ func LoadJSON(r io.Reader) (*Model, error) {
 	return &m, nil
 }
 
+// Validate checks the structural invariants of a model — every sampled
+// node classified exactly once, positive bandwidths, consistent class
+// stats. Deserializers call it automatically; services accepting models
+// over the wire should call it on anything user-supplied.
+func (m *Model) Validate() error { return m.validate() }
+
 // validate checks structural invariants of a deserialized model.
 func (m *Model) validate() error {
 	if len(m.Samples) == 0 {

@@ -80,6 +80,34 @@ func New(sys *numa.System, write, read *core.Model) (*Scheduler, error) {
 	return &Scheduler{sys: sys, writeModel: write, readModel: read, Tolerance: 0.10}, nil
 }
 
+// FromMachineModel builds a scheduler for one target from a whole-host
+// characterization — the request-scoped entry point a model-serving daemon
+// uses: the MachineModel comes out of a cache, no re-characterization runs.
+func FromMachineModel(sys *numa.System, mm *core.MachineModel, target topology.NodeID) (*Scheduler, error) {
+	if mm == nil {
+		return nil, fmt.Errorf("sched: nil machine model")
+	}
+	write, err := mm.ModelFor(target, core.ModeWrite)
+	if err != nil {
+		return nil, err
+	}
+	read, err := mm.ModelFor(target, core.ModeRead)
+	if err != nil {
+		return nil, err
+	}
+	return New(sys, write, read)
+}
+
+// ParsePolicy maps the wire/CLI spelling of a policy back to its value.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{LocalOnly, HopDistance, RoundRobin, ClassBalanced} {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: unknown policy %q (want local-only, hop-distance, round-robin, or class-balanced)", s)
+}
+
 // Target returns the device node the models describe.
 func (s *Scheduler) Target() topology.NodeID { return s.writeModel.Target }
 

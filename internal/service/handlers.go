@@ -1,0 +1,534 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"encoding/json"
+
+	"numaio/internal/cli"
+	"numaio/internal/cluster"
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/sched"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// configJSON is the wire form of core.Config; zero fields take the
+// characterizer defaults.
+type configJSON struct {
+	Threads        int     `json:"threads,omitempty"`
+	Repeats        int     `json:"repeats,omitempty"`
+	BytesPerThread int64   `json:"bytes_per_thread,omitempty"`
+	GapThreshold   float64 `json:"gap_threshold,omitempty"`
+	Sigma          float64 `json:"sigma,omitempty"`
+}
+
+func (c *configJSON) toCore() core.Config {
+	if c == nil {
+		return core.Config{}
+	}
+	return core.Config{
+		Threads:        c.Threads,
+		Repeats:        c.Repeats,
+		BytesPerThread: units.Size(c.BytesPerThread),
+		GapThreshold:   c.GapThreshold,
+		Sigma:          c.Sigma,
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w, s.cache.Stats(), s.pool.InFlight())
+}
+
+type characterizeRequest struct {
+	Machine json.RawMessage `json:"machine,omitempty"`
+	Config  *configJSON     `json:"config,omitempty"`
+	Async   bool            `json:"async,omitempty"`
+}
+
+type characterizeResponse struct {
+	Fingerprint   string             `json:"fingerprint"`
+	Cached        bool               `json:"cached"`
+	CostReduction float64            `json:"cost_reduction"`
+	Model         *core.MachineModel `json:"model"`
+}
+
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	var req characterizeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	m, err := cli.ResolveMachine(req.Machine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := req.Config.toCore()
+
+	if req.Async {
+		job := s.jobs.New()
+		snapshot := *job // the worker goroutine mutates job; respond with a copy
+		err := s.pool.Submit(func() {
+			s.jobs.SetState(job.ID, JobRunning, "", nil)
+			mm, fp, _, err := s.characterizeCached(context.Background(), m, cfg)
+			if err != nil {
+				s.jobs.SetState(job.ID, JobFailed, fp, err)
+				return
+			}
+			s.jobs.SetState(job.ID, JobDone, mm.Fingerprint, nil)
+		})
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, snapshot)
+		return
+	}
+
+	mm, fp, cached, err := s.characterizeCached(r.Context(), m, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "characterization failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, characterizeResponse{
+		Fingerprint:   fp,
+		Cached:        cached,
+		CostReduction: mm.CostReduction(),
+		Model:         mm,
+	})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	mm, ok := s.cache.FindByFingerprint(fp)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no cached model with fingerprint %q", fp)
+		return
+	}
+	writeJSON(w, http.StatusOK, mm)
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+type predictRequest struct {
+	Machine     json.RawMessage `json:"machine,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Config      *configJSON     `json:"config,omitempty"`
+	Target      int             `json:"target"`
+	Mode        string          `json:"mode"`
+	// Mix maps node IDs (as JSON object keys, e.g. "2") to traffic
+	// fractions summing to 1; Counts to process counts. Exactly one of
+	// the two must be given.
+	Mix    map[string]float64 `json:"mix,omitempty"`
+	Counts map[string]int     `json:"counts,omitempty"`
+}
+
+type predictResponse struct {
+	Fingerprint   string  `json:"fingerprint"`
+	Target        int     `json:"target"`
+	Mode          string  `json:"mode"`
+	PredictedBPS  float64 `json:"predicted_bps"`
+	PredictedGbps float64 `json:"predicted_gbps"`
+}
+
+// modelForRequest resolves the whole-host model behind a request that
+// carries either a cached fingerprint or a machine to (re-)characterize.
+func (s *Server) modelForRequest(ctx context.Context, fingerprint string, machine json.RawMessage, cfg core.Config) (*core.MachineModel, int, error) {
+	if fingerprint != "" {
+		mm, ok := s.cache.FindByFingerprint(fingerprint)
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("no cached model with fingerprint %q (characterize first or send a machine)", fingerprint)
+		}
+		return mm, 0, nil
+	}
+	m, err := cli.ResolveMachine(machine)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	mm, _, _, err := s.characterizeCached(ctx, m, cfg)
+	if err != nil {
+		return nil, http.StatusInternalServerError, err
+	}
+	return mm, 0, nil
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req predictRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mode, err := core.ParseMode(req.Mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if (len(req.Mix) == 0) == (len(req.Counts) == 0) {
+		writeError(w, http.StatusBadRequest, "exactly one of mix or counts is required")
+		return
+	}
+	mm, status, err := s.modelForRequest(r.Context(), req.Fingerprint, req.Machine, req.Config.toCore())
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	model, err := mm.ModelFor(topology.NodeID(req.Target), mode)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	var predicted units.Bandwidth
+	if len(req.Mix) > 0 {
+		mix, err := nodeKeys(req.Mix)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		predicted, err = model.Predict(mix, nil)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	} else {
+		counts, err := nodeKeys(req.Counts)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		predicted, err = model.PredictCounts(counts, nil)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, predictResponse{
+		Fingerprint:   mm.Fingerprint,
+		Target:        req.Target,
+		Mode:          req.Mode,
+		PredictedBPS:  float64(predicted),
+		PredictedGbps: predicted.Gbps(),
+	})
+}
+
+// nodeKeys converts a JSON object keyed by node-ID strings into a NodeID
+// map.
+func nodeKeys[V any](in map[string]V) (map[topology.NodeID]V, error) {
+	out := make(map[topology.NodeID]V, len(in))
+	for k, v := range in {
+		n, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("node key %q is not an integer", k)
+		}
+		out[topology.NodeID(n)] = v
+	}
+	return out, nil
+}
+
+type placeRequest struct {
+	Machine     json.RawMessage `json:"machine,omitempty"`
+	Config      *configJSON     `json:"config,omitempty"`
+	Target      int             `json:"target"`
+	Engine      string          `json:"engine,omitempty"` // default memcpy
+	Tasks       int             `json:"tasks"`
+	Policies    []string        `json:"policies,omitempty"` // default: all
+	Evaluate    bool            `json:"evaluate,omitempty"`
+	SizePerTask int64           `json:"size_per_task,omitempty"`
+	// Replicas > 1 switches to cluster placement over that many identical
+	// hosts under ClusterPolicy (default model-greedy).
+	Replicas      int    `json:"replicas,omitempty"`
+	ClusterPolicy string `json:"cluster_policy,omitempty"`
+}
+
+type placementResult struct {
+	Policy      string  `json:"policy"`
+	Placement   []int   `json:"placement"`
+	EstimateBPS float64 `json:"estimate_bps"`
+	MeasuredBPS float64 `json:"measured_bps,omitempty"`
+}
+
+type clusterAssignment struct {
+	Host string `json:"host"`
+	Node int    `json:"node"`
+}
+
+type placeResponse struct {
+	Fingerprint string            `json:"fingerprint"`
+	Target      int               `json:"target"`
+	Engine      string            `json:"engine"`
+	Tasks       int               `json:"tasks"`
+	Results     []placementResult `json:"results,omitempty"`
+	// Cluster mode only:
+	ClusterPolicy string              `json:"cluster_policy,omitempty"`
+	Assignments   []clusterAssignment `json:"assignments,omitempty"`
+	AggregateBPS  float64             `json:"aggregate_bps,omitempty"`
+}
+
+func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
+	var req placeRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Tasks <= 0 {
+		writeError(w, http.StatusBadRequest, "tasks must be positive")
+		return
+	}
+	engine := req.Engine
+	if engine == "" {
+		engine = "memcpy"
+	}
+	m, err := cli.ResolveMachine(req.Machine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mm, _, _, err := s.characterizeCached(r.Context(), m, req.Config.toCore())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	target := topology.NodeID(req.Target)
+	resp := placeResponse{Fingerprint: mm.Fingerprint, Target: req.Target, Engine: engine, Tasks: req.Tasks}
+
+	if req.Replicas > 1 {
+		if err := s.placeCluster(&resp, m, mm, target, engine, req); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	sys, err := numa.NewSystem(m.Clone())
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	sch, err := sched.FromMachineModel(sys, mm, target)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	policies := req.Policies
+	if len(policies) == 0 {
+		for _, p := range []sched.Policy{sched.LocalOnly, sched.HopDistance, sched.RoundRobin, sched.ClassBalanced} {
+			policies = append(policies, p.String())
+		}
+	}
+	for _, ps := range policies {
+		p, err := sched.ParsePolicy(ps)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		placement, err := sch.Place(engine, req.Tasks, p)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		res := placementResult{Policy: ps, Placement: nodeInts(placement)}
+		if est, err := sch.Estimate(engine, placement); err == nil {
+			res.EstimateBPS = float64(est)
+		}
+		if req.Evaluate {
+			rep, err := sch.Evaluate(engine, placement, units.Size(req.SizePerTask))
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			res.MeasuredBPS = float64(rep.Aggregate)
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// placeCluster handles the replicas > 1 arm: identical hosts sharing the
+// cached characterization, placed with the cluster-level policies.
+func (s *Server) placeCluster(resp *placeResponse, m *topology.Machine, mm *core.MachineModel, target topology.NodeID, engine string, req placeRequest) error {
+	ps := req.ClusterPolicy
+	if ps == "" {
+		ps = cluster.ModelGreedy.String()
+	}
+	policy, err := cluster.ParsePolicy(ps)
+	if err != nil {
+		return err
+	}
+	var specs []cluster.HostSpec
+	for i := 0; i < req.Replicas; i++ {
+		sys, err := numa.NewSystem(m.Clone())
+		if err != nil {
+			return err
+		}
+		specs = append(specs, cluster.HostSpec{
+			Name: fmt.Sprintf("host%d", i), Sys: sys, Models: mm, Target: target,
+		})
+	}
+	cl, err := cluster.FromModels(specs)
+	if err != nil {
+		return err
+	}
+	assignments, err := cl.Place(engine, req.Tasks, policy)
+	if err != nil {
+		return err
+	}
+	resp.ClusterPolicy = ps
+	for _, a := range assignments {
+		resp.Assignments = append(resp.Assignments, clusterAssignment{Host: a.Host, Node: int(a.Node)})
+	}
+	if req.Evaluate {
+		ev, err := cl.Evaluate(engine, assignments, units.Size(req.SizePerTask))
+		if err != nil {
+			return err
+		}
+		resp.AggregateBPS = float64(ev.Aggregate)
+	}
+	return nil
+}
+
+func nodeInts(nodes []topology.NodeID) []int {
+	out := make([]int, len(nodes))
+	for i, n := range nodes {
+		out[i] = int(n)
+	}
+	return out
+}
+
+type degradeJSON struct {
+	A      string  `json:"a"`
+	B      string  `json:"b"`
+	Factor float64 `json:"factor"`
+}
+
+type whatifRequest struct {
+	Machine json.RawMessage `json:"machine,omitempty"`
+	Config  *configJSON     `json:"config,omitempty"`
+	Target  int             `json:"target"`
+	Modes   []string        `json:"modes,omitempty"` // default: write and read
+	Degrade []degradeJSON   `json:"degrade"`
+}
+
+type nodeDiffJSON struct {
+	Node         int     `json:"node"`
+	BeforeBPS    float64 `json:"before_bps"`
+	AfterBPS     float64 `json:"after_bps"`
+	ClassBefore  int     `json:"class_before"`
+	ClassAfter   int     `json:"class_after"`
+	RelChange    float64 `json:"rel_change"`
+	ClassChanged bool    `json:"class_changed"`
+}
+
+type whatifModeResult struct {
+	Mode         string         `json:"mode"`
+	Diffs        []nodeDiffJSON `json:"diffs"`
+	ChangedNodes []int          `json:"changed_nodes"`
+}
+
+type whatifResponse struct {
+	BeforeFingerprint string             `json:"before_fingerprint"`
+	AfterFingerprint  string             `json:"after_fingerprint"`
+	Target            int                `json:"target"`
+	Results           []whatifModeResult `json:"results"`
+}
+
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	var req whatifRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Degrade) == 0 {
+		writeError(w, http.StatusBadRequest, "degrade list is empty: nothing to re-characterize")
+		return
+	}
+	base, err := cli.ResolveMachine(req.Machine)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	mutant := base.Clone()
+	for _, d := range req.Degrade {
+		if err := mutant.DegradeLinkBetween(d.A, d.B, d.Factor); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	cfg := req.Config.toCore()
+	beforeMM, beforeFP, _, err := s.characterizeCached(r.Context(), base, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	afterMM, afterFP, _, err := s.characterizeCached(r.Context(), mutant, cfg)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	modes := req.Modes
+	if len(modes) == 0 {
+		modes = []string{core.ModeWrite.String(), core.ModeRead.String()}
+	}
+	resp := whatifResponse{BeforeFingerprint: beforeFP, AfterFingerprint: afterFP, Target: req.Target}
+	for _, ms := range modes {
+		mode, err := core.ParseMode(ms)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		before, err := beforeMM.ModelFor(topology.NodeID(req.Target), mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		after, err := afterMM.ModelFor(topology.NodeID(req.Target), mode)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		diffs, err := core.Diff(before, after)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		res := whatifModeResult{Mode: ms}
+		for _, d := range diffs {
+			res.Diffs = append(res.Diffs, nodeDiffJSON{
+				Node:         int(d.Node),
+				BeforeBPS:    float64(d.Before),
+				AfterBPS:     float64(d.After),
+				ClassBefore:  d.ClassBefore,
+				ClassAfter:   d.ClassAfter,
+				RelChange:    d.RelChange,
+				ClassChanged: d.ClassChanged,
+			})
+			if d.ClassChanged {
+				res.ChangedNodes = append(res.ChangedNodes, int(d.Node))
+			}
+		}
+		sort.Ints(res.ChangedNodes)
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

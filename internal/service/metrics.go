@@ -1,0 +1,126 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics is a small in-process registry rendered as Prometheus-style
+// plain text on /metrics: request counters by endpoint and status,
+// characterization latency histogram, cache counters and job gauges.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]int64 // endpoint -> status -> count
+
+	// Characterization latency histogram (seconds).
+	latBuckets []float64
+	latCounts  []int64 // len(latBuckets)+1; last bucket is +Inf
+	latSum     float64
+	latTotal   int64
+}
+
+// defaultLatencyBuckets cover sub-millisecond simulated runs up to
+// multi-second whole-host characterizations.
+var defaultLatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		requests:   make(map[string]map[int]int64),
+		latBuckets: defaultLatencyBuckets,
+		latCounts:  make([]int64, len(defaultLatencyBuckets)+1),
+	}
+}
+
+// ObserveRequest counts one served request.
+func (m *Metrics) ObserveRequest(endpoint string, status int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byStatus, ok := m.requests[endpoint]
+	if !ok {
+		byStatus = make(map[int]int64)
+		m.requests[endpoint] = byStatus
+	}
+	byStatus[status]++
+}
+
+// ObserveCharacterization records one Algorithm 1 run's wall time.
+func (m *Metrics) ObserveCharacterization(d time.Duration) {
+	s := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.latSum += s
+	m.latTotal++
+	for i, le := range m.latBuckets {
+		if s <= le {
+			m.latCounts[i]++
+			return
+		}
+	}
+	m.latCounts[len(m.latBuckets)]++
+}
+
+// RequestCount returns the total requests seen for an endpoint (all
+// statuses); handy for tests.
+func (m *Metrics) RequestCount(endpoint string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for _, n := range m.requests[endpoint] {
+		total += n
+	}
+	return total
+}
+
+// WriteTo renders the registry (plus the supplied cache and job gauges) in
+// the Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, inflightJobs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP numaiod_requests_total Requests served, by endpoint and status.")
+	fmt.Fprintln(w, "# TYPE numaiod_requests_total counter")
+	endpoints := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		statuses := make([]int, 0, len(m.requests[e]))
+		for s := range m.requests[e] {
+			statuses = append(statuses, s)
+		}
+		sort.Ints(statuses)
+		for _, s := range statuses {
+			fmt.Fprintf(w, "numaiod_requests_total{endpoint=%q,status=\"%d\"} %d\n", e, s, m.requests[e][s])
+		}
+	}
+
+	fmt.Fprintln(w, "# HELP numaiod_characterize_seconds Wall time of Algorithm 1 characterizations.")
+	fmt.Fprintln(w, "# TYPE numaiod_characterize_seconds histogram")
+	var cum int64
+	for i, le := range m.latBuckets {
+		cum += m.latCounts[i]
+		fmt.Fprintf(w, "numaiod_characterize_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += m.latCounts[len(m.latBuckets)]
+	fmt.Fprintf(w, "numaiod_characterize_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "numaiod_characterize_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "numaiod_characterize_seconds_count %d\n", m.latTotal)
+
+	fmt.Fprintln(w, "# HELP numaiod_model_cache Model cache activity.")
+	fmt.Fprintln(w, "# TYPE numaiod_model_cache counter")
+	fmt.Fprintf(w, "numaiod_model_cache{event=\"hit\"} %d\n", cache.Hits)
+	fmt.Fprintf(w, "numaiod_model_cache{event=\"miss\"} %d\n", cache.Misses)
+	fmt.Fprintf(w, "numaiod_model_cache{event=\"coalesced\"} %d\n", cache.Coalesced)
+	fmt.Fprintf(w, "numaiod_model_cache{event=\"eviction\"} %d\n", cache.Evictions)
+	fmt.Fprintln(w, "# HELP numaiod_model_cache_entries Live model cache entries.")
+	fmt.Fprintln(w, "# TYPE numaiod_model_cache_entries gauge")
+	fmt.Fprintf(w, "numaiod_model_cache_entries %d\n", cache.Entries)
+	fmt.Fprintln(w, "# HELP numaiod_inflight_jobs Characterizations currently holding a worker slot.")
+	fmt.Fprintln(w, "# TYPE numaiod_inflight_jobs gauge")
+	fmt.Fprintf(w, "numaiod_inflight_jobs %d\n", inflightJobs)
+}

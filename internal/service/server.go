@@ -1,0 +1,214 @@
+// Package service is the model-serving daemon behind cmd/numaiod: an HTTP
+// JSON API (stdlib net/http only) that characterizes machines with
+// Algorithm 1 once, caches the resulting models by topology fingerprint,
+// and serves predictions (Eq. 1), placements (internal/sched and
+// internal/cluster policies) and what-if diffs hot.
+//
+// The paper's Sec. V-B point is that characterization is expensive and
+// should be amortized; the cache plus singleflight coalescing in this
+// package is the systems embodiment of that: a fleet of identical requests
+// costs one characterization.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"numaio/internal/core"
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+)
+
+// CharacterizeFunc runs Algorithm 1 for a whole machine. The daemon uses
+// the real characterizer; tests inject counters or stubs.
+type CharacterizeFunc func(m *topology.Machine, cfg core.Config) (*core.MachineModel, error)
+
+// DefaultCharacterize boots a simulated system on the machine and runs the
+// whole-host characterization.
+func DefaultCharacterize(m *topology.Machine, cfg core.Config) (*core.MachineModel, error) {
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		return nil, err
+	}
+	c, err := core.NewCharacterizer(sys, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return c.CharacterizeAll()
+}
+
+// Config tunes the daemon.
+type Config struct {
+	// Workers bounds concurrent characterizations; 0 means 4.
+	Workers int
+	// CacheEntries bounds the model cache; 0 means 64.
+	CacheEntries int
+	// CacheTTL expires cached models; 0 means 1 hour, negative disables
+	// expiry.
+	CacheTTL time.Duration
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+	// Characterize overrides the Algorithm 1 runner (tests); nil uses
+	// DefaultCharacterize.
+	Characterize CharacterizeFunc
+}
+
+// Server is the daemon state: cache, worker pool, job registry, metrics
+// and the HTTP handler tree.
+type Server struct {
+	log          *slog.Logger
+	cache        *ModelCache
+	pool         *Pool
+	jobs         *JobRegistry
+	metrics      *Metrics
+	mux          *http.ServeMux
+	characterize CharacterizeFunc
+}
+
+// New builds a server from the config.
+func New(cfg Config) *Server {
+	ttl := cfg.CacheTTL
+	if ttl == 0 {
+		ttl = time.Hour
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	ch := cfg.Characterize
+	if ch == nil {
+		ch = DefaultCharacterize
+	}
+	s := &Server{
+		log:          logger,
+		cache:        NewModelCache(cfg.CacheEntries, ttl),
+		pool:         NewPool(cfg.Workers),
+		jobs:         NewJobRegistry(),
+		metrics:      NewMetrics(),
+		mux:          http.NewServeMux(),
+		characterize: ch,
+	}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	s.handle("GET /healthz", "/healthz", s.handleHealthz)
+	s.handle("GET /metrics", "/metrics", s.handleMetrics)
+	s.handle("POST /v1/characterize", "/v1/characterize", s.handleCharacterize)
+	s.handle("GET /v1/models/{fingerprint}", "/v1/models", s.handleModel)
+	s.handle("GET /v1/jobs/{id}", "/v1/jobs", s.handleJob)
+	s.handle("POST /v1/predict", "/v1/predict", s.handlePredict)
+	s.handle("POST /v1/place", "/v1/place", s.handlePlace)
+	s.handle("POST /v1/whatif", "/v1/whatif", s.handleWhatif)
+}
+
+// handle registers a pattern under the logging/metrics middleware. The
+// endpoint label aggregates path parameters (e.g. every /v1/models/{fp}
+// request counts under "/v1/models").
+func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.ObserveRequest(endpoint, rec.status)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", rec.status,
+			"duration", time.Since(start),
+			"bytes", rec.bytes,
+			"remote", r.RemoteAddr)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the model cache (metrics, tests).
+func (s *Server) Cache() *ModelCache { return s.cache }
+
+// Metrics exposes the metrics registry (tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Drain stops admitting async work and waits for in-flight jobs, honouring
+// ctx as the deadline. Call after http.Server.Shutdown during graceful
+// termination.
+func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
+
+// characterizeCached resolves the machine's fingerprint and returns its
+// whole-host model, computing it at most once per (fingerprint, config)
+// across concurrent callers. The bool reports a cache (or coalesced) hit.
+func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cfg core.Config) (*core.MachineModel, string, bool, error) {
+	fp, err := topology.Fingerprint(m)
+	if err != nil {
+		return nil, "", false, err
+	}
+	key := fmt.Sprintf("%s|t%d r%d b%d g%g s%g",
+		fp, cfg.Threads, cfg.Repeats, int64(cfg.BytesPerThread), cfg.GapThreshold, cfg.Sigma)
+	mm, cached, err := s.cache.GetOrCompute(key, func() (*core.MachineModel, error) {
+		if err := s.pool.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.pool.Release()
+		start := time.Now()
+		mm, err := s.characterize(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.ObserveCharacterization(time.Since(start))
+		mm.Fingerprint = fp
+		return mm, nil
+	})
+	return mm, fp, cached, err
+}
+
+// writeJSON encodes v with a status code.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body into v.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("invalid JSON body: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,22 @@
+package topology
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Fingerprint returns a stable content hash of the machine's canonical JSON
+// encoding. Two machines that encode identically share a fingerprint; any
+// observable change — a node, a link capacity, a pinned route — yields a
+// different one. It is the cache key the model-serving daemon (numaiod)
+// uses to recognise a topology it has already characterized.
+func Fingerprint(m *Machine) (string, error) {
+	var buf bytes.Buffer
+	if err := m.EncodeJSON(&buf); err != nil {
+		return "", fmt.Errorf("topology: fingerprinting machine: %w", err)
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:16]), nil
+}

@@ -1,0 +1,68 @@
+package topology
+
+import (
+	"testing"
+
+	"numaio/internal/units"
+)
+
+// The cache-key contract: identical encodings share a fingerprint, any
+// observable change breaks it.
+func TestFingerprintStable(t *testing.T) {
+	a := DL585G7()
+	b := DL585G7()
+	fa, err := Fingerprint(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := Fingerprint(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa != fb {
+		t.Errorf("two identically-built machines fingerprint differently: %s vs %s", fa, fb)
+	}
+	if len(fa) != 32 {
+		t.Errorf("fingerprint %q has length %d, want 32 hex chars", fa, len(fa))
+	}
+
+	clone := a.Clone()
+	fc, err := Fingerprint(clone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc != fa {
+		t.Errorf("clone fingerprints differently: %s vs %s", fc, fa)
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := DL585G7()
+	fBase, err := Fingerprint(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A single changed link capacity must change the fingerprint.
+	mutant := base.Clone()
+	if err := mutant.SetLinkCapacity(0, 1*units.Gbps); err != nil {
+		t.Fatal(err)
+	}
+	fMutant, err := Fingerprint(mutant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fMutant == fBase {
+		t.Error("changed link capacity did not change the fingerprint")
+	}
+
+	// Distinct profiles must not collide.
+	other := MagnyCours4P(VariantA)
+	fOther, err := Fingerprint(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fOther == fBase {
+		t.Error("distinct profiles share a fingerprint")
+	}
+}

@@ -1,0 +1,66 @@
+#!/bin/sh
+# serve-smoke: boot numaiod on an ephemeral port, exercise the API with
+# curl, and shut it down gracefully with SIGTERM. Fails if any endpoint
+# misbehaves or the daemon does not drain cleanly.
+set -eu
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "serve-smoke: building numaiod"
+"$GO" build -o "$workdir/numaiod" ./cmd/numaiod
+
+"$workdir/numaiod" -addr 127.0.0.1:0 -quiet >"$workdir/out.log" 2>"$workdir/err.log" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+
+# Wait for the listen banner.
+base=""
+for _ in $(seq 1 100); do
+    base=$(sed -n 's/^listening on //p' "$workdir/out.log" | head -n 1)
+    [ -n "$base" ] && break
+    sleep 0.1
+done
+if [ -z "$base" ]; then
+    echo "serve-smoke: daemon never announced its address" >&2
+    cat "$workdir/err.log" >&2
+    exit 1
+fi
+echo "serve-smoke: daemon at $base"
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    exit 1
+}
+
+curl -fsS -o "$workdir/resp" "$base/healthz"
+grep -q ok "$workdir/resp" || fail "/healthz not ok"
+
+char='{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1}}'
+curl -fsS -o "$workdir/resp" -X POST -d "$char" "$base/v1/characterize"
+grep -q '"cached": false' "$workdir/resp" || fail "first characterize was not a cache miss"
+curl -fsS -o "$workdir/resp" -X POST -d "$char" "$base/v1/characterize"
+grep -q '"cached": true' "$workdir/resp" || fail "second characterize was not served from cache"
+
+predict='{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1},
+          "target": 0, "mode": "write", "mix": {"0": 0.5, "2": 0.5}}'
+curl -fsS -o "$workdir/resp" -X POST -d "$predict" "$base/v1/predict"
+grep -q '"predicted_bps"' "$workdir/resp" || fail "/v1/predict returned no prediction"
+
+curl -fsS "$base/metrics" >"$workdir/metrics.txt"
+grep -q 'numaiod_requests_total{endpoint="/v1/characterize",status="200"} 2' "$workdir/metrics.txt" \
+    || fail "metrics missing characterize counter"
+grep -Eq 'numaiod_model_cache\{event="hit"\} [1-9]' "$workdir/metrics.txt" \
+    || fail "metrics missing cache hit"
+
+echo "serve-smoke: sending SIGTERM"
+kill -TERM "$pid"
+i=0
+while kill -0 "$pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "daemon did not exit after SIGTERM"
+    sleep 0.1
+done
+grep -q drained "$workdir/out.log" || fail "daemon exited without draining"
+echo "serve-smoke: ok"
