@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench experiments examples serve-smoke clean
+.PHONY: all build vet test race cover bench bench-paper experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -21,8 +21,13 @@ race:
 cover:
 	$(GO) test -cover ./...
 
-# One benchmark per paper table/figure (custom metrics carry the Gb/s).
+# Hot-path microbenchmarks with a fixed -benchtime; records the results as
+# BENCH_<rev>.{txt,json} for the speedup trajectory (docs/PERFORMANCE.md).
 bench:
+	sh scripts/bench.sh
+
+# One benchmark per paper table/figure (custom metrics carry the Gb/s).
+bench-paper:
 	$(GO) test -bench=. -benchmem .
 
 # Regenerate the paper-vs-measured document.

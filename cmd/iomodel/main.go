@@ -6,7 +6,7 @@
 // Usage:
 //
 //	iomodel [-machine profile] [-target node] [-mode write|read|both]
-//	        [-threads n] [-repeats n] [-o model.json]
+//	        [-threads n] [-repeats n] [-parallelism n] [-o model.json]
 package main
 
 import (
@@ -35,6 +35,7 @@ func run(args []string, out io.Writer) error {
 	repeats := fs.Int("repeats", 0, "repetitions per node (0 = default)")
 	all := fs.Bool("all", false, "characterize every node as a target (whole-host model)")
 	gap := fs.Float64("gap", 0, "classification gap threshold in (0,1); 0 = default 0.2")
+	parallelism := fs.Int("parallelism", 0, "measurement worker-pool width (0 = serial; results are identical at any setting)")
 	outPath := fs.String("o", "", "write the model(s) as JSON to this file")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -50,6 +51,7 @@ func run(args []string, out io.Writer) error {
 	}
 	c, err := core.NewCharacterizer(sys, core.Config{
 		Threads: *threads, Repeats: *repeats, GapThreshold: *gap,
+		Parallelism: *parallelism,
 	})
 	if err != nil {
 		return err

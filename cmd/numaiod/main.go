@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	numaiod [-addr host:port] [-workers n] [-cache-entries n] [-cache-ttl d]
+//	numaiod [-addr host:port] [-workers n] [-parallelism n]
+//	        [-cache-entries n] [-cache-ttl d] [-pprof]
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (use -addr 127.0.0.1:0 for an ephemeral port) and shuts down gracefully
@@ -21,6 +22,7 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // handlers gated behind the -pprof flag
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,9 +42,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("numaiod", flag.ContinueOnError)
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
 	workers := fs.Int("workers", 4, "max concurrent characterizations")
+	parallelism := fs.Int("parallelism", 0, "measurement worker-pool width per characterization (0 = same as -workers)")
 	cacheEntries := fs.Int("cache-entries", 64, "model cache capacity")
 	cacheTTL := fs.Duration("cache-ttl", time.Hour, "model cache entry lifetime (negative disables expiry)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
+	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "suppress request logs")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -54,6 +58,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *workers < 1 {
 		return cli.Usagef("-workers must be at least 1, got %d", *workers)
 	}
+	if *parallelism < 0 {
+		return cli.Usagef("-parallelism must be nonnegative, got %d", *parallelism)
+	}
 
 	logDst := io.Writer(os.Stderr)
 	if *quiet {
@@ -63,6 +70,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	svc := service.New(service.Config{
 		Workers:      *workers,
+		Parallelism:  *parallelism,
 		CacheEntries: *cacheEntries,
 		CacheTTL:     *cacheTTL,
 		Logger:       logger,
@@ -74,7 +82,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "listening on http://%s\n", ln.Addr())
 
-	srv := &http.Server{Handler: svc.Handler()}
+	handler := svc.Handler()
+	if *pprof {
+		// The pprof handlers self-register on http.DefaultServeMux via the
+		// net/http/pprof import; expose them next to the API.
+		mux := http.NewServeMux()
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		mux.Handle("/", handler)
+		handler = mux
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {

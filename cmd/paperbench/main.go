@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	paperbench            # print all experiment tables
-//	paperbench -md        # emit the EXPERIMENTS.md markdown document
-//	paperbench -only F5   # run a single experiment (see -list for all IDs)
-//	paperbench -list      # list experiment IDs
+//	paperbench                  # print all experiment tables
+//	paperbench -md              # emit the EXPERIMENTS.md markdown document
+//	paperbench -only F5         # run a single experiment (see -list for all IDs)
+//	paperbench -list            # list experiment IDs
+//	paperbench -parallelism 4   # parallel characterizations (same output, less wall time)
 package main
 
 import (
@@ -400,6 +401,7 @@ func run(args []string, out io.Writer) error {
 	md := fs.Bool("md", false, "emit the EXPERIMENTS.md markdown document")
 	only := fs.String("only", "", "run a single experiment by ID")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
+	parallelism := fs.Int("parallelism", 0, "characterization worker-pool width (0 = serial; output is identical at any setting)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -414,6 +416,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	lab.Parallelism = *parallelism
 
 	// Canonical document order: paper artifacts first, then applications,
 	// extensions, ablations and validation.

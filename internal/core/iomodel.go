@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"numaio/internal/device"
 	"numaio/internal/fio"
@@ -107,6 +108,14 @@ type Config struct {
 	GapThreshold float64
 	// Sigma is the measurement noise; 0 means 0.02, negative disables.
 	Sigma float64
+	// Parallelism bounds the number of measurement workers. The
+	// (node, repeat) cells of Characterize — and the (target, mode) sweeps
+	// of CharacterizeAll — are independent, so they fan out over a worker
+	// pool of this width; 0 or 1 runs serially. Measured values are
+	// identical at any setting: jitter is keyed by job name, so scheduling
+	// order cannot change a cell's value, and results are assembled in
+	// deterministic node order. Parallelism therefore tunes wall time only.
+	Parallelism int
 }
 
 func (c Config) withDefaults() Config {
@@ -145,12 +154,36 @@ func NewCharacterizer(sys *numa.System, cfg Config) (*Characterizer, error) {
 	if cfg.GapThreshold <= 0 || cfg.GapThreshold >= 1 {
 		return nil, fmt.Errorf("core: gap threshold %v out of (0,1)", cfg.GapThreshold)
 	}
+	if cfg.Parallelism < 0 {
+		return nil, fmt.Errorf("core: negative parallelism")
+	}
 	return &Characterizer{sys: sys, cfg: cfg}, nil
 }
 
+// workers clamps the configured parallelism to the number of independent
+// work items.
+func (c *Characterizer) workers(items int) int {
+	p := c.cfg.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	if p > items {
+		p = items
+	}
+	return p
+}
+
 // Characterize runs Algorithm 1 for one target node and mode and returns
-// the classified model.
+// the classified model. With Config.Parallelism > 1 the (node, repeat)
+// measurement cells run concurrently; the model is identical either way.
 func (c *Characterizer) Characterize(target topology.NodeID, mode Mode) (*Model, error) {
+	return c.characterize(target, mode, -1)
+}
+
+// characterize is Characterize with an explicit worker budget; budget < 0
+// means use the configured parallelism. CharacterizeAll passes 1 so that
+// fanning out over (target, mode) pairs does not multiply the pool width.
+func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget int) (*Model, error) {
 	m := c.sys.Machine()
 	targetNode, ok := m.Node(target)
 	if !ok {
@@ -161,12 +194,17 @@ func (c *Characterizer) Characterize(target topology.NodeID, mode Mode) (*Model,
 		threads = targetNode.Cores
 	}
 
+	nodes := m.NodeIDs()
+	if budget < 0 {
+		budget = c.workers(len(nodes) * c.cfg.Repeats)
+	}
+	vals, err := c.measureCells(target, mode, threads, nodes, budget)
+	if err != nil {
+		return nil, err
+	}
 	model := &Model{Machine: m.Name, Target: target, Mode: mode}
-	for _, n := range m.NodeIDs() {
-		bw, sd, err := c.measureNode(target, n, mode, threads)
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range nodes {
+		bw, sd := meanStddev(vals[i])
 		model.Samples = append(model.Samples, Sample{Node: n, Bandwidth: bw, StdDev: sd})
 	}
 	classes, err := Classify(m, target, model.Samples, c.cfg.GapThreshold)
@@ -177,31 +215,99 @@ func (c *Characterizer) Characterize(target topology.NodeID, mode Mode) (*Model,
 	return model, nil
 }
 
-// measureNode runs the memcpy engine for one (target, node, mode) cell and
-// averages the repeats (Algorithm 1 line 12), also reporting the spread.
-func (c *Characterizer) measureNode(target, n topology.NodeID, mode Mode, threads int) (units.Bandwidth, units.Bandwidth, error) {
+// measureCells runs every (node, repeat) measurement cell of one sweep and
+// returns vals[nodeIdx][rep]. Cells are independent, so with workers > 1
+// they are distributed over a bounded pool, one fio.Runner per worker. The
+// result matrix is indexed, not appended, so scheduling order cannot change
+// the assembled model.
+func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads int, nodes []topology.NodeID, workers int) ([][]float64, error) {
+	reps := c.cfg.Repeats
+	flat := make([]float64, len(nodes)*reps)
+	vals := make([][]float64, len(nodes))
+	for i := range vals {
+		vals[i] = flat[i*reps : (i+1)*reps : (i+1)*reps]
+	}
+	total := len(nodes) * reps
+
+	if workers <= 1 {
+		runner := fio.NewRunner(c.sys)
+		runner.Sigma = c.cfg.Sigma
+		for i, n := range nodes {
+			for rep := 0; rep < reps; rep++ {
+				v, err := c.measureCell(runner, target, n, mode, threads, rep)
+				if err != nil {
+					return nil, err
+				}
+				vals[i][rep] = v
+			}
+		}
+		return vals, nil
+	}
+
+	cells := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			runner := fio.NewRunner(c.sys)
+			runner.Sigma = c.cfg.Sigma
+			for idx := range cells {
+				i, rep := idx/reps, idx%reps
+				v, err := c.measureCell(runner, target, nodes[i], mode, threads, rep)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					continue
+				}
+				vals[i][rep] = v
+			}
+		}()
+	}
+	for idx := 0; idx < total; idx++ {
+		cells <- idx
+	}
+	close(cells)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return vals, nil
+}
+
+// measureCell runs the memcpy engine for one (target, node, repeat) cell
+// (one iteration of Algorithm 1 line 12). The job name carries the full
+// cell coordinates, so the jitter — and therefore the measured value — is a
+// pure function of the cell, independent of which worker runs it.
+func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep int) (float64, error) {
 	src, dst := n, target // device write: read from node i, store at target
 	if mode == ModeRead {
 		src, dst = target, n // device read: read at target, store to node i
 	}
-	runner := fio.NewRunner(c.sys)
-	runner.Sigma = c.cfg.Sigma
-	vals := make([]float64, 0, c.cfg.Repeats)
-	for rep := 0; rep < c.cfg.Repeats; rep++ {
-		report, err := runner.Run([]fio.Job{{
-			Name:    fmt.Sprintf("iomodel-%v-t%d-n%d-r%d", mode, int(target), int(n), rep),
-			Engine:  device.EngineMemcpy,
-			Node:    target, // all copy threads bound to the target node
-			NumJobs: threads,
-			Size:    c.cfg.BytesPerThread,
-			SrcNode: &src,
-			DstNode: &dst,
-		}})
-		if err != nil {
-			return 0, 0, err
-		}
-		vals = append(vals, float64(report.Aggregate))
+	report, err := runner.Run([]fio.Job{{
+		Name:    fmt.Sprintf("iomodel-%v-t%d-n%d-r%d", mode, int(target), int(n), rep),
+		Engine:  device.EngineMemcpy,
+		Node:    target, // all copy threads bound to the target node
+		NumJobs: threads,
+		Size:    c.cfg.BytesPerThread,
+		SrcNode: &src,
+		DstNode: &dst,
+	}})
+	if err != nil {
+		return 0, err
 	}
+	return float64(report.Aggregate), nil
+}
+
+// meanStddev averages the repeats of one cell row (Algorithm 1 line 12)
+// and reports the sample spread. Accumulation runs in repeat order so the
+// floats match the original serial loop bit for bit.
+func meanStddev(vals []float64) (units.Bandwidth, units.Bandwidth) {
 	var sum float64
 	for _, v := range vals {
 		sum += v
@@ -215,7 +321,7 @@ func (c *Characterizer) measureNode(target, n topology.NodeID, mode Mode, thread
 	if len(vals) > 1 {
 		sd = math.Sqrt(sq / float64(len(vals)-1))
 	}
-	return units.Bandwidth(mean), units.Bandwidth(sd), nil
+	return units.Bandwidth(mean), units.Bandwidth(sd)
 }
 
 // Classify groups per-node bandwidths into performance classes. Following

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 
 	"numaio/internal/topology"
 )
@@ -21,7 +22,10 @@ type MachineModel struct {
 }
 
 // CharacterizeAll runs Algorithm 1 for every node of the machine in both
-// modes.
+// modes. With Config.Parallelism > 1 the (target, mode) sweeps fan out over
+// a worker pool of that width — each sweep then measures its cells serially,
+// so total concurrency stays bounded by Parallelism — and the models are
+// assembled in the same (target, mode) order as the serial run.
 func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 	m := c.sys.Machine()
 	fp, err := topology.Fingerprint(m)
@@ -29,15 +33,58 @@ func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 		return nil, err
 	}
 	out := &MachineModel{Machine: m.Name, Fingerprint: fp}
-	for _, target := range m.NodeIDs() {
-		for _, mode := range []Mode{ModeWrite, ModeRead} {
-			model, err := c.Characterize(target, mode)
-			if err != nil {
-				return nil, fmt.Errorf("core: characterizing node %d (%v): %w",
-					int(target), mode, err)
+
+	modes := []Mode{ModeWrite, ModeRead}
+	targets := m.NodeIDs()
+	pairs := len(targets) * len(modes)
+	workers := c.workers(pairs)
+	out.Models = make([]*Model, pairs)
+
+	if workers <= 1 {
+		for ti, target := range targets {
+			for mi, mode := range modes {
+				model, err := c.Characterize(target, mode)
+				if err != nil {
+					return nil, fmt.Errorf("core: characterizing node %d (%v): %w",
+						int(target), mode, err)
+				}
+				out.Models[ti*len(modes)+mi] = model
 			}
-			out.Models = append(out.Models, model)
 		}
+		return out, nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				target, mode := targets[idx/len(modes)], modes[idx%len(modes)]
+				model, err := c.characterize(target, mode, 1)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: characterizing node %d (%v): %w",
+							int(target), mode, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				out.Models[idx] = model
+			}
+		}()
+	}
+	for idx := 0; idx < pairs; idx++ {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return out, nil
 }

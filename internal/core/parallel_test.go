@@ -1,0 +1,113 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"numaio/internal/numa"
+	"numaio/internal/topology"
+)
+
+// These tests pin the determinism contract of the parallel characterization
+// engine: jitter is keyed by job name (mode, target, node, repeat), so no
+// worker-pool schedule can change a measured value, and the assembled models
+// must be byte-identical to the serial run.
+
+func sysFor(t *testing.T, profile string) *numa.System {
+	t.Helper()
+	m, err := topology.ProfileByName(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := numa.NewSystem(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func machineJSON(t *testing.T, mm *MachineModel) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := mm.SaveJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCharacterizeParallelBitIdentical: one (target, mode) sweep on the
+// 8-node reference machine at increasing parallelism, all equal to serial.
+func TestCharacterizeParallelBitIdentical(t *testing.T) {
+	sys := sysFor(t, "dl585g7")
+	serial, err := NewCharacterizer(sys, Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.Characterize(7, ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8, 64} {
+		c, err := NewCharacterizer(sys, Config{Parallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Characterize(7, ModeWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d: model differs from serial", p)
+		}
+	}
+}
+
+// TestCharacterizeAllParallelBitIdentical: whole-host sweeps across every
+// target and mode on the Magny-Cours and full-mesh machines serialize to
+// the exact same bytes at any parallelism.
+func TestCharacterizeAllParallelBitIdentical(t *testing.T) {
+	for _, profile := range []string{"magny-a", "intel-4s4n"} {
+		t.Run(profile, func(t *testing.T) {
+			sys := sysFor(t, profile)
+			serial, err := NewCharacterizer(sys, Config{Repeats: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := serial.CharacterizeAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := machineJSON(t, base)
+			for _, p := range []int{4, 16} {
+				c, err := NewCharacterizer(sys, Config{Repeats: 3, Parallelism: p})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mm, err := c.CharacterizeAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := machineJSON(t, mm); !bytes.Equal(got, want) {
+					t.Errorf("parallelism %d: machine model JSON differs from serial", p)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelismValidation: negative parallelism is rejected; large values
+// are clamped to the cell count rather than erroring.
+func TestParallelismValidation(t *testing.T) {
+	sys := sysFor(t, "dl585g7")
+	if _, err := NewCharacterizer(sys, Config{Parallelism: -1}); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	c, err := NewCharacterizer(sys, Config{Parallelism: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Characterize(0, ModeRead); err != nil {
+		t.Errorf("oversized parallelism: %v", err)
+	}
+}

@@ -21,6 +21,10 @@ import (
 // SSDs on node 7, plus a numa system booted on it.
 type Lab struct {
 	Sys *numa.System
+	// Parallelism is forwarded to every characterization the experiments
+	// run (core.Config.Parallelism); 0 keeps them serial. Results are
+	// identical at any setting, so EXPERIMENTS.md does not depend on it.
+	Parallelism int
 }
 
 // NewLab boots the testbed.

@@ -91,18 +91,49 @@ func (a *Allocation) Aggregate() units.Bandwidth {
 	return sum
 }
 
-// Solver accumulates resources and flows for one allocation round.
+// indexedUsage is a Usage resolved to a resource index, so the solve loops
+// run on slices instead of maps.
+type indexedUsage struct {
+	res    int
+	weight float64
+}
+
+// indexedFlow is a registered flow with index-resolved usages.
+type indexedFlow struct {
+	id     string
+	demand units.Bandwidth
+	usages []indexedUsage
+}
+
+func (f indexedFlow) unbounded() bool {
+	return f.demand <= 0 || math.IsInf(float64(f.demand), 1)
+}
+
+// Solver accumulates resources and flows for allocation rounds. It is
+// reusable: Reset clears the flows while keeping the registered resources,
+// and RemoveFlow drops a single flow, so callers that re-solve a shrinking
+// flow set (the fluid executor) do not rebuild the resource table each
+// round. A Solver is not safe for concurrent use.
 type Solver struct {
-	resources map[ResourceID]Resource
-	flows     []Flow
-	flowIDs   map[string]bool
+	resList  []Resource // registration order
+	resIndex map[ResourceID]int
+	sorted   []int // resource indices in ascending ID order
+	flows    []indexedFlow
+	flowIDs  map[string]bool
+
+	// Scratch buffers reused across Solve calls.
+	rates        []float64
+	frozen       []bool
+	bottleneck   []int // resource index, -1 = demand-frozen
+	frozenLoad   []float64
+	activeWeight []float64
 }
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
 	return &Solver{
-		resources: make(map[ResourceID]Resource),
-		flowIDs:   make(map[string]bool),
+		resIndex: make(map[ResourceID]int),
+		flowIDs:  make(map[string]bool),
 	}
 }
 
@@ -111,14 +142,31 @@ func (s *Solver) SetResource(r Resource) error {
 	if r.Capacity <= 0 {
 		return fmt.Errorf("fabric: resource %q: nonpositive capacity %v", r.ID, r.Capacity)
 	}
-	s.resources[r.ID] = r
+	if i, ok := s.resIndex[r.ID]; ok {
+		s.resList[i] = r
+		return nil
+	}
+	i := len(s.resList)
+	s.resList = append(s.resList, r)
+	s.resIndex[r.ID] = i
+	// Keep the ID-sorted index order incrementally (insertion into a
+	// sorted slice; resource counts are small).
+	pos := sort.Search(len(s.sorted), func(k int) bool {
+		return s.resList[s.sorted[k]].ID >= r.ID
+	})
+	s.sorted = append(s.sorted, 0)
+	copy(s.sorted[pos+1:], s.sorted[pos:])
+	s.sorted[pos] = i
 	return nil
 }
 
 // Resource returns a registered resource.
 func (s *Solver) Resource(id ResourceID) (Resource, bool) {
-	r, ok := s.resources[id]
-	return r, ok
+	i, ok := s.resIndex[id]
+	if !ok {
+		return Resource{}, false
+	}
+	return s.resList[i], true
 }
 
 // AddFlow registers a flow. Duplicate usages of the same resource are merged
@@ -130,28 +178,56 @@ func (s *Solver) AddFlow(f Flow) error {
 	if s.flowIDs[f.ID] {
 		return fmt.Errorf("fabric: duplicate flow %q", f.ID)
 	}
-	merged := make(map[ResourceID]float64)
+	usages := make([]indexedUsage, 0, len(f.Usages))
 	for _, u := range f.Usages {
 		if u.Weight <= 0 {
 			return fmt.Errorf("fabric: flow %q: nonpositive weight %v on %q", f.ID, u.Weight, u.Resource)
 		}
-		if _, ok := s.resources[u.Resource]; !ok {
+		ri, ok := s.resIndex[u.Resource]
+		if !ok {
 			return fmt.Errorf("fabric: flow %q: unknown resource %q", f.ID, u.Resource)
 		}
-		merged[u.Resource] += u.Weight
+		merged := false
+		for k := range usages {
+			if usages[k].res == ri {
+				usages[k].weight += u.Weight
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			usages = append(usages, indexedUsage{res: ri, weight: u.Weight})
+		}
 	}
-	ids := make([]ResourceID, 0, len(merged))
-	for id := range merged {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	ff := Flow{ID: f.ID, Demand: f.Demand}
-	for _, id := range ids {
-		ff.Usages = append(ff.Usages, Usage{Resource: id, Weight: merged[id]})
-	}
-	s.flows = append(s.flows, ff)
+	sort.Slice(usages, func(i, j int) bool {
+		return s.resList[usages[i].res].ID < s.resList[usages[j].res].ID
+	})
+	s.flows = append(s.flows, indexedFlow{id: f.ID, demand: f.Demand, usages: usages})
 	s.flowIDs[f.ID] = true
 	return nil
+}
+
+// Reset drops every flow while keeping the registered resources, readying
+// the solver for a fresh round over the same fabric.
+func (s *Solver) Reset() {
+	s.flows = s.flows[:0]
+	clear(s.flowIDs)
+}
+
+// RemoveFlow unregisters one flow, preserving the relative order of the
+// rest. It reports whether the flow was present.
+func (s *Solver) RemoveFlow(id string) bool {
+	if !s.flowIDs[id] {
+		return false
+	}
+	for i := range s.flows {
+		if s.flows[i].id == id {
+			s.flows = append(s.flows[:i], s.flows[i+1:]...)
+			break
+		}
+	}
+	delete(s.flowIDs, id)
+	return true
 }
 
 // NumFlows returns the number of registered flows.
@@ -162,24 +238,49 @@ const eps = 1e-9
 // Solve computes the weighted max-min fair allocation.
 func (s *Solver) Solve() (*Allocation, error) { return s.solve() }
 
+// grow resizes the scratch buffers for n flows over the current resources.
+func (s *Solver) grow(n int) {
+	if cap(s.rates) < n {
+		s.rates = make([]float64, n)
+		s.frozen = make([]bool, n)
+		s.bottleneck = make([]int, n)
+	}
+	s.rates = s.rates[:n]
+	s.frozen = s.frozen[:n]
+	s.bottleneck = s.bottleneck[:n]
+	for i := 0; i < n; i++ {
+		s.rates[i] = 0
+		s.frozen[i] = false
+		s.bottleneck[i] = -1
+	}
+	nr := len(s.resList)
+	if cap(s.frozenLoad) < nr {
+		s.frozenLoad = make([]float64, nr)
+		s.activeWeight = make([]float64, nr)
+	}
+	s.frozenLoad = s.frozenLoad[:nr]
+	s.activeWeight = s.activeWeight[:nr]
+}
+
 func (s *Solver) solve() (*Allocation, error) {
 	n := len(s.flows)
-	rates := make([]float64, n)
-	frozen := make([]bool, n)
-	bottleneck := make([]ResourceID, n)
+	s.grow(n)
+	rates, frozen, bottleneck := s.rates, s.frozen, s.bottleneck
 	active := n
 
 	// Per-resource frozen load and active weight, recomputed each round
 	// (rounds <= flows, resources bounded; fine for our sizes).
 	for active > 0 {
-		frozenLoad := make(map[ResourceID]float64)
-		activeWeight := make(map[ResourceID]float64)
-		for i, f := range s.flows {
-			for _, u := range f.Usages {
+		frozenLoad, activeWeight := s.frozenLoad, s.activeWeight
+		for i := range frozenLoad {
+			frozenLoad[i], activeWeight[i] = 0, 0
+		}
+		for i := range s.flows {
+			for _, u := range s.flows[i].usages {
 				if frozen[i] {
-					frozenLoad[u.Resource] += u.Weight * rates[i]
+					frozenLoad[u.res] += u.weight * rates[i]
 				} else {
-					activeWeight[u.Resource] += u.Weight
+					activeWeight[u.res] += u.weight
 				}
 			}
 		}
@@ -196,33 +297,37 @@ func (s *Solver) solve() (*Allocation, error) {
 		}
 
 		// Next stop: the smallest level at which a resource saturates or
-		// an active flow reaches demand.
+		// an active flow reaches demand. Resources are visited in ID order
+		// so eps-close ties resolve to the smallest resource ID
+		// deterministically.
 		nextX := math.Inf(1)
-		var bindRes ResourceID
-		for id, w := range activeWeight {
+		bindRes := -1
+		for _, ri := range s.sorted {
+			w := activeWeight[ri]
 			if w <= 0 {
 				continue
 			}
-			cap := float64(s.resources[id].Capacity)
-			lvl := (cap - frozenLoad[id]) / w
+			cap := float64(s.resList[ri].Capacity)
+			lvl := (cap - frozenLoad[ri]) / w
 			if lvl < x-eps {
 				lvl = x // resource already (numerically) saturated
 			}
-			if lvl < nextX-eps || (math.Abs(lvl-nextX) <= eps && (bindRes == "" || id < bindRes)) {
+			if lvl < nextX-eps {
 				nextX = lvl
-				bindRes = id
+				bindRes = ri
 			}
 		}
 		demandBound := false
-		for i, f := range s.flows {
+		for i := range s.flows {
+			f := &s.flows[i]
 			if frozen[i] || f.unbounded() {
 				continue
 			}
-			d := float64(f.Demand)
+			d := float64(f.demand)
 			if d < nextX-eps {
 				nextX = d
 				demandBound = true
-				bindRes = ""
+				bindRes = -1
 			} else if math.Abs(d-nextX) <= eps {
 				demandBound = true
 			}
@@ -234,26 +339,27 @@ func (s *Solver) solve() (*Allocation, error) {
 
 		// Raise all active flows to nextX and freeze the bound ones.
 		frozeAny := false
-		for i, f := range s.flows {
+		for i := range s.flows {
+			f := &s.flows[i]
 			if frozen[i] {
 				continue
 			}
 			rates[i] = nextX
 			// Demand freeze.
-			if !f.unbounded() && float64(f.Demand) <= nextX+eps {
+			if !f.unbounded() && float64(f.demand) <= nextX+eps {
 				frozen[i] = true
-				bottleneck[i] = ""
+				bottleneck[i] = -1
 				active--
 				frozeAny = true
 				continue
 			}
 			// Resource freeze: any saturated resource in the usage set.
-			for _, u := range f.Usages {
-				cap := float64(s.resources[u.Resource].Capacity)
-				load := frozenLoad[u.Resource] + activeWeight[u.Resource]*nextX
+			for _, u := range f.usages {
+				cap := float64(s.resList[u.res].Capacity)
+				load := frozenLoad[u.res] + activeWeight[u.res]*nextX
 				if load >= cap-1e-6*math.Max(cap, 1) {
 					frozen[i] = true
-					bottleneck[i] = u.Resource
+					bottleneck[i] = u.res
 					active--
 					frozeAny = true
 					break
@@ -262,7 +368,7 @@ func (s *Solver) solve() (*Allocation, error) {
 		}
 		if !frozeAny {
 			// Defensive: should be impossible, but never loop forever.
-			if demandBound || bindRes != "" {
+			if demandBound || bindRes >= 0 {
 				return nil, fmt.Errorf("fabric: solver stalled at level %v", nextX)
 			}
 			return nil, fmt.Errorf("fabric: solver made no progress")
@@ -272,18 +378,26 @@ func (s *Solver) solve() (*Allocation, error) {
 	out := &Allocation{
 		Rates:       make(map[string]units.Bandwidth, n),
 		Bottlenecks: make(map[string]ResourceID, n),
-		Utilization: make(map[ResourceID]float64, len(s.resources)),
+		Utilization: make(map[ResourceID]float64, len(s.resList)),
 	}
-	load := make(map[ResourceID]float64)
-	for i, f := range s.flows {
-		out.Rates[f.ID] = units.Bandwidth(rates[i])
-		out.Bottlenecks[f.ID] = bottleneck[i]
-		for _, u := range f.Usages {
-			load[u.Resource] += u.Weight * rates[i]
+	load := s.frozenLoad // reuse as the final-load scratch
+	for i := range load {
+		load[i] = 0
+	}
+	for i := range s.flows {
+		f := &s.flows[i]
+		out.Rates[f.id] = units.Bandwidth(rates[i])
+		if bottleneck[i] >= 0 {
+			out.Bottlenecks[f.id] = s.resList[bottleneck[i]].ID
+		} else {
+			out.Bottlenecks[f.id] = ""
+		}
+		for _, u := range f.usages {
+			load[u.res] += u.weight * rates[i]
 		}
 	}
-	for id, r := range s.resources {
-		out.Utilization[id] = load[id] / float64(r.Capacity)
+	for ri := range s.resList {
+		out.Utilization[s.resList[ri].ID] = load[ri] / float64(s.resList[ri].Capacity)
 	}
 	return out, nil
 }

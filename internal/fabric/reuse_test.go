@@ -1,0 +1,157 @@
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"numaio/internal/units"
+)
+
+// TestSolverResetKeepsResources: after Reset the flow set is empty but the
+// resources survive, and a fresh round over the same fabric solves cleanly.
+func TestSolverResetKeepsResources(t *testing.T) {
+	s := NewSolver()
+	mustSetResource(t, s, Resource{ID: "l", Capacity: 30 * units.Gbps})
+	mustAddFlow(t, s, Flow{ID: "f0", Usages: []Usage{{Resource: "l", Weight: 1}}})
+	if _, err := s.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if got := s.NumFlows(); got != 0 {
+		t.Fatalf("flows after Reset = %d, want 0", got)
+	}
+	if _, ok := s.Resource("l"); !ok {
+		t.Fatal("resource lost across Reset")
+	}
+	// The old flow ID is free again.
+	mustAddFlow(t, s, Flow{ID: "f0", Usages: []Usage{{Resource: "l", Weight: 1}}})
+	mustAddFlow(t, s, Flow{ID: "f1", Usages: []Usage{{Resource: "l", Weight: 1}}})
+	a, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"f0", "f1"} {
+		if got := a.Rate(id).Gbps(); math.Abs(got-15) > 1e-6 {
+			t.Errorf("rate[%s] = %v, want 15", id, got)
+		}
+	}
+}
+
+// TestSolverRemoveFlow: removing a flow frees its share and its ID, and
+// removing an unknown flow reports false.
+func TestSolverRemoveFlow(t *testing.T) {
+	s := NewSolver()
+	mustSetResource(t, s, Resource{ID: "l", Capacity: 30 * units.Gbps})
+	for i := 0; i < 3; i++ {
+		mustAddFlow(t, s, Flow{ID: fmt.Sprintf("f%d", i),
+			Usages: []Usage{{Resource: "l", Weight: 1}}})
+	}
+	if !s.RemoveFlow("f1") {
+		t.Fatal("RemoveFlow(f1) = false, want true")
+	}
+	if s.RemoveFlow("f1") {
+		t.Fatal("second RemoveFlow(f1) = true, want false")
+	}
+	if got := s.NumFlows(); got != 2 {
+		t.Fatalf("flows = %d, want 2", got)
+	}
+	a, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Rates["f1"]; ok {
+		t.Error("removed flow still allocated")
+	}
+	for _, id := range []string{"f0", "f2"} {
+		if got := a.Rate(id).Gbps(); math.Abs(got-15) > 1e-6 {
+			t.Errorf("rate[%s] = %v, want 15", id, got)
+		}
+	}
+	// The removed ID can be re-added.
+	mustAddFlow(t, s, Flow{ID: "f1", Usages: []Usage{{Resource: "l", Weight: 1}}})
+	if got := s.NumFlows(); got != 3 {
+		t.Fatalf("flows after re-add = %d, want 3", got)
+	}
+}
+
+// TestSolverReuseMatchesFresh: a reused solver (shrinking flow set via
+// RemoveFlow) must produce exactly the allocation a freshly built solver
+// produces for the same flow subset — this is the contract RunFluid's
+// fast path depends on.
+func TestSolverReuseMatchesFresh(t *testing.T) {
+	res := []Resource{
+		{ID: "a", Capacity: 20 * units.Gbps},
+		{ID: "b", Capacity: 35 * units.Gbps},
+		{ID: "c", Capacity: 50 * units.Gbps},
+	}
+	flows := []Flow{
+		{ID: "f0", Usages: []Usage{{Resource: "a", Weight: 1}, {Resource: "c", Weight: 1}}},
+		{ID: "f1", Usages: []Usage{{Resource: "a", Weight: 1}, {Resource: "b", Weight: 1}}},
+		{ID: "f2", Demand: 4 * units.Gbps, Usages: []Usage{{Resource: "b", Weight: 2}}},
+		{ID: "f3", Usages: []Usage{{Resource: "b", Weight: 1}, {Resource: "c", Weight: 1}}},
+		{ID: "f4", Usages: []Usage{{Resource: "c", Weight: 1}}},
+	}
+	build := func(fs []Flow) *Solver {
+		s := NewSolver()
+		for _, r := range res {
+			mustSetResource(t, s, r)
+		}
+		for _, f := range fs {
+			mustAddFlow(t, s, f)
+		}
+		return s
+	}
+
+	reused := build(flows)
+	// Remove flows one at a time; after each removal the reused solver must
+	// match a solver built from scratch with the surviving flows.
+	live := append([]Flow(nil), flows...)
+	for len(live) > 0 {
+		gotA, err := reused.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantA, err := build(live).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotA.Rates, wantA.Rates) {
+			t.Fatalf("reused rates %v != fresh rates %v (live=%d)", gotA.Rates, wantA.Rates, len(live))
+		}
+		if !reflect.DeepEqual(gotA.Bottlenecks, wantA.Bottlenecks) {
+			t.Fatalf("reused bottlenecks %v != fresh %v (live=%d)", gotA.Bottlenecks, wantA.Bottlenecks, len(live))
+		}
+		if !reflect.DeepEqual(gotA.Utilization, wantA.Utilization) {
+			t.Fatalf("reused utilization %v != fresh %v (live=%d)", gotA.Utilization, wantA.Utilization, len(live))
+		}
+		// Drop the middle survivor to exercise non-edge splices.
+		victim := live[len(live)/2].ID
+		if !reused.RemoveFlow(victim) {
+			t.Fatalf("RemoveFlow(%s) = false", victim)
+		}
+		for i := range live {
+			if live[i].ID == victim {
+				live = append(live[:i], live[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// TestSolverSetResourceReplaces: re-registering a resource updates its
+// capacity in place without duplicating it.
+func TestSolverSetResourceReplaces(t *testing.T) {
+	s := NewSolver()
+	mustSetResource(t, s, Resource{ID: "l", Capacity: 10 * units.Gbps})
+	mustAddFlow(t, s, Flow{ID: "f", Usages: []Usage{{Resource: "l", Weight: 1}}})
+	mustSetResource(t, s, Resource{ID: "l", Capacity: 40 * units.Gbps})
+	a, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Rate("f").Gbps(); math.Abs(got-40) > 1e-6 {
+		t.Errorf("rate = %v, want 40 after capacity update", got)
+	}
+}

@@ -113,12 +113,32 @@ type Report struct {
 	Timeline simhost.Timeline
 }
 
-// Runner executes fio jobs on a system.
+// Runner executes fio jobs on a system. It caches the per-machine flow
+// plumbing (base resource table, copy routes, a reusable fluid session), so
+// repeated Runs — the characterization sweep's inner loop — skip the
+// rebuild. A Runner is not safe for concurrent use; spawn one per worker.
 type Runner struct {
 	sys   *numa.System
 	specs map[string]device.Spec
 	// Sigma is the reporting jitter; 0 disables it.
 	Sigma float64
+
+	// baseRes is the machine + per-node core resource table, invariant
+	// across runs (capacity-clamped so appends cannot alias it).
+	baseRes []fabric.Resource
+	// memSession reuses one solver for device-free runs, whose resource set
+	// is exactly baseRes every time.
+	memSession *simhost.FluidSession
+	// copyCache memoizes the usages and path latency of memcpy flows per
+	// (src, dst) node pair.
+	copyCache map[copyKey]copyEntry
+}
+
+type copyKey struct{ src, dst topology.NodeID }
+
+type copyEntry struct {
+	usages  []fabric.Usage
+	pathLat units.Duration
 }
 
 // NewRunner returns a runner with the default device specs and a small
@@ -199,11 +219,11 @@ func (r *Runner) Run(jobs []Job) (*Report, error) {
 		}
 	}
 
-	resources, err := r.buildResources(insts)
+	resources, hasDevice, err := r.buildResources(insts)
 	if err != nil {
 		return nil, err
 	}
-	var transfers []simhost.Transfer
+	transfers := make([]simhost.Transfer, 0, len(insts))
 	for _, in := range insts {
 		tr, err := r.buildTransfer(in)
 		if err != nil {
@@ -212,7 +232,20 @@ func (r *Runner) Run(jobs []Job) (*Report, error) {
 		transfers = append(transfers, tr)
 	}
 
-	fluid, err := simhost.RunFluid(resources, transfers)
+	var fluid *simhost.SessionResult
+	if hasDevice {
+		fluid, err = simhost.RunFluid(resources, transfers)
+	} else {
+		// Device-free runs (the memcpy characterization path) always solve
+		// over exactly the base resource table — reuse one session.
+		if r.memSession == nil {
+			r.memSession, err = simhost.NewFluidSession(resources)
+			if err != nil {
+				return nil, err
+			}
+		}
+		fluid, err = r.memSession.Run(transfers)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -331,35 +364,52 @@ func (r *Runner) allocBuffer(in *instance) error {
 	return nil
 }
 
-// buildResources registers machine resources, per-node core budgets (in TCP
-// processing units) and one DMA-engine resource per (device, engine) pair
-// in use.
-func (r *Runner) buildResources(insts []*instance) ([]fabric.Resource, error) {
-	m := r.sys.Machine()
-	resources := fabric.MachineResources(m)
-	for _, n := range m.Nodes {
-		resources = append(resources, fabric.Resource{
-			ID: fabric.CoreResource(n.ID),
-			Capacity: units.Bandwidth(float64(n.Cores) *
-				float64(device.TCPHostCostPerStream) * n.EffectiveCoreMultiplier()),
-		})
+// baseResources returns the run-invariant resource table: machine resources
+// plus per-node core budgets (in TCP processing units). Built once per
+// Runner; the slice's capacity is clamped so appending device resources
+// allocates rather than aliasing the cache.
+func (r *Runner) baseResources() []fabric.Resource {
+	if r.baseRes == nil {
+		m := r.sys.Machine()
+		resources := fabric.MachineResources(m)
+		for _, n := range m.Nodes {
+			resources = append(resources, fabric.Resource{
+				ID: fabric.CoreResource(n.ID),
+				Capacity: units.Bandwidth(float64(n.Cores) *
+					float64(device.TCPHostCostPerStream) * n.EffectiveCoreMultiplier()),
+			})
+		}
+		r.baseRes = resources[:len(resources):len(resources)]
 	}
-	seen := make(map[fabric.ResourceID]bool)
+	return r.baseRes
+}
+
+// buildResources returns the base table plus one DMA-engine resource per
+// (device, engine) pair in use, and reports whether any device instance is
+// present.
+func (r *Runner) buildResources(insts []*instance) ([]fabric.Resource, bool, error) {
+	resources := r.baseResources()
+	hasDevice := false
+	var seen map[fabric.ResourceID]bool
 	for _, in := range insts {
 		if !in.isDevice {
 			continue
 		}
+		hasDevice = true
 		spec, err := r.spec(in.job.Engine)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		id := fabric.DeviceResource(in.devID, spec.Name)
+		if seen == nil {
+			seen = make(map[fabric.ResourceID]bool)
+		}
 		if !seen[id] {
 			resources = append(resources, fabric.Resource{ID: id, Capacity: spec.Ceiling})
 			seen[id] = true
 		}
 	}
-	return resources, nil
+	return resources, hasDevice, nil
 }
 
 // buildTransfer turns an instance into a fluid transfer with its resource
@@ -370,16 +420,25 @@ func (r *Runner) buildTransfer(in *instance) (simhost.Transfer, error) {
 	tr := simhost.Transfer{ID: in.id, Bytes: j.Size}
 
 	if j.Engine == device.EngineMemcpy {
-		usages, err := fabric.CopyFlowUsages(m, *j.SrcNode, *j.DstNode)
-		if err != nil {
-			return tr, err
+		key := copyKey{src: *j.SrcNode, dst: *j.DstNode}
+		ce, ok := r.copyCache[key]
+		if !ok {
+			usages, err := fabric.CopyFlowUsages(m, key.src, key.dst)
+			if err != nil {
+				return tr, err
+			}
+			route, err := m.RouteNodes(key.src, key.dst)
+			if err != nil {
+				return tr, err
+			}
+			ce = copyEntry{usages: usages, pathLat: m.PathLatency(route)}
+			if r.copyCache == nil {
+				r.copyCache = make(map[copyKey]copyEntry)
+			}
+			r.copyCache[key] = ce
 		}
-		tr.Usages = usages
-		route, err := m.RouteNodes(*j.SrcNode, *j.DstNode)
-		if err != nil {
-			return tr, err
-		}
-		in.pathLat = m.PathLatency(route)
+		tr.Usages = ce.usages
+		in.pathLat = ce.pathLat
 		applyRateCap(&tr, j.Rate)
 		return tr, nil
 	}

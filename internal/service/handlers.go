@@ -26,6 +26,10 @@ type configJSON struct {
 	BytesPerThread int64   `json:"bytes_per_thread,omitempty"`
 	GapThreshold   float64 `json:"gap_threshold,omitempty"`
 	Sigma          float64 `json:"sigma,omitempty"`
+	// Parallelism overrides the daemon's measurement worker-pool width for
+	// this request; 0 inherits the daemon default. Affects wall time only —
+	// the resulting model is identical at any setting.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 func (c *configJSON) toCore() core.Config {
@@ -38,6 +42,7 @@ func (c *configJSON) toCore() core.Config {
 		BytesPerThread: units.Size(c.BytesPerThread),
 		GapThreshold:   c.GapThreshold,
 		Sigma:          c.Sigma,
+		Parallelism:    c.Parallelism,
 	}
 }
 

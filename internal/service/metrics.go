@@ -20,6 +20,11 @@ type Metrics struct {
 	latCounts  []int64 // len(latBuckets)+1; last bucket is +Inf
 	latSum     float64
 	latTotal   int64
+
+	// parallelism is the daemon's configured measurement worker-pool
+	// width, exported as a gauge so latency shifts can be correlated with
+	// the setting.
+	parallelism int
 }
 
 // defaultLatencyBuckets cover sub-millisecond simulated runs up to
@@ -33,6 +38,13 @@ func NewMetrics() *Metrics {
 		latBuckets: defaultLatencyBuckets,
 		latCounts:  make([]int64, len(defaultLatencyBuckets)+1),
 	}
+}
+
+// SetParallelism records the daemon's measurement worker-pool width.
+func (m *Metrics) SetParallelism(p int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.parallelism = p
 }
 
 // ObserveRequest counts one served request.
@@ -110,6 +122,10 @@ func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, inflightJobs int64) {
 	fmt.Fprintf(w, "numaiod_characterize_seconds_bucket{le=\"+Inf\"} %d\n", cum)
 	fmt.Fprintf(w, "numaiod_characterize_seconds_sum %g\n", m.latSum)
 	fmt.Fprintf(w, "numaiod_characterize_seconds_count %d\n", m.latTotal)
+
+	fmt.Fprintln(w, "# HELP numaiod_characterize_parallelism Configured measurement worker-pool width.")
+	fmt.Fprintln(w, "# TYPE numaiod_characterize_parallelism gauge")
+	fmt.Fprintf(w, "numaiod_characterize_parallelism %d\n", m.parallelism)
 
 	fmt.Fprintln(w, "# HELP numaiod_model_cache Model cache activity.")
 	fmt.Fprintln(w, "# TYPE numaiod_model_cache counter")

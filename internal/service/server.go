@@ -46,6 +46,11 @@ func DefaultCharacterize(m *topology.Machine, cfg core.Config) (*core.MachineMod
 type Config struct {
 	// Workers bounds concurrent characterizations; 0 means 4.
 	Workers int
+	// Parallelism is the worker-pool width each characterization fans its
+	// (target, mode) sweeps over (core.Config.Parallelism); 0 means the
+	// pool width (Workers). Parallelism changes wall time only, never the
+	// model, so it is excluded from cache keys.
+	Parallelism int
 	// CacheEntries bounds the model cache; 0 means 64.
 	CacheEntries int
 	// CacheTTL expires cached models; 0 means 1 hour, negative disables
@@ -68,6 +73,7 @@ type Server struct {
 	metrics      *Metrics
 	mux          *http.ServeMux
 	characterize CharacterizeFunc
+	parallelism  int
 }
 
 // New builds a server from the config.
@@ -84,15 +90,25 @@ func New(cfg Config) *Server {
 	if ch == nil {
 		ch = DefaultCharacterize
 	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	parallelism := cfg.Parallelism
+	if parallelism <= 0 {
+		parallelism = workers
+	}
 	s := &Server{
 		log:          logger,
 		cache:        NewModelCache(cfg.CacheEntries, ttl),
-		pool:         NewPool(cfg.Workers),
+		pool:         NewPool(workers),
 		jobs:         NewJobRegistry(),
 		metrics:      NewMetrics(),
 		mux:          http.NewServeMux(),
 		characterize: ch,
+		parallelism:  parallelism,
 	}
+	s.metrics.SetParallelism(parallelism)
 	s.routes()
 	return s
 }
@@ -166,6 +182,11 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 	if err != nil {
 		return nil, "", false, err
 	}
+	if cfg.Parallelism == 0 {
+		cfg.Parallelism = s.parallelism
+	}
+	// Parallelism is deliberately absent from the key: parallel and serial
+	// characterizations are bit-identical, so they share a cache entry.
 	key := fmt.Sprintf("%s|t%d r%d b%d g%g s%g",
 		fp, cfg.Threads, cfg.Repeats, int64(cfg.BytesPerThread), cfg.GapThreshold, cfg.Sigma)
 	mm, cached, err := s.cache.GetOrCompute(key, func() (*core.MachineModel, error) {

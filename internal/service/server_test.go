@@ -462,6 +462,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		`numaiod_model_cache{event="miss"} 1`,
 		`numaiod_model_cache_entries 1`,
 		`numaiod_characterize_seconds_count 1`,
+		// Parallelism defaults to the worker-pool width (2 here).
+		`numaiod_characterize_parallelism 2`,
 		`numaiod_inflight_jobs 0`,
 	} {
 		if !strings.Contains(text, want) {

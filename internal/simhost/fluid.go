@@ -46,50 +46,87 @@ type SessionResult struct {
 	Timeline Timeline
 }
 
+// FluidSession runs fluid sessions over a fixed resource set, reusing one
+// solver (and its registered resource table) across runs. Callers with a
+// stable fabric — the fio runner re-solving the same machine for every
+// measurement cell — avoid re-registering every resource per run. A
+// FluidSession is not safe for concurrent use.
+type FluidSession struct {
+	s *fabric.Solver
+}
+
+// NewFluidSession registers the resources once and returns the reusable
+// session.
+func NewFluidSession(resources []fabric.Resource) (*FluidSession, error) {
+	s := fabric.NewSolver()
+	for _, r := range resources {
+		if err := s.SetResource(r); err != nil {
+			return nil, err
+		}
+	}
+	return &FluidSession{s: s}, nil
+}
+
 // RunFluid advances the given transfers through a max-min fair fabric until
 // all complete, re-solving the allocation whenever a transfer finishes
 // (fluid-flow approximation of the real time-shared hardware).
+//
+// The solver is built once — resources registered and flows added in sorted
+// ID order — and completed flows are removed between phases. Ordered removal
+// keeps the remaining flows in sorted order, so every phase solves the exact
+// same problem (same float accumulation order) the per-phase rebuild did.
 func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult, error) {
 	if len(transfers) == 0 {
 		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
 	}
-	remaining := make(map[string]float64, len(transfers)) // bits
-	results := make(map[string]TransferResult, len(transfers))
-	active := make(map[string]Transfer, len(transfers))
+	fs, err := NewFluidSession(resources)
+	if err != nil {
+		return nil, err
+	}
+	return fs.Run(transfers)
+}
+
+// Run executes one fluid session over the session's fabric.
+func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
+	if len(transfers) == 0 {
+		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
+	}
+	seen := make(map[string]bool, len(transfers))
 	for _, tr := range transfers {
 		if tr.Bytes <= 0 {
 			return nil, fmt.Errorf("simhost: transfer %q has nonpositive size", tr.ID)
 		}
-		if _, dup := active[tr.ID]; dup {
+		if seen[tr.ID] {
 			return nil, fmt.Errorf("simhost: duplicate transfer %q", tr.ID)
 		}
-		active[tr.ID] = tr
-		remaining[tr.ID] = tr.Bytes.Bits()
+		seen[tr.ID] = true
 	}
+	ord := make([]Transfer, len(transfers))
+	copy(ord, transfers)
+	sort.Slice(ord, func(i, j int) bool { return ord[i].ID < ord[j].ID })
+
+	s := fs.s
+	s.Reset()
+	for _, tr := range ord {
+		if err := s.AddFlow(fabric.Flow{ID: tr.ID, Demand: tr.Demand, Usages: tr.Usages}); err != nil {
+			return nil, err
+		}
+	}
+
+	remaining := make([]float64, len(ord)) // bits
+	rate := make([]float64, len(ord))      // per-phase scratch
+	done := make([]bool, len(ord))
+	for i, tr := range ord {
+		remaining[i] = tr.Bytes.Bits()
+	}
+	results := make(map[string]TransferResult, len(ord))
 
 	var now float64 // seconds
 	var totalBits float64
 	var timeline Timeline
+	activeCount := len(ord)
 	first := true
-	for len(active) > 0 {
-		s := fabric.NewSolver()
-		for _, r := range resources {
-			if err := s.SetResource(r); err != nil {
-				return nil, err
-			}
-		}
-		// Deterministic flow order.
-		ids := make([]string, 0, len(active))
-		for id := range active {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
-		for _, id := range ids {
-			tr := active[id]
-			if err := s.AddFlow(fabric.Flow{ID: id, Demand: tr.Demand, Usages: tr.Usages}); err != nil {
-				return nil, err
-			}
-		}
+	for activeCount > 0 {
 		alloc, err := s.Solve()
 		if err != nil {
 			return nil, err
@@ -97,12 +134,16 @@ func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult
 
 		// Time until the next completion at current rates.
 		dt := math.Inf(1)
-		for _, id := range ids {
-			rate := float64(alloc.Rate(id))
-			if rate <= 0 {
-				return nil, fmt.Errorf("simhost: transfer %q starved (zero rate)", id)
+		for i := range ord {
+			if done[i] {
+				continue
 			}
-			if t := remaining[id] / rate; t < dt {
+			r := float64(alloc.Rates[ord[i].ID])
+			if r <= 0 {
+				return nil, fmt.Errorf("simhost: transfer %q starved (zero rate)", ord[i].ID)
+			}
+			rate[i] = r
+			if t := remaining[i] / r; t < dt {
 				dt = t
 			}
 		}
@@ -110,29 +151,33 @@ func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult
 		phase := Phase{
 			Start:       units.Duration(now),
 			Duration:    units.Duration(dt),
-			Rates:       make(map[string]units.Bandwidth, len(ids)),
+			Rates:       make(map[string]units.Bandwidth, activeCount),
 			Utilization: alloc.Utilization,
 		}
-		for _, id := range ids {
-			rate := float64(alloc.Rate(id))
-			phase.Rates[id] = units.Bandwidth(rate)
+		for i := range ord {
+			if done[i] {
+				continue
+			}
+			id := ord[i].ID
+			phase.Rates[id] = units.Bandwidth(rate[i])
 			if first {
 				res := results[id]
 				res.ID = id
-				res.InitialRate = units.Bandwidth(rate)
+				res.InitialRate = units.Bandwidth(rate[i])
 				results[id] = res
 			}
-			remaining[id] -= rate * dt
-			if remaining[id] <= 1e-3 { // sub-bit residue
-				tr := active[id]
+			remaining[i] -= rate[i] * dt
+			if remaining[i] <= 1e-3 { // sub-bit residue
 				res := results[id]
-				res.Bytes = tr.Bytes
+				res.Bytes = ord[i].Bytes
 				res.Duration = units.Duration(now + dt)
-				res.Bandwidth = units.Rate(tr.Bytes, res.Duration)
+				res.Bandwidth = units.Rate(ord[i].Bytes, res.Duration)
 				results[id] = res
-				totalBits += tr.Bytes.Bits()
+				totalBits += ord[i].Bytes.Bits()
 				phase.Completed = append(phase.Completed, id)
-				delete(active, id)
+				done[i] = true
+				activeCount--
+				s.RemoveFlow(id)
 			}
 		}
 		timeline.Phases = append(timeline.Phases, phase)

@@ -1,0 +1,49 @@
+#!/bin/sh
+# bench.sh — run the hot-path microbenchmarks with a fixed -benchtime and
+# record the results for the speedup trajectory (docs/PERFORMANCE.md):
+#
+#   BENCH_<rev>.txt   raw `go test -bench` output, benchstat input
+#   BENCH_<rev>.json  the same numbers as structured JSON
+#
+# Compare two revisions with: benchstat BENCH_<old>.txt BENCH_<new>.txt
+#
+# Environment knobs:
+#   REV        label for the output files (default: git short hash)
+#   BENCHTIME  per-benchmark budget (default 2s; use e.g. 10x for CI)
+#   COUNT      repetitions per benchmark (default 1; benchstat wants >= 6)
+set -eu
+cd "$(dirname "$0")/.."
+
+rev=${REV:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}
+benchtime=${BENCHTIME:-2s}
+count=${COUNT:-1}
+txt="BENCH_${rev}.txt"
+json="BENCH_${rev}.json"
+
+go test -run '^$' \
+    -bench '^(BenchmarkCharacterize|BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolver)$' \
+    -benchmem -benchtime "$benchtime" -count "$count" . | tee "$txt"
+
+awk -v rev="$rev" -v benchtime="$benchtime" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    line = sprintf("    {\"name\": \"%s\", \"iterations\": %s", name, $2)
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        gsub(/[^A-Za-z0-9_]/, "_", unit)
+        line = line sprintf(", \"%s\": %s", unit, $i)
+    }
+    lines[++cnt] = line "}"
+}
+END {
+    printf "{\n  \"rev\": \"%s\",\n  \"benchtime\": \"%s\",\n  \"benchmarks\": [\n", rev, benchtime
+    for (i = 1; i <= cnt; i++)
+        printf "%s%s\n", lines[i], (i < cnt ? "," : "")
+    print "  ]"
+    print "}"
+}
+' "$txt" > "$json"
+
+echo "wrote $txt and $json"
