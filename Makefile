@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-paper experiments examples serve-smoke clean
+.PHONY: all build vet lint test race cover bench bench-check bench-paper experiments examples serve-smoke clean
 
 all: build vet test
 
@@ -12,19 +12,31 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Local mirror of the CI lint job; staticcheck runs only if installed
+# (CI pins and installs its own copy).
+lint: vet
+	test -z "$$(gofmt -l .)"
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping"; fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
+# Full-suite coverage profile with the recorded floor (scripts/cover.sh).
 cover:
-	$(GO) test -cover ./...
+	sh scripts/cover.sh
 
 # Hot-path microbenchmarks with a fixed -benchtime; records the results as
 # BENCH_<rev>.{txt,json} for the speedup trajectory (docs/PERFORMANCE.md).
 bench:
 	sh scripts/bench.sh
+
+# Fail on a >25% hot-path slowdown against the latest recorded BENCH_*.json.
+bench-check:
+	sh scripts/bench.sh -check
 
 # One benchmark per paper table/figure (custom metrics carry the Gb/s).
 bench-paper:

@@ -7,6 +7,13 @@
 //
 //	iomodel [-machine profile] [-target node] [-mode write|read|both]
 //	        [-threads n] [-repeats n] [-parallelism n] [-o model.json]
+//	        [-chaos plan] [-chaos-seed n]
+//
+// With -chaos the sweep runs under a named fault plan (or a JSON plan
+// file; see internal/faults) with the resilience machinery on: degraded
+// links, flaky devices, and measurements that fail, hang or report
+// outliers. The model table then carries a resilience summary. Same seed,
+// same model — chaos runs are as deterministic as clean ones.
 package main
 
 import (
@@ -14,11 +21,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"numaio/internal/cli"
 	"numaio/internal/core"
+	"numaio/internal/faults"
 	"numaio/internal/numa"
 	"numaio/internal/report"
+	"numaio/internal/resilience"
 	"numaio/internal/topology"
 )
 
@@ -36,9 +47,14 @@ func run(args []string, out io.Writer) error {
 	all := fs.Bool("all", false, "characterize every node as a target (whole-host model)")
 	gap := fs.Float64("gap", 0, "classification gap threshold in (0,1); 0 = default 0.2")
 	parallelism := fs.Int("parallelism", 0, "measurement worker-pool width (0 = serial; results are identical at any setting)")
+	chaos := fs.String("chaos", "", "run under a fault plan: "+strings.Join(faults.PlanNames(), ", ")+", or a JSON plan file")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "override the fault plan's seed (0 keeps the plan's own)")
 	outPath := fs.String("o", "", "write the model(s) as JSON to this file")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+	if *chaosSeed != 0 && *chaos == "" {
+		return cli.Usagef("-chaos-seed needs -chaos")
 	}
 
 	m, err := cli.Machine(*machine)
@@ -49,10 +65,25 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	c, err := core.NewCharacterizer(sys, core.Config{
+	cfg := core.Config{
 		Threads: *threads, Repeats: *repeats, GapThreshold: *gap,
 		Parallelism: *parallelism,
-	})
+	}
+	if *chaos != "" {
+		plan, err := faults.Load(*chaos)
+		if err != nil {
+			return err
+		}
+		if *chaosSeed != 0 {
+			plan.Seed = *chaosSeed
+		}
+		cfg.Faults = &plan
+		// Double the default retry budget so every shipped plan's full
+		// sweep converges, and let induced hangs cost no wall time.
+		cfg.MaxRetries = 10
+		cfg.Clock = resilience.NewAutoClock(time.Unix(0, 0))
+	}
+	c, err := core.NewCharacterizer(sys, cfg)
 	if err != nil {
 		return err
 	}
@@ -80,6 +111,18 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintf(out, "whole-host cost reduction: %.0f%%\n", mm.CostReduction()*100)
+		if *chaos != "" {
+			var sum core.ResilienceReport
+			for _, model := range mm.Models {
+				if r := model.Resilience; r != nil {
+					sum.Retries += r.Retries
+					sum.Timeouts += r.Timeouts
+					sum.Failures += r.Failures
+					sum.Outliers += r.Outliers
+				}
+			}
+			printResilience(out, cfg.Faults, &sum)
+		}
 		if *outPath != "" {
 			f, err := os.Create(*outPath)
 			if err != nil {
@@ -132,8 +175,12 @@ func run(args []string, out io.Writer) error {
 		if _, err := fmt.Fprint(out, t.Render()); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "representatives: %v; cost reduction %.0f%%\n\n",
+		fmt.Fprintf(out, "representatives: %v; cost reduction %.0f%%\n",
 			model.RepresentativeNodes(), model.CostReduction()*100)
+		if model.Resilience != nil {
+			printResilience(out, cfg.Faults, model.Resilience)
+		}
+		fmt.Fprintln(out)
 		if jsonOut != nil {
 			if err := model.SaveJSON(jsonOut); err != nil {
 				return err
@@ -141,4 +188,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// printResilience summarizes the faults a chaos sweep absorbed.
+func printResilience(out io.Writer, plan *faults.Plan, r *core.ResilienceReport) {
+	fmt.Fprintf(out, "chaos plan %q (seed %d): %d retries (%d timeouts, %d failures), %d outliers rejected\n",
+		plan.Name, plan.Seed, r.Retries, r.Timeouts, r.Failures, r.Outliers)
 }

@@ -6,7 +6,9 @@
 // Usage:
 //
 //	numaiod [-addr host:port] [-workers n] [-parallelism n]
-//	        [-cache-entries n] [-cache-ttl d] [-pprof]
+//	        [-cache-entries n] [-cache-ttl d] [-request-timeout d]
+//	        [-retries n] [-retry-backoff d] [-breaker-threshold n]
+//	        [-breaker-cooldown d] [-pprof]
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (use -addr 127.0.0.1:0 for an ephemeral port) and shuts down gracefully
@@ -46,6 +48,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cacheEntries := fs.Int("cache-entries", 64, "model cache capacity")
 	cacheTTL := fs.Duration("cache-ttl", time.Hour, "model cache entry lifetime (negative disables expiry)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
+	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables; overruns are 504s)")
+	retries := fs.Int("retries", 2, "retry budget for a failed characterization")
+	retryBackoff := fs.Duration("retry-backoff", 100*time.Millisecond, "base backoff between characterization retries")
+	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive failures that open a model's circuit breaker (0 disables)")
+	breakerCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a probe is admitted")
 	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	quiet := fs.Bool("quiet", false, "suppress request logs")
 	if err := cli.Parse(fs, args); err != nil {
@@ -61,6 +68,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *parallelism < 0 {
 		return cli.Usagef("-parallelism must be nonnegative, got %d", *parallelism)
 	}
+	if *retries < 0 {
+		return cli.Usagef("-retries must be nonnegative, got %d", *retries)
+	}
+	if *breakerThreshold < 0 {
+		return cli.Usagef("-breaker-threshold must be nonnegative, got %d", *breakerThreshold)
+	}
 
 	logDst := io.Writer(os.Stderr)
 	if *quiet {
@@ -69,11 +82,16 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
 	svc := service.New(service.Config{
-		Workers:      *workers,
-		Parallelism:  *parallelism,
-		CacheEntries: *cacheEntries,
-		CacheTTL:     *cacheTTL,
-		Logger:       logger,
+		Workers:          *workers,
+		Parallelism:      *parallelism,
+		CacheEntries:     *cacheEntries,
+		CacheTTL:         *cacheTTL,
+		Logger:           logger,
+		RequestTimeout:   *requestTimeout,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

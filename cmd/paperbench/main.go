@@ -8,6 +8,13 @@
 //	paperbench -only F5         # run a single experiment (see -list for all IDs)
 //	paperbench -list            # list experiment IDs
 //	paperbench -parallelism 4   # parallel characterizations (same output, less wall time)
+//	paperbench -chaos chaos     # rerun the Tables IV/V sweep under a fault plan
+//
+// With -chaos the characterization reruns under the named fault plan (or a
+// JSON plan file; see internal/faults) with the resilience machinery on,
+// and the output is the chaos-survival report: which performance classes of
+// Tables IV and V survive the injected faults. Same seed, same report —
+// chaos runs are as deterministic as clean ones.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 
 	"numaio/internal/cli"
 	"numaio/internal/experiments"
+	"numaio/internal/faults"
 	"numaio/internal/report"
 )
 
@@ -402,6 +410,8 @@ func run(args []string, out io.Writer) error {
 	only := fs.String("only", "", "run a single experiment by ID")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	parallelism := fs.Int("parallelism", 0, "characterization worker-pool width (0 = serial; output is identical at any setting)")
+	chaos := fs.String("chaos", "", "chaos-survival report under a fault plan: "+strings.Join(faults.PlanNames(), ", ")+", or a JSON plan file")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "override the fault plan's seed (0 keeps the plan's own)")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -411,12 +421,36 @@ func run(args []string, out io.Writer) error {
 		}
 		return nil
 	}
+	if *chaosSeed != 0 && *chaos == "" {
+		return cli.Usagef("-chaos-seed needs -chaos")
+	}
 
 	lab, err := experiments.NewLab()
 	if err != nil {
 		return err
 	}
 	lab.Parallelism = *parallelism
+
+	if *chaos != "" {
+		if *md || *only != "" {
+			return cli.Usagef("-chaos is a standalone report; drop -md/-only")
+		}
+		plan, err := faults.Load(*chaos)
+		if err != nil {
+			return err
+		}
+		if *chaosSeed != 0 {
+			plan.Seed = *chaosSeed
+		}
+		r, err := lab.ChaosSurvival(plan)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, r.Table().Render())
+		fmt.Fprintln(out, r.ResilienceTable().Render())
+		fmt.Fprintf(out, "shape: %s\n", r.Summary())
+		return nil
+	}
 
 	// Canonical document order: paper artifacts first, then applications,
 	// extensions, ablations and validation.

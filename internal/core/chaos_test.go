@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"numaio/internal/faults"
+	"numaio/internal/resilience"
+)
+
+// chaosConfig is the fault-plan config the determinism tests share: every
+// fault type at once, a fake auto-advancing clock so retries and hang
+// timeouts cost no real time, and outlier rejection on.
+func chaosConfig(parallelism int) Config {
+	return Config{
+		Parallelism: parallelism,
+		// The all-targets sweep rolls 640 cells; give the deterministic
+		// retry machinery enough budget that no cell exhausts it.
+		MaxRetries: 10,
+		Faults: &faults.Plan{
+			Name: "test-chaos",
+			Seed: 7,
+			Links: []faults.LinkFault{
+				{A: "node6", B: "node7", Factor: 0.5},
+			},
+			Measurement: faults.MeasurementFault{
+				FailureRate: 0.10,
+				HangRate:    0.05,
+				OutlierRate: 0.10,
+				Noise:       0.04,
+			},
+		},
+		Clock: resilience.NewAutoClock(time.Unix(0, 0)),
+	}
+}
+
+// TestChaosDeterministicAcrossParallelism is the acceptance criterion:
+// the same fault-plan seed yields byte-identical serialized models at any
+// Parallelism, 1 through 64.
+func TestChaosDeterministicAcrossParallelism(t *testing.T) {
+	sys := sysFor(t, "dl585g7")
+	base, err := NewCharacterizer(sys, chaosConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.CharacterizeAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON := machineJSON(t, want)
+
+	// The chaos run must actually have exercised the machinery.
+	touched := false
+	for _, m := range want.Models {
+		if m.Resilience == nil {
+			t.Fatalf("chaos model %v missing resilience report", m.Mode)
+		}
+		if m.Resilience.Retries > 0 || m.Resilience.Outliers > 0 {
+			touched = true
+		}
+	}
+	if !touched {
+		t.Fatal("chaos plan injected nothing: retries and outliers all zero")
+	}
+
+	for _, p := range []int{2, 8, 64} {
+		c, err := NewCharacterizer(sysFor(t, "dl585g7"), chaosConfig(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := c.CharacterizeAll()
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if got := machineJSON(t, mm); !bytes.Equal(got, wantJSON) {
+			t.Fatalf("parallelism %d: chaos model bytes differ from serial run", p)
+		}
+		if !reflect.DeepEqual(mm, want) {
+			t.Fatalf("parallelism %d: chaos models differ structurally", p)
+		}
+	}
+}
+
+// TestChaosSameSeedSameModel pins that re-running one plan reproduces, and
+// a different seed genuinely changes measured bandwidths.
+func TestChaosSameSeedSameModel(t *testing.T) {
+	run := func(seed uint64) *Model {
+		cfg := chaosConfig(4)
+		cfg.Faults.Seed = seed
+		c, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := c.Characterize(7, ModeWrite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different chaos models")
+	}
+	other := run(8)
+	if reflect.DeepEqual(a.Samples, other.Samples) {
+		t.Fatal("different seeds produced identical chaos samples")
+	}
+}
+
+// TestCleanRunUnchanged guards the EXPERIMENTS.md contract: a config with
+// no fault plan leaves the resilience machinery entirely off and the
+// serialized model free of the new fields.
+func TestCleanRunUnchanged(t *testing.T) {
+	c, err := NewCharacterizer(sysFor(t, "dl585g7"), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Characterize(7, ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Resilience != nil {
+		t.Fatal("clean run grew a resilience report")
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"resilience", "outliers"} {
+		if bytes.Contains(data, []byte(`"`+field+`"`)) {
+			t.Fatalf("clean model JSON contains %q: %s", field, data)
+		}
+	}
+}
+
+// TestChaosLinkFaultDegradesBandwidth: halving the node6-node7 link must
+// cut the bandwidth measured from node 6 relative to the clean model.
+func TestChaosLinkFaultDegradesBandwidth(t *testing.T) {
+	clean, err := NewCharacterizer(sysFor(t, "dl585g7"), Config{Sigma: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanModel, err := clean.Characterize(7, ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Sigma: -1,
+		Faults: &faults.Plan{
+			Links: []faults.LinkFault{{A: "node6", B: "node7", Factor: 0.5}},
+		},
+		Clock: resilience.NewAutoClock(time.Unix(0, 0)),
+	}
+	degraded, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degradedModel, err := degraded.Characterize(7, ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := cleanModel.SampleOf(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := degradedModel.SampleOf(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(after) >= float64(before)*0.95 {
+		t.Fatalf("node6 bandwidth %v not degraded vs clean %v", after, before)
+	}
+}
+
+func TestChaosUnknownLinkErrorsEarly(t *testing.T) {
+	cfg := Config{Faults: &faults.Plan{
+		Links: []faults.LinkFault{{A: "node0", B: "nowhere", Factor: 0.5}},
+	}}
+	if _, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg); err == nil {
+		t.Fatal("unknown link fault must fail at construction")
+	}
+}
+
+// TestChaosRetriesExhausted: with certain failure and no retry budget the
+// sweep must surface the injected error.
+func TestChaosRetriesExhausted(t *testing.T) {
+	cfg := Config{
+		MaxRetries: -1,
+		Faults: &faults.Plan{
+			Measurement: faults.MeasurementFault{FailureRate: 1},
+		},
+		Clock: resilience.NewAutoClock(time.Unix(0, 0)),
+	}
+	c, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Characterize(7, ModeWrite); err == nil {
+		t.Fatal("certain failure with no retries must error")
+	}
+}
+
+// TestChaosHangsTimeOutAndRetry: a plan that always hangs forces every
+// attempt through the measurement timeout; with retries also exhausted the
+// error must be a deadline, and the fake clock must have absorbed the
+// waiting (no real sleeps).
+func TestChaosHangsTimeOutAndRetry(t *testing.T) {
+	clock := resilience.NewAutoClock(time.Unix(0, 0))
+	cfg := Config{
+		Repeats:    1,
+		MaxRetries: 1,
+		Faults: &faults.Plan{
+			Measurement: faults.MeasurementFault{HangRate: 1},
+		},
+		Clock: clock,
+	}
+	c, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = c.Characterize(7, ModeWrite)
+	if err == nil {
+		t.Fatal("always-hanging plan must fail the sweep")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("hang timeouts took %v of real time; the fake clock should absorb them", elapsed)
+	}
+}
+
+// TestRejectOutliers pins the MAD cutoff arithmetic.
+func TestRejectOutliers(t *testing.T) {
+	cases := []struct {
+		name       string
+		vals       []float64
+		cutoff     float64
+		wantKept   int
+		wantReject int
+	}{
+		{"clean cluster keeps all", []float64{10, 10.1, 9.9, 10.05, 9.95}, 3.5, 5, 0},
+		{"single crash outlier dropped", []float64{10, 10.1, 9.9, 10.05, 5}, 3.5, 4, 1},
+		{"two-sided outliers dropped", []float64{10, 10.1, 9.9, 20, 1}, 3.5, 3, 2},
+		{"identical values zero MAD keeps all", []float64{10, 10, 10, 10, 3}, 3.5, 5, 0},
+		{"tiny sets untouched", []float64{1, 100}, 3.5, 2, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			kept, rejected := rejectOutliers(tc.vals, tc.cutoff)
+			if len(kept) != tc.wantKept || rejected != tc.wantReject {
+				t.Fatalf("rejectOutliers(%v) kept %d rejected %d, want %d/%d",
+					tc.vals, len(kept), rejected, tc.wantKept, tc.wantReject)
+			}
+		})
+	}
+}
+
+// TestOutlierRejectionRecoversMean: with rejection on, an injected outlier
+// must not drag the node's reported bandwidth, so the chaos mean lands
+// near the clean one.
+func TestOutlierRejectionRecoversMean(t *testing.T) {
+	clean, err := NewCharacterizer(sysFor(t, "dl585g7"), Config{Repeats: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanModel, err := clean.Characterize(7, ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Repeats: 7,
+		Faults: &faults.Plan{
+			Seed: 3,
+			Measurement: faults.MeasurementFault{
+				OutlierRate:   0.2,
+				OutlierFactor: 0.3,
+			},
+		},
+		Clock: resilience.NewAutoClock(time.Unix(0, 0)),
+	}
+	chaos, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaosModel, err := chaos.Characterize(7, ModeWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chaosModel.Resilience == nil || chaosModel.Resilience.Outliers == 0 {
+		t.Fatal("plan injected no outliers; raise the rate or repeats")
+	}
+	for i, s := range chaosModel.Samples {
+		rel := math.Abs(float64(s.Bandwidth)-float64(cleanModel.Samples[i].Bandwidth)) /
+			float64(cleanModel.Samples[i].Bandwidth)
+		if rel > 0.05 {
+			t.Fatalf("node %d chaos bandwidth off by %.1f%% despite MAD rejection",
+				int(s.Node), rel*100)
+		}
+	}
+}

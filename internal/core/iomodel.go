@@ -16,14 +16,19 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"numaio/internal/device"
+	"numaio/internal/faults"
 	"numaio/internal/fio"
 	"numaio/internal/numa"
+	"numaio/internal/resilience"
 	"numaio/internal/topology"
 	"numaio/internal/units"
 )
@@ -72,6 +77,10 @@ type Sample struct {
 	// StdDev is the spread over the characterization repeats — the
 	// run-to-run variation behind the ranges the paper's tables report.
 	StdDev units.Bandwidth `json:"stddev_bps,omitempty"`
+	// Outliers counts the repeats the MAD cutoff rejected for this node
+	// (Config.OutlierMAD); omitted when rejection is off or nothing was
+	// rejected.
+	Outliers int `json:"outliers,omitempty"`
 }
 
 // Class is one performance class of the model.
@@ -91,6 +100,28 @@ type Model struct {
 	Mode    Mode            `json:"mode"`
 	Samples []Sample        `json:"samples"`
 	Classes []Class         `json:"classes"`
+	// Resilience reports what the fault-tolerance machinery absorbed while
+	// building the model; present only for runs under a fault plan.
+	Resilience *ResilienceReport `json:"resilience,omitempty"`
+}
+
+// ResilienceReport summarizes the faults a characterization sweep survived
+// (Config.Faults): how many measurement attempts were retried, why, and
+// how many repeats the outlier rejection discarded. All counts are pure
+// functions of the fault-plan seed, so they are identical at any
+// Parallelism.
+type ResilienceReport struct {
+	// FaultPlan and Seed identify the plan the sweep ran under.
+	FaultPlan string `json:"fault_plan,omitempty"`
+	Seed      uint64 `json:"seed,omitempty"`
+	// Retries counts retried measurement attempts; Timeouts and Failures
+	// split the triggering errors into deadline expiries (induced hangs)
+	// and injected transient failures.
+	Retries  int `json:"retries,omitempty"`
+	Timeouts int `json:"timeouts,omitempty"`
+	Failures int `json:"failures,omitempty"`
+	// Outliers counts repeats rejected by the MAD cutoff across all nodes.
+	Outliers int `json:"outliers,omitempty"`
 }
 
 // Config tunes the characterization run.
@@ -116,6 +147,37 @@ type Config struct {
 	// order cannot change a cell's value, and results are assembled in
 	// deterministic node order. Parallelism therefore tunes wall time only.
 	Parallelism int
+
+	// Faults, when non-nil, runs the sweep under the fault plan: degraded
+	// links, flaky devices, and measurements that fail, hang or report
+	// outliers (internal/faults). Fault decisions are keyed by job name, so
+	// chaos runs are as deterministic — and as Parallelism-independent — as
+	// clean ones.
+	Faults *faults.Plan
+	// MeasureTimeout bounds one measurement attempt; an attempt the plan
+	// hangs is abandoned (and retried) after this long. 0 means 250ms when
+	// Faults is set and no limit otherwise; negative disables.
+	MeasureTimeout time.Duration
+	// MaxRetries is the retry budget per measurement cell for transient
+	// failures and timeouts; retried attempts are renamed (-a1, -a2, …) so
+	// they deterministically re-roll their fault and jitter draws. 0 means
+	// 5 when Faults is set and no retries otherwise; negative disables.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff between retries
+	// (doubling per attempt, capped at 64x). 0 means 1ms when Faults is set
+	// and no waiting otherwise; negative disables.
+	RetryBackoff time.Duration
+	// OutlierMAD rejects a repeat whose modified z-score against the
+	// per-node median — 0.6745*|v-median|/MAD — exceeds this cutoff, and
+	// reports the rejection in the model (Sample.Outliers). 0 means 3.5
+	// when Faults is set and no rejection otherwise; negative disables.
+	// Clean runs leave it off, so previously serialized models are
+	// reproduced byte for byte.
+	OutlierMAD float64
+	// Clock drives retry backoff and measurement timeouts; nil means the
+	// system clock. Tests inject resilience.NewAutoClock so chaos sweeps
+	// run without real sleeps.
+	Clock resilience.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -133,13 +195,41 @@ func (c Config) withDefaults() Config {
 	} else if c.Sigma < 0 {
 		c.Sigma = 0
 	}
+	// Resilience knobs default on only under a fault plan, so clean runs
+	// keep the exact historical behaviour (and bytes).
+	chaos := c.Faults != nil
+	if c.MeasureTimeout == 0 && chaos {
+		c.MeasureTimeout = 250 * time.Millisecond
+	} else if c.MeasureTimeout < 0 {
+		c.MeasureTimeout = 0
+	}
+	if c.MaxRetries == 0 && chaos {
+		c.MaxRetries = 5
+	} else if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryBackoff == 0 && chaos {
+		c.RetryBackoff = time.Millisecond
+	} else if c.RetryBackoff < 0 {
+		c.RetryBackoff = 0
+	}
+	if c.OutlierMAD == 0 && chaos {
+		c.OutlierMAD = 3.5
+	} else if c.OutlierMAD < 0 {
+		c.OutlierMAD = 0
+	}
+	if c.Clock == nil {
+		c.Clock = resilience.SystemClock{}
+	}
 	return c
 }
 
 // Characterizer runs Algorithm 1 on a system.
 type Characterizer struct {
-	sys *numa.System
-	cfg Config
+	sys   *numa.System
+	cfg   Config
+	inj   *faults.Injector
+	retry resilience.RetryPolicy
 }
 
 // NewCharacterizer returns a characterizer for the system.
@@ -157,7 +247,32 @@ func NewCharacterizer(sys *numa.System, cfg Config) (*Characterizer, error) {
 	if cfg.Parallelism < 0 {
 		return nil, fmt.Errorf("core: negative parallelism")
 	}
-	return &Characterizer{sys: sys, cfg: cfg}, nil
+	c := &Characterizer{sys: sys, cfg: cfg}
+	c.retry = resilience.RetryPolicy{MaxRetries: cfg.MaxRetries, Base: cfg.RetryBackoff}
+	if cfg.Faults != nil {
+		inj, err := faults.New(*cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+		// Resolve the plan's link faults now so an unknown link errors at
+		// construction, not mid-sweep in a worker.
+		if _, err := inj.LinkScales(sys.Machine()); err != nil {
+			return nil, err
+		}
+		c.inj = inj
+	}
+	return c, nil
+}
+
+// newRunner builds one measurement runner (one per worker), configured
+// with the sweep's noise and fault plan.
+func (c *Characterizer) newRunner() (*fio.Runner, error) {
+	runner := fio.NewRunner(c.sys)
+	runner.Sigma = c.cfg.Sigma
+	if err := runner.SetFaults(c.inj); err != nil {
+		return nil, err
+	}
+	return runner, nil
 }
 
 // workers clamps the configured parallelism to the number of independent
@@ -198,14 +313,30 @@ func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget i
 	if budget < 0 {
 		budget = c.workers(len(nodes) * c.cfg.Repeats)
 	}
-	vals, err := c.measureCells(target, mode, threads, nodes, budget)
+	vals, stats, err := c.measureCells(target, mode, threads, nodes, budget)
 	if err != nil {
 		return nil, err
 	}
 	model := &Model{Machine: m.Name, Target: target, Mode: mode}
+	totalOutliers := 0
 	for i, n := range nodes {
-		bw, sd := meanStddev(vals[i])
-		model.Samples = append(model.Samples, Sample{Node: n, Bandwidth: bw, StdDev: sd})
+		kept, rejected := vals[i], 0
+		if c.cfg.OutlierMAD > 0 {
+			kept, rejected = rejectOutliers(vals[i], c.cfg.OutlierMAD)
+			totalOutliers += rejected
+		}
+		bw, sd := meanStddev(kept)
+		model.Samples = append(model.Samples, Sample{Node: n, Bandwidth: bw, StdDev: sd, Outliers: rejected})
+	}
+	if c.cfg.Faults != nil {
+		model.Resilience = &ResilienceReport{
+			FaultPlan: c.cfg.Faults.Name,
+			Seed:      c.cfg.Faults.Seed,
+			Retries:   stats.retries,
+			Timeouts:  stats.timeouts,
+			Failures:  stats.failures,
+			Outliers:  totalOutliers,
+		}
 	}
 	classes, err := Classify(m, target, model.Samples, c.cfg.GapThreshold)
 	if err != nil {
@@ -215,12 +346,24 @@ func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget i
 	return model, nil
 }
 
+// cellStats counts what the retry machinery absorbed for one cell.
+type cellStats struct {
+	retries, timeouts, failures int
+}
+
+func (s *cellStats) add(o cellStats) {
+	s.retries += o.retries
+	s.timeouts += o.timeouts
+	s.failures += o.failures
+}
+
 // measureCells runs every (node, repeat) measurement cell of one sweep and
-// returns vals[nodeIdx][rep]. Cells are independent, so with workers > 1
-// they are distributed over a bounded pool, one fio.Runner per worker. The
-// result matrix is indexed, not appended, so scheduling order cannot change
-// the assembled model.
-func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads int, nodes []topology.NodeID, workers int) ([][]float64, error) {
+// returns vals[nodeIdx][rep] plus the summed resilience stats. Cells are
+// independent, so with workers > 1 they are distributed over a bounded
+// pool, one fio.Runner per worker. The result matrix (and the per-cell
+// stats it sums) is indexed, not appended, so scheduling order cannot
+// change the assembled model.
+func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads int, nodes []topology.NodeID, workers int) ([][]float64, cellStats, error) {
 	reps := c.cfg.Repeats
 	flat := make([]float64, len(nodes)*reps)
 	vals := make([][]float64, len(nodes))
@@ -228,20 +371,28 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 		vals[i] = flat[i*reps : (i+1)*reps : (i+1)*reps]
 	}
 	total := len(nodes) * reps
+	perCell := make([]cellStats, total)
+	var sum cellStats
 
 	if workers <= 1 {
-		runner := fio.NewRunner(c.sys)
-		runner.Sigma = c.cfg.Sigma
+		runner, err := c.newRunner()
+		if err != nil {
+			return nil, sum, err
+		}
 		for i, n := range nodes {
 			for rep := 0; rep < reps; rep++ {
-				v, err := c.measureCell(runner, target, n, mode, threads, rep)
+				v, st, err := c.measureCell(runner, target, n, mode, threads, rep)
 				if err != nil {
-					return nil, err
+					return nil, sum, err
 				}
 				vals[i][rep] = v
+				perCell[i*reps+rep] = st
 			}
 		}
-		return vals, nil
+		for _, st := range perCell {
+			sum.add(st)
+		}
+		return vals, sum, nil
 	}
 
 	cells := make(chan int)
@@ -252,11 +403,21 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			runner := fio.NewRunner(c.sys)
-			runner.Sigma = c.cfg.Sigma
+			runner, err := c.newRunner()
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				for range cells {
+					// Drain so the feeder never blocks.
+				}
+				return
+			}
 			for idx := range cells {
 				i, rep := idx/reps, idx%reps
-				v, err := c.measureCell(runner, target, nodes[i], mode, threads, rep)
+				v, st, err := c.measureCell(runner, target, nodes[i], mode, threads, rep)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -266,6 +427,7 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 					continue
 				}
 				vals[i][rep] = v
+				perCell[idx] = st
 			}
 		}()
 	}
@@ -275,33 +437,130 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 	close(cells)
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, sum, firstErr
 	}
-	return vals, nil
+	// Summed in index order, so the totals are schedule-independent.
+	for _, st := range perCell {
+		sum.add(st)
+	}
+	return vals, sum, nil
 }
 
-// measureCell runs the memcpy engine for one (target, node, repeat) cell
-// (one iteration of Algorithm 1 line 12). The job name carries the full
-// cell coordinates, so the jitter — and therefore the measured value — is a
-// pure function of the cell, independent of which worker runs it.
-func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep int) (float64, error) {
+// retryable reports whether a measurement error is worth another attempt:
+// injected transient faults and abandoned (timed-out) attempts are; logic
+// errors (unknown nodes, bad configs) are not.
+func retryable(err error) bool {
+	return resilience.IsTransient(err) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// measureCell runs one (target, node, repeat) cell (one iteration of
+// Algorithm 1 line 12) with the configured retry budget: a transient
+// failure or timeout backs off exponentially and tries again under an
+// attempt-suffixed job name, so the retry deterministically re-rolls its
+// fault and jitter draws. The returned stats are a pure function of the
+// cell and the fault-plan seed.
+func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep int) (float64, cellStats, error) {
+	var st cellStats
+	maxAttempts := c.cfg.MaxRetries + 1
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	for attempt := 0; ; attempt++ {
+		v, err := c.measureAttempt(runner, target, n, mode, threads, rep, attempt)
+		if err == nil {
+			return v, st, nil
+		}
+		if errors.Is(err, context.DeadlineExceeded) {
+			st.timeouts++
+		} else {
+			st.failures++
+		}
+		if attempt+1 >= maxAttempts || !retryable(err) {
+			return 0, st, fmt.Errorf("core: node %d repeat %d failed after %d attempts: %w",
+				int(n), rep, attempt+1, err)
+		}
+		st.retries++
+		if d := c.retry.Delay(attempt); d > 0 {
+			<-c.cfg.Clock.After(d)
+		}
+	}
+}
+
+// measureAttempt runs the memcpy engine once. The job name carries the
+// full cell coordinates (plus the attempt number on retries), so the
+// jitter and fault draws — and therefore the measured value — are a pure
+// function of the cell, independent of which worker runs it.
+func (c *Characterizer) measureAttempt(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep, attempt int) (float64, error) {
 	src, dst := n, target // device write: read from node i, store at target
 	if mode == ModeRead {
 		src, dst = target, n // device read: read at target, store to node i
 	}
-	report, err := runner.Run([]fio.Job{{
-		Name:    fmt.Sprintf("iomodel-%v-t%d-n%d-r%d", mode, int(target), int(n), rep),
+	name := fmt.Sprintf("iomodel-%v-t%d-n%d-r%d", mode, int(target), int(n), rep)
+	if attempt > 0 {
+		name = fmt.Sprintf("%s-a%d", name, attempt)
+	}
+	job := fio.Job{
+		Name:    name,
 		Engine:  device.EngineMemcpy,
 		Node:    target, // all copy threads bound to the target node
 		NumJobs: threads,
 		Size:    c.cfg.BytesPerThread,
 		SrcNode: &src,
 		DstNode: &dst,
-	}})
+	}
+	ctx := context.Background()
+	if c.cfg.MeasureTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = resilience.ContextWithTimeout(ctx, c.cfg.Clock, c.cfg.MeasureTimeout)
+		defer cancel()
+	}
+	report, err := runner.RunContext(ctx, []fio.Job{job})
 	if err != nil {
 		return 0, err
 	}
 	return float64(report.Aggregate), nil
+}
+
+// rejectOutliers drops the values whose modified z-score against the
+// median — 0.6745*|v-median|/MAD — exceeds the cutoff, preserving the
+// order of the survivors (so the mean accumulates exactly like the serial
+// loop). A zero MAD (at least half the repeats identical) keeps everything.
+func rejectOutliers(vals []float64, cutoff float64) ([]float64, int) {
+	if len(vals) < 3 {
+		return vals, 0
+	}
+	med := median(vals)
+	devs := make([]float64, len(vals))
+	for i, v := range vals {
+		devs[i] = math.Abs(v - med)
+	}
+	mad := median(devs)
+	if mad == 0 {
+		return vals, 0
+	}
+	kept := make([]float64, 0, len(vals))
+	for _, v := range vals {
+		if 0.6745*math.Abs(v-med)/mad <= cutoff {
+			kept = append(kept, v)
+		}
+	}
+	if len(kept) == 0 {
+		// Degenerate spread: keep the medianmost value rather than nothing.
+		return []float64{med}, len(vals) - 1
+	}
+	return kept, len(vals) - len(kept)
+}
+
+// median returns the middle value (mean of the middle two for even
+// lengths) without mutating vals.
+func median(vals []float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
 }
 
 // meanStddev averages the repeats of one cell row (Algorithm 1 line 12)

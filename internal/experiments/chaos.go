@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"numaio/internal/core"
+	"numaio/internal/faults"
+	"numaio/internal/report"
+	"numaio/internal/resilience"
+)
+
+// ChaosResult is the chaos-survival report behind the -chaos flags of
+// cmd/paperbench and cmd/iomodel: the class structure of Tables IV and V
+// re-derived under a fault plan, next to the clean structure.
+type ChaosResult struct {
+	Plan  faults.Plan
+	Modes []ChaosMode
+}
+
+// ChaosMode compares one direction's clean and chaos-hardened models.
+type ChaosMode struct {
+	Mode  core.Mode
+	Clean *core.Model
+	Chaos *core.Model
+	// Survived reports rank-by-rank identical class memberships: despite
+	// the injected faults, the hardened sweep recovered the same
+	// performance classes as the clean run.
+	Survived bool
+}
+
+// ChaosSurvival characterizes the target twice per direction — once clean,
+// once under the fault plan with the resilience machinery on — and reports
+// whether the performance classes of Tables IV and V survive. Chaos runs
+// use double the default retry budget so every shipped plan's sweep
+// converges, and an auto-advancing clock so induced hangs cost no wall
+// time; like clean runs, the result is identical at any Parallelism.
+func (l *Lab) ChaosSurvival(plan faults.Plan) (*ChaosResult, error) {
+	out := &ChaosResult{Plan: plan}
+	for _, mode := range []core.Mode{core.ModeWrite, core.ModeRead} {
+		clean, err := l.characterize(mode)
+		if err != nil {
+			return nil, err
+		}
+		c, err := core.NewCharacterizer(l.Sys, core.Config{
+			Parallelism: l.Parallelism,
+			Faults:      &plan,
+			MaxRetries:  10,
+			Clock:       resilience.NewAutoClock(time.Unix(0, 0)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		chaos, err := c.Characterize(Target, mode)
+		if err != nil {
+			return nil, fmt.Errorf("chaos characterization (%s, plan %s): %w", mode, plan.Name, err)
+		}
+		out.Modes = append(out.Modes, ChaosMode{
+			Mode: mode, Clean: clean, Chaos: chaos,
+			Survived: sameClasses(clean, chaos),
+		})
+	}
+	return out, nil
+}
+
+// sameClasses reports whether two models agree on every class's rank and
+// membership. Class bandwidths are allowed to differ — under a degraded
+// link they must — so survival is about structure, not absolute rates.
+func sameClasses(a, b *core.Model) bool {
+	if len(a.Classes) != len(b.Classes) {
+		return false
+	}
+	for i := range a.Classes {
+		if a.Classes[i].Rank != b.Classes[i].Rank ||
+			len(a.Classes[i].Nodes) != len(b.Classes[i].Nodes) {
+			return false
+		}
+		for j := range a.Classes[i].Nodes {
+			if a.Classes[i].Nodes[j] != b.Classes[i].Nodes[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ClassSets formats a model's class memberships like "{6,7} | {0,1,4,5}".
+func ClassSets(m *core.Model) string {
+	var parts []string
+	for _, c := range m.Classes {
+		ns := make([]string, 0, len(c.Nodes))
+		for _, n := range c.Nodes {
+			ns = append(ns, fmt.Sprintf("%d", int(n)))
+		}
+		parts = append(parts, "{"+strings.Join(ns, ",")+"}")
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Table renders the clean-vs-chaos class comparison.
+func (r *ChaosResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Chaos survival — Tables IV/V class structure under plan %q (seed %d)",
+			r.Plan.Name, r.Plan.Seed),
+		"model", "clean classes", "chaos classes", "survived")
+	for _, m := range r.Modes {
+		verdict := "yes"
+		if !m.Survived {
+			verdict = "NO"
+		}
+		t.AddRow(m.Mode.String(), ClassSets(m.Clean), ClassSets(m.Chaos), verdict)
+	}
+	return t
+}
+
+// ResilienceTable renders what the fault-tolerance machinery absorbed while
+// rebuilding each model under the plan.
+func (r *ChaosResult) ResilienceTable() *report.Table {
+	t := report.NewTable("Faults absorbed during the chaos sweeps",
+		"model", "retries", "timeouts", "failures", "outliers rejected")
+	for _, m := range r.Modes {
+		res := m.Chaos.Resilience
+		if res == nil {
+			res = &core.ResilienceReport{}
+		}
+		t.AddRow(m.Mode.String(),
+			fmt.Sprintf("%d", res.Retries), fmt.Sprintf("%d", res.Timeouts),
+			fmt.Sprintf("%d", res.Failures), fmt.Sprintf("%d", res.Outliers))
+	}
+	return t
+}
+
+// Summary is the one-line shape: which class structures survived.
+func (r *ChaosResult) Summary() string {
+	var parts []string
+	for _, m := range r.Modes {
+		verdict := "classes survive"
+		if !m.Survived {
+			verdict = fmt.Sprintf("classes change to %s", ClassSets(m.Chaos))
+		}
+		parts = append(parts, fmt.Sprintf("%s: %s", m.Mode, verdict))
+	}
+	return strings.Join(parts, "; ") + "."
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"testing"
+
+	"numaio/internal/faults"
+)
+
+// TestChaosSurvivalDeterministic: the -chaos report is a function of the
+// plan's seed only — the serialized chaos models are byte-identical at any
+// Parallelism, the acceptance bar for the fault-injection layer.
+func TestChaosSurvivalDeterministic(t *testing.T) {
+	plan, err := faults.Named("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	for _, p := range []int{1, 8} {
+		l := newLab(t)
+		l.Parallelism = p
+		r, err := l.ChaosSurvival(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Modes) != 2 {
+			t.Fatalf("got %d modes, want 2", len(r.Modes))
+		}
+		for _, m := range r.Modes {
+			if m.Chaos.Resilience == nil {
+				t.Errorf("%s chaos model carries no resilience report", m.Mode)
+			}
+		}
+		got, err := json.Marshal([]any{r.Modes[0].Chaos, r.Modes[1].Chaos})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if string(got) != string(want) {
+			t.Errorf("chaos models differ between parallelism 1 and %d", p)
+		}
+	}
+}
+
+// TestChaosSurvivalFlakyMeasurements: a plan that only disturbs the
+// measurement machinery — no topology damage — must not change the class
+// structure of Tables IV/V; that is what the retry/timeout/MAD pipeline
+// is for.
+func TestChaosSurvivalFlakyMeasurements(t *testing.T) {
+	plan, err := faults.Named("flaky-measurements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLab(t)
+	l.Parallelism = 4
+	r, err := l.ChaosSurvival(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range r.Modes {
+		if !m.Survived {
+			t.Errorf("%s classes did not survive %s: clean %s vs chaos %s",
+				m.Mode, plan.Name, ClassSets(m.Clean), ClassSets(m.Chaos))
+		}
+	}
+}

@@ -49,6 +49,22 @@ type Resource struct {
 	Capacity units.Bandwidth
 }
 
+// ScaleResources multiplies the capacity of every listed resource by its
+// factor, in place, and returns the slice. Resources absent from scale are
+// untouched. Fault plans (internal/faults) use this to degrade links and
+// device engines without mutating the topology itself.
+func ScaleResources(resources []Resource, scale map[ResourceID]float64) []Resource {
+	if len(scale) == 0 {
+		return resources
+	}
+	for i := range resources {
+		if f, ok := scale[resources[i].ID]; ok {
+			resources[i].Capacity = units.Bandwidth(float64(resources[i].Capacity) * f)
+		}
+	}
+	return resources
+}
+
 // Usage couples a flow to a resource: the flow's rate times Weight counts
 // against the resource's capacity.
 type Usage struct {

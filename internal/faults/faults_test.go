@@ -1,0 +1,283 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numaio/internal/fabric"
+	"numaio/internal/resilience"
+	"numaio/internal/topology"
+)
+
+func mustInjector(t *testing.T, p Plan) *Injector {
+	t.Helper()
+	inj, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan Plan
+		ok   bool
+	}{
+		{"empty plan", Plan{}, true},
+		{"full valid plan", Plan{
+			Links:       []LinkFault{{A: "node0", B: "node1", Factor: 0.5}},
+			Devices:     []DeviceFault{{Factor: 0.5, Probability: 0.5}},
+			Measurement: MeasurementFault{FailureRate: 0.1, HangRate: 0.1, OutlierRate: 0.1, Noise: 0.1},
+		}, true},
+		{"offline device", Plan{Devices: []DeviceFault{{Device: "ssd0", Factor: 0}}}, true},
+		{"link factor zero", Plan{Links: []LinkFault{{A: "a", B: "b", Factor: 0}}}, false},
+		{"link factor above one", Plan{Links: []LinkFault{{A: "a", B: "b", Factor: 1.5}}}, false},
+		{"link missing vertex", Plan{Links: []LinkFault{{A: "a", Factor: 0.5}}}, false},
+		{"negative failure rate", Plan{Measurement: MeasurementFault{FailureRate: -0.1}}, false},
+		{"hang rate above one", Plan{Measurement: MeasurementFault{HangRate: 1.5}}, false},
+		{"noise of one", Plan{Measurement: MeasurementFault{Noise: 1}}, false},
+		{"device probability above one", Plan{Devices: []DeviceFault{{Factor: 0.5, Probability: 2}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate()
+			if (err == nil) != tc.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+// TestDecisionsAreDeterministic is the heart of the package: every decision
+// is a pure function of (seed, kind, key), so repeated asks — from any
+// goroutine, in any order — agree.
+func TestDecisionsAreDeterministic(t *testing.T) {
+	plan := Plan{
+		Seed: 42,
+		Measurement: MeasurementFault{
+			FailureRate: 0.3, HangRate: 0.2, OutlierRate: 0.3, Noise: 0.1,
+		},
+		Devices: []DeviceFault{{Factor: 0.5, Probability: 0.5}},
+	}
+	a, b := mustInjector(t, plan), mustInjector(t, plan)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("iomodel-write-t7-n%d-r%d", i%8, i/8)
+		if a.FailAttempt(key) != b.FailAttempt(key) {
+			t.Fatalf("FailAttempt(%q) disagrees between identical injectors", key)
+		}
+		if a.HangAttempt(key) != b.HangAttempt(key) {
+			t.Fatalf("HangAttempt(%q) disagrees", key)
+		}
+		if a.SampleFactor(key) != b.SampleFactor(key) {
+			t.Fatalf("SampleFactor(%q) disagrees", key)
+		}
+		fa, errA := a.DeviceFactor("nic0", key)
+		fb, errB := b.DeviceFactor("nic0", key)
+		if fa != fb || (errA == nil) != (errB == nil) {
+			t.Fatalf("DeviceFactor(%q) disagrees", key)
+		}
+	}
+}
+
+// TestAdjacentKeysDecorrelate guards the roll finalizer: raw FNV-1a maps
+// keys that differ only in a trailing digit — adjacent repeats of one
+// measurement cell — to nearly identical values, so a whole cell would
+// cross a probability threshold together (and a uniformly scaled row is
+// invisible to MAD rejection). With the avalanche, per-repeat draws are
+// independent.
+func TestAdjacentKeysDecorrelate(t *testing.T) {
+	inj := mustInjector(t, Plan{Seed: 3, Measurement: MeasurementFault{OutlierRate: 0.2, OutlierFactor: 0.3}})
+	for n := 0; n < 16; n++ {
+		hot := 0
+		const reps = 8
+		for r := 0; r < reps; r++ {
+			if inj.SampleFactor(fmt.Sprintf("m/iomodel-write-t7-n%d-r%d", n, r)) != 1 {
+				hot++
+			}
+		}
+		if hot == reps {
+			t.Fatalf("node %d: all %d repeats drew the outlier at rate 0.2 — trailing-digit keys are correlated", n, reps)
+		}
+	}
+}
+
+func TestSeedDecorrelates(t *testing.T) {
+	mk := func(seed uint64) *Injector {
+		return mustInjector(t, Plan{Seed: seed, Measurement: MeasurementFault{FailureRate: 0.5}})
+	}
+	a, b := mk(1), mk(2)
+	same := 0
+	const n = 256
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		if a.FailAttempt(key) == b.FailAttempt(key) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical fault draws")
+	}
+}
+
+func TestRatesRoughlyHold(t *testing.T) {
+	inj := mustInjector(t, Plan{Measurement: MeasurementFault{FailureRate: 0.25}})
+	fails := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if inj.FailAttempt(fmt.Sprintf("key-%d", i)) {
+			fails++
+		}
+	}
+	got := float64(fails) / n
+	if got < 0.15 || got > 0.35 {
+		t.Fatalf("failure rate %v over %d keys, want ~0.25", got, n)
+	}
+}
+
+func TestInjectedErrorsAreTransient(t *testing.T) {
+	if !resilience.IsTransient(ErrInjectedFailure) {
+		t.Fatal("ErrInjectedFailure must be transient")
+	}
+	if !resilience.IsTransient(ErrDeviceOffline) {
+		t.Fatal("ErrDeviceOffline must be transient")
+	}
+}
+
+func TestDeviceFactor(t *testing.T) {
+	inj := mustInjector(t, Plan{Devices: []DeviceFault{
+		{Device: "ssd0", Factor: 0.5},
+		{Factor: 0.8},
+	}})
+	f, err := inj.DeviceFactor("ssd0", "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.5 * 0.8; f != want {
+		t.Fatalf("ssd0 factor %v, want %v (specific and wildcard compose)", f, want)
+	}
+	f, err = inj.DeviceFactor("nic0", "run1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f != 0.8 {
+		t.Fatalf("nic0 factor %v, want 0.8 (wildcard only)", f)
+	}
+
+	off := mustInjector(t, Plan{Devices: []DeviceFault{{Device: "nic0", Factor: 0}}})
+	if _, err := off.DeviceFactor("nic0", "run1"); !errors.Is(err, ErrDeviceOffline) {
+		t.Fatalf("offline device error = %v, want ErrDeviceOffline", err)
+	}
+	if _, err := off.DeviceFactor("ssd0", "run1"); err != nil {
+		t.Fatalf("unmatched device errored: %v", err)
+	}
+}
+
+func TestLinkScales(t *testing.T) {
+	m := topology.DL585G7()
+	inj := mustInjector(t, Plan{Links: []LinkFault{{A: "node6", B: "node7", Factor: 0.5}}})
+	scales, err := inj.LinkScales(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both directions of the duplex pair must be scaled.
+	fwd, rev := m.FindLink("node6", "node7"), m.FindLink("node7", "node6")
+	if fwd < 0 || rev < 0 {
+		t.Fatalf("testbed lost its node6-node7 links (%d, %d)", fwd, rev)
+	}
+	for _, idx := range []int{fwd, rev} {
+		if f := scales[fabric.LinkResource(idx)]; f != 0.5 {
+			t.Fatalf("link %d scale %v, want 0.5", idx, f)
+		}
+	}
+
+	bad := mustInjector(t, Plan{Links: []LinkFault{{A: "node0", B: "nowhere", Factor: 0.5}}})
+	if _, err := bad.LinkScales(m); err == nil {
+		t.Fatal("unknown link pair must error")
+	}
+}
+
+func TestScaleResourcesAppliesFactors(t *testing.T) {
+	res := []fabric.Resource{
+		{ID: fabric.LinkResource(0), Capacity: 100},
+		{ID: fabric.LinkResource(1), Capacity: 100},
+	}
+	fabric.ScaleResources(res, map[fabric.ResourceID]float64{fabric.LinkResource(1): 0.25})
+	if res[0].Capacity != 100 || res[1].Capacity != 25 {
+		t.Fatalf("capacities %v/%v, want 100/25", res[0].Capacity, res[1].Capacity)
+	}
+}
+
+func TestNamedPlansValidate(t *testing.T) {
+	names := PlanNames()
+	if len(names) == 0 {
+		t.Fatal("no built-in plans")
+	}
+	m := topology.DL585G7()
+	for _, name := range names {
+		p, err := Named(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name {
+			t.Fatalf("plan %q carries name %q", name, p.Name)
+		}
+		inj, err := New(p)
+		if err != nil {
+			t.Fatalf("plan %q invalid: %v", name, err)
+		}
+		// Every built-in link fault must resolve on the paper's testbed.
+		if _, err := inj.LinkScales(m); err != nil {
+			t.Fatalf("plan %q does not apply to the testbed: %v", name, err)
+		}
+	}
+	if _, err := Named("no-such-plan"); err == nil {
+		t.Fatal("unknown plan name must error")
+	}
+}
+
+func TestLoadPlanJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plan.json")
+	body := `{
+		"name": "custom",
+		"seed": 7,
+		"links": [{"a": "node0", "b": "node1", "factor": 0.5}],
+		"measurement": {"failure_rate": 0.1}
+	}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "custom" || p.Seed != 7 || len(p.Links) != 1 || p.Measurement.FailureRate != 0.1 {
+		t.Fatalf("loaded plan %+v", p)
+	}
+
+	// Built-in names resolve through Load too.
+	if _, err := Load("chaos"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict decoding: unknown fields are an error.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nope": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("unknown plan field must error")
+	}
+	// Out-of-range values are rejected at load time.
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"measurement": {"failure_rate": 2}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(invalid); err == nil {
+		t.Fatal("invalid plan must fail validation at load")
+	}
+}

@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Named built-in fault plans, the -chaos presets of cmd/iomodel and
+// cmd/paperbench. Link faults reference the DL585 G7 testbed's vertex
+// names (Fig. 2), since that is the machine the paper's sweeps run on.
+var namedPlans = map[string]Plan{
+	// flaky-measurements: no topology damage, only unreliable measurement
+	// machinery — transient failures, hangs and outliers the retry/timeout/
+	// MAD pipeline must absorb.
+	"flaky-measurements": {
+		Name: "flaky-measurements",
+		Seed: 1,
+		Measurement: MeasurementFault{
+			FailureRate: 0.08,
+			HangRate:    0.04,
+			OutlierRate: 0.08,
+			Noise:       0.03,
+		},
+	},
+	// degraded-ht: the on-package HT link of the target node's package runs
+	// at half width (a re-seated socket, a BIOS link-speed downgrade), plus
+	// the usual measurement noise. Classes re-order — the survival report
+	// shows which.
+	"degraded-ht": {
+		Name: "degraded-ht",
+		Seed: 1,
+		Links: []LinkFault{
+			{A: "node6", B: "node7", Factor: 0.5},
+		},
+		Measurement: MeasurementFault{Noise: 0.02},
+	},
+	// slow-devices: every DMA engine at 60% for a third of measurements —
+	// a thermally throttled NIC/SSD. Memcpy characterization is unaffected
+	// (Algorithm 1's point: no device involved); device-backed fio runs see
+	// it.
+	"slow-devices": {
+		Name: "slow-devices",
+		Seed: 1,
+		Devices: []DeviceFault{
+			{Factor: 0.6, Probability: 0.33},
+		},
+		Measurement: MeasurementFault{Noise: 0.02},
+	},
+	// chaos: everything at once — the full resilience gauntlet.
+	"chaos": {
+		Name: "chaos",
+		Seed: 1,
+		Links: []LinkFault{
+			{A: "node6", B: "node7", Factor: 0.6},
+			{A: "node0", B: "node1", Factor: 0.8},
+		},
+		Devices: []DeviceFault{
+			{Factor: 0.5, Probability: 0.25},
+		},
+		Measurement: MeasurementFault{
+			FailureRate: 0.10,
+			HangRate:    0.05,
+			OutlierRate: 0.10,
+			Noise:       0.05,
+		},
+	},
+}
+
+// PlanNames lists the built-in plan names in stable order.
+func PlanNames() []string {
+	names := make([]string, 0, len(namedPlans))
+	for n := range namedPlans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Named returns a built-in plan by name.
+func Named(name string) (Plan, error) {
+	p, ok := namedPlans[name]
+	if !ok {
+		return Plan{}, fmt.Errorf("faults: unknown plan %q (have %s)",
+			name, strings.Join(PlanNames(), ", "))
+	}
+	return p, nil
+}
+
+// Load resolves a plan reference: a built-in name, or a path to a JSON
+// plan file (anything containing a path separator or ending in .json).
+func Load(ref string) (Plan, error) {
+	if strings.ContainsAny(ref, "/\\") || strings.HasSuffix(ref, ".json") {
+		return LoadPlan(ref)
+	}
+	if p, err := Named(ref); err == nil {
+		return p, nil
+	} else if _, statErr := os.Stat(ref); statErr != nil {
+		return Plan{}, err
+	}
+	return LoadPlan(ref)
+}

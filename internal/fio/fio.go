@@ -14,11 +14,13 @@
 package fio
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"numaio/internal/device"
 	"numaio/internal/fabric"
+	"numaio/internal/faults"
 	"numaio/internal/numa"
 	"numaio/internal/simhost"
 	"numaio/internal/topology"
@@ -132,6 +134,13 @@ type Runner struct {
 	// copyCache memoizes the usages and path latency of memcpy flows per
 	// (src, dst) node pair.
 	copyCache map[copyKey]copyEntry
+
+	// faults, when set, disturbs runs per the plan: linkScale degrades the
+	// base resource table, device engines are slowed or failed per run, and
+	// jobs can fail, hang or report outliers — all keyed by job name, so
+	// faults are deterministic regardless of scheduling.
+	faults    *faults.Injector
+	linkScale map[fabric.ResourceID]float64
 }
 
 type copyKey struct{ src, dst topology.NodeID }
@@ -151,6 +160,24 @@ func NewRunner(sys *numa.System) *Runner {
 // (e.g. disabling the interrupt load to isolate its effect).
 func (r *Runner) SetSpec(s device.Spec) { r.specs[s.Name] = s }
 
+// SetFaults puts the runner under a fault plan (nil clears it), resolving
+// the plan's link faults against the machine up front — an unknown link
+// pair errors here, not mid-measurement. The cached resource table and
+// fluid session are dropped so the degraded capacities take effect.
+func (r *Runner) SetFaults(inj *faults.Injector) error {
+	r.faults, r.linkScale = nil, nil
+	r.baseRes, r.memSession = nil, nil
+	if inj == nil {
+		return nil
+	}
+	scales, err := inj.LinkScales(r.sys.Machine())
+	if err != nil {
+		return err
+	}
+	r.faults, r.linkScale = inj, scales
+	return nil
+}
+
 // instance identifies one process while building flows.
 type instance struct {
 	job      Job
@@ -165,6 +192,15 @@ type instance struct {
 
 // Run executes the jobs concurrently to completion and reports bandwidths.
 func (r *Runner) Run(jobs []Job) (*Report, error) {
+	return r.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with a context gating injected hangs: a job the fault
+// plan hangs blocks until ctx is done and returns its cause (typically
+// context.DeadlineExceeded — callers set per-measurement timeouts). The
+// simulated engines themselves complete instantly, so without a fault plan
+// the context is never consulted and Run and RunContext are identical.
+func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
 	if len(jobs) == 0 {
 		return nil, fmt.Errorf("fio: no jobs")
 	}
@@ -182,10 +218,26 @@ func (r *Runner) Run(jobs []Job) (*Report, error) {
 	defer cleanup()
 
 	ssdRR := 0
+	var runKey string
 	for ji, j := range jobs {
 		j = j.withDefaults(ji)
 		if _, ok := m.Node(j.Node); !ok {
 			return nil, fmt.Errorf("fio: job %q: unknown node %d", j.Name, int(j.Node))
+		}
+		if runKey != "" {
+			runKey += "+"
+		}
+		runKey += j.Name
+		if r.faults != nil {
+			fkey := m.Name + "/" + j.Name
+			if r.faults.HangAttempt(fkey) {
+				// The induced hang: block until the caller's deadline.
+				<-ctx.Done()
+				return nil, fmt.Errorf("fio: injected hang in job %q: %w", j.Name, context.Cause(ctx))
+			}
+			if r.faults.FailAttempt(fkey) {
+				return nil, fmt.Errorf("fio: job %q: %w", j.Name, faults.ErrInjectedFailure)
+			}
 		}
 		for k := 0; k < j.NumJobs; k++ {
 			in := &instance{job: j, idx: k, id: fmt.Sprintf("%s/%d", j.Name, k)}
@@ -219,7 +271,7 @@ func (r *Runner) Run(jobs []Job) (*Report, error) {
 		}
 	}
 
-	resources, hasDevice, err := r.buildResources(insts)
+	resources, hasDevice, err := r.buildResources(insts, runKey)
 	if err != nil {
 		return nil, err
 	}
@@ -256,6 +308,12 @@ func (r *Runner) Run(jobs []Job) (*Report, error) {
 		jitter := simhost.Jitter(
 			fmt.Sprintf("%s/%s/%s/n%d", m.Name, in.job.Engine, in.id, in.job.Node),
 			r.effectiveSigma(in.job))
+		if r.faults != nil {
+			// Outliers and extra noise, keyed per job: every instance of a
+			// measurement is disturbed together, producing the clean
+			// whole-measurement outliers the MAD rejection is built for.
+			jitter *= r.faults.SampleFactor(m.Name + "/" + in.job.Name)
+		}
 		ir := InstanceResult{
 			Job:        in.job.Name,
 			Instance:   in.idx,
@@ -379,6 +437,9 @@ func (r *Runner) baseResources() []fabric.Resource {
 					float64(device.TCPHostCostPerStream) * n.EffectiveCoreMultiplier()),
 			})
 		}
+		// Fault plans degrade links at solve time; the topology stays
+		// pristine (same effect as topology.DegradeLinkBetween for flows).
+		resources = fabric.ScaleResources(resources, r.linkScale)
 		r.baseRes = resources[:len(resources):len(resources)]
 	}
 	return r.baseRes
@@ -386,8 +447,9 @@ func (r *Runner) baseResources() []fabric.Resource {
 
 // buildResources returns the base table plus one DMA-engine resource per
 // (device, engine) pair in use, and reports whether any device instance is
-// present.
-func (r *Runner) buildResources(insts []*instance) ([]fabric.Resource, bool, error) {
+// present. Under a fault plan the engine capacity is scaled per (device,
+// run) — or the run fails outright when the plan takes the device offline.
+func (r *Runner) buildResources(insts []*instance, runKey string) ([]fabric.Resource, bool, error) {
 	resources := r.baseResources()
 	hasDevice := false
 	var seen map[fabric.ResourceID]bool
@@ -405,7 +467,15 @@ func (r *Runner) buildResources(insts []*instance) ([]fabric.Resource, bool, err
 			seen = make(map[fabric.ResourceID]bool)
 		}
 		if !seen[id] {
-			resources = append(resources, fabric.Resource{ID: id, Capacity: spec.Ceiling})
+			capacity := spec.Ceiling
+			if r.faults != nil {
+				f, err := r.faults.DeviceFactor(in.devID, runKey)
+				if err != nil {
+					return nil, false, fmt.Errorf("fio: job %q: %w", in.job.Name, err)
+				}
+				capacity = units.Bandwidth(float64(capacity) * f)
+			}
+			resources = append(resources, fabric.Resource{ID: id, Capacity: capacity})
 			seen[id] = true
 		}
 	}

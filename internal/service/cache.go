@@ -66,6 +66,10 @@ func (c *ModelCache) Get(key string) (*core.MachineModel, bool) {
 	return c.getLocked(key)
 }
 
+// getLocked reports expired entries as misses but retains them: an
+// expired model is the stale fallback the daemon serves (marked as such)
+// when recomputation fails. Capacity pressure still evicts stale entries
+// LRU-wise like any other.
 func (c *ModelCache) getLocked(key string) (*core.MachineModel, bool) {
 	el, ok := c.entries[key]
 	if !ok {
@@ -73,13 +77,22 @@ func (c *ModelCache) getLocked(key string) (*core.MachineModel, bool) {
 	}
 	ent := el.Value.(*cacheEntry)
 	if c.ttl > 0 && c.now().After(ent.expires) {
-		c.order.Remove(el)
-		delete(c.entries, key)
-		c.evictions.Add(1)
 		return nil, false
 	}
 	c.order.MoveToFront(el)
 	return ent.model, true
+}
+
+// GetStale returns the entry for key even when expired — the last good
+// model, for graceful degradation when a fresh characterization fails.
+func (c *ModelCache) GetStale(key string) (*core.MachineModel, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*cacheEntry).model, true
 }
 
 // put inserts (or refreshes) an entry, evicting the least recently used
@@ -160,19 +173,34 @@ func (c *ModelCache) Len() int {
 	return c.order.Len()
 }
 
-// Stats is a snapshot of the cache counters.
+// Stats is a snapshot of the cache counters. Stale counts the expired
+// entries currently retained as fallbacks.
 type CacheStats struct {
 	Hits, Misses, Coalesced, Evictions int64
 	Entries                            int
+	Stale                              int
 }
 
 // Stats snapshots the counters.
 func (c *ModelCache) Stats() CacheStats {
+	c.mu.Lock()
+	entries := c.order.Len()
+	stale := 0
+	if c.ttl > 0 {
+		now := c.now()
+		for el := c.order.Front(); el != nil; el = el.Next() {
+			if now.After(el.Value.(*cacheEntry).expires) {
+				stale++
+			}
+		}
+	}
+	c.mu.Unlock()
 	return CacheStats{
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
+		Entries:   entries,
+		Stale:     stale,
 	}
 }

@@ -34,14 +34,29 @@ func TestCacheTTLExpiry(t *testing.T) {
 		t.Error("second lookup within TTL missed")
 	}
 	now = now.Add(2 * time.Minute)
+	// The expired entry is a miss for Get, but is retained as the stale
+	// fallback until recomputed or evicted by capacity pressure.
+	if _, ok := c.Get("k"); ok {
+		t.Error("Get returned an expired entry")
+	}
+	if mm, ok := c.GetStale("k"); !ok || mm == nil {
+		t.Error("expired entry not retained for GetStale")
+	}
+	if s := c.Stats(); s.Stale != 1 || s.Evictions != 0 {
+		t.Errorf("stats after expiry = %+v, want 1 stale and 0 evictions", s)
+	}
 	if _, cached, _ := get(); cached {
 		t.Error("lookup after TTL still hit")
 	}
 	if computes != 2 {
 		t.Errorf("computed %d times, want 2", computes)
 	}
-	if s := c.Stats(); s.Evictions != 1 {
-		t.Errorf("evictions = %d, want 1 (TTL)", s.Evictions)
+	// The recompute refreshed the entry: no longer stale.
+	if s := c.Stats(); s.Stale != 0 {
+		t.Errorf("stale = %d after refresh, want 0", s.Stale)
+	}
+	if _, ok := c.GetStale("missing"); ok {
+		t.Error("GetStale invented an entry")
 	}
 }
 

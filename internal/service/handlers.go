@@ -53,7 +53,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache.Stats(), s.pool.InFlight())
+	s.metrics.WriteTo(w, s.cache.Stats(), s.pool.InFlight(), s.openBreakers())
 }
 
 type characterizeRequest struct {
@@ -63,10 +63,14 @@ type characterizeRequest struct {
 }
 
 type characterizeResponse struct {
-	Fingerprint   string             `json:"fingerprint"`
-	Cached        bool               `json:"cached"`
-	CostReduction float64            `json:"cost_reduction"`
-	Model         *core.MachineModel `json:"model"`
+	Fingerprint   string  `json:"fingerprint"`
+	Cached        bool    `json:"cached"`
+	CostReduction float64 `json:"cost_reduction"`
+	// Stale marks a model served from an expired cache entry because
+	// recomputation failed (or its circuit breaker is open) — the last
+	// good model, degraded gracefully rather than a 500.
+	Stale bool               `json:"stale,omitempty"`
+	Model *core.MachineModel `json:"model"`
 }
 
 func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
@@ -87,7 +91,7 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		snapshot := *job // the worker goroutine mutates job; respond with a copy
 		err := s.pool.Submit(func() {
 			s.jobs.SetState(job.ID, JobRunning, "", nil)
-			mm, fp, _, err := s.characterizeCached(context.Background(), m, cfg)
+			mm, fp, _, _, err := s.characterizeCached(context.Background(), m, cfg)
 			if err != nil {
 				s.jobs.SetState(job.ID, JobFailed, fp, err)
 				return
@@ -102,15 +106,16 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	mm, fp, cached, err := s.characterizeCached(r.Context(), m, cfg)
+	mm, fp, cached, stale, err := s.characterizeCached(r.Context(), m, cfg)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "characterization failed: %v", err)
+		writeError(w, errStatus(err), "characterization failed: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, characterizeResponse{
 		Fingerprint:   fp,
 		Cached:        cached,
 		CostReduction: mm.CostReduction(),
+		Stale:         stale,
 		Model:         mm,
 	})
 }
@@ -170,9 +175,9 @@ func (s *Server) modelForRequest(ctx context.Context, fingerprint string, machin
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	mm, _, _, err := s.characterizeCached(ctx, m, cfg)
+	mm, _, _, _, err := s.characterizeCached(ctx, m, cfg)
 	if err != nil {
-		return nil, http.StatusInternalServerError, err
+		return nil, errStatus(err), err
 	}
 	return mm, 0, nil
 }
@@ -308,9 +313,9 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	mm, _, _, err := s.characterizeCached(r.Context(), m, req.Config.toCore())
+	mm, _, _, _, err := s.characterizeCached(r.Context(), m, req.Config.toCore())
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, errStatus(err), "%v", err)
 		return
 	}
 	target := topology.NodeID(req.Target)
@@ -480,14 +485,14 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	cfg := req.Config.toCore()
-	beforeMM, beforeFP, _, err := s.characterizeCached(r.Context(), base, cfg)
+	beforeMM, beforeFP, _, _, err := s.characterizeCached(r.Context(), base, cfg)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, errStatus(err), "%v", err)
 		return
 	}
-	afterMM, afterFP, _, err := s.characterizeCached(r.Context(), mutant, cfg)
+	afterMM, afterFP, _, _, err := s.characterizeCached(r.Context(), mutant, cfg)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		writeError(w, errStatus(err), "%v", err)
 		return
 	}
 

@@ -25,6 +25,12 @@ type Metrics struct {
 	// width, exported as a gauge so latency shifts can be correlated with
 	// the setting.
 	parallelism int
+
+	// Resilience counters: characterization attempts retried after a
+	// failure, and responses served from an expired cache entry because
+	// recomputation failed (or its breaker was open).
+	charRetries int64
+	staleServed int64
 }
 
 // defaultLatencyBuckets cover sub-millisecond simulated runs up to
@@ -45,6 +51,27 @@ func (m *Metrics) SetParallelism(p int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.parallelism = p
+}
+
+// ObserveCharacterizeRetry counts one retried characterization attempt.
+func (m *Metrics) ObserveCharacterizeRetry() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.charRetries++
+}
+
+// ObserveStaleServed counts one response served from a stale model.
+func (m *Metrics) ObserveStaleServed() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.staleServed++
+}
+
+// StaleServed returns the stale-response counter (tests).
+func (m *Metrics) StaleServed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.staleServed
 }
 
 // ObserveRequest counts one served request.
@@ -87,9 +114,9 @@ func (m *Metrics) RequestCount(endpoint string) int64 {
 	return total
 }
 
-// WriteTo renders the registry (plus the supplied cache and job gauges) in
-// the Prometheus text exposition format.
-func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, inflightJobs int64) {
+// WriteTo renders the registry (plus the supplied cache, job and breaker
+// gauges) in the Prometheus text exposition format.
+func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, inflightJobs int64, openBreakers int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -139,4 +166,17 @@ func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, inflightJobs int64) {
 	fmt.Fprintln(w, "# HELP numaiod_inflight_jobs Characterizations currently holding a worker slot.")
 	fmt.Fprintln(w, "# TYPE numaiod_inflight_jobs gauge")
 	fmt.Fprintf(w, "numaiod_inflight_jobs %d\n", inflightJobs)
+
+	fmt.Fprintln(w, "# HELP numaiod_characterize_retries_total Characterization attempts retried after a failure.")
+	fmt.Fprintln(w, "# TYPE numaiod_characterize_retries_total counter")
+	fmt.Fprintf(w, "numaiod_characterize_retries_total %d\n", m.charRetries)
+	fmt.Fprintln(w, "# HELP numaiod_stale_served_total Responses served from an expired cache entry after a failed recomputation.")
+	fmt.Fprintln(w, "# TYPE numaiod_stale_served_total counter")
+	fmt.Fprintf(w, "numaiod_stale_served_total %d\n", m.staleServed)
+	fmt.Fprintln(w, "# HELP numaiod_stale_models Expired models retained as stale fallbacks.")
+	fmt.Fprintln(w, "# TYPE numaiod_stale_models gauge")
+	fmt.Fprintf(w, "numaiod_stale_models %d\n", cache.Stale)
+	fmt.Fprintln(w, "# HELP numaiod_breaker_open Characterization circuit breakers currently open.")
+	fmt.Fprintln(w, "# TYPE numaiod_breaker_open gauge")
+	fmt.Fprintf(w, "numaiod_breaker_open %d\n", openBreakers)
 }

@@ -13,24 +13,37 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"numaio/internal/core"
 	"numaio/internal/numa"
+	"numaio/internal/resilience"
 	"numaio/internal/topology"
 )
 
+// ErrCircuitOpen is returned (as a 503) when a model's circuit breaker is
+// open after repeated characterization failures and no stale fallback
+// exists.
+var ErrCircuitOpen = errors.New("service: characterization suspended (circuit open)")
+
 // CharacterizeFunc runs Algorithm 1 for a whole machine. The daemon uses
-// the real characterizer; tests inject counters or stubs.
-type CharacterizeFunc func(m *topology.Machine, cfg core.Config) (*core.MachineModel, error)
+// the real characterizer; tests inject counters or stubs. The context
+// carries the request deadline — implementations should abandon work when
+// it is done.
+type CharacterizeFunc func(ctx context.Context, m *topology.Machine, cfg core.Config) (*core.MachineModel, error)
 
 // DefaultCharacterize boots a simulated system on the machine and runs the
 // whole-host characterization.
-func DefaultCharacterize(m *topology.Machine, cfg core.Config) (*core.MachineModel, error) {
+func DefaultCharacterize(ctx context.Context, m *topology.Machine, cfg core.Config) (*core.MachineModel, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sys, err := numa.NewSystem(m)
 	if err != nil {
 		return nil, err
@@ -61,6 +74,27 @@ type Config struct {
 	// Characterize overrides the Algorithm 1 runner (tests); nil uses
 	// DefaultCharacterize.
 	Characterize CharacterizeFunc
+
+	// RequestTimeout bounds each request's context; 0 means no limit. A
+	// characterization that overruns it is abandoned and reported as 504.
+	RequestTimeout time.Duration
+	// Retries is the retry budget for a failed characterization, with
+	// exponential backoff from RetryBackoff between attempts; 0 disables
+	// retrying (the historical behaviour).
+	Retries int
+	// RetryBackoff is the base backoff between retries; 0 means 100ms.
+	RetryBackoff time.Duration
+	// BreakerThreshold opens a per-model circuit breaker after this many
+	// consecutive characterization failures, so a persistently failing
+	// machine stops consuming worker slots; 0 disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before admitting
+	// a probe; 0 means 30s.
+	BreakerCooldown time.Duration
+	// Clock drives request deadlines, retry backoff and breaker
+	// cooldowns; nil means the system clock. Tests inject fakes so
+	// resilience paths run without real sleeps.
+	Clock resilience.Clock
 }
 
 // Server is the daemon state: cache, worker pool, job registry, metrics
@@ -74,6 +108,15 @@ type Server struct {
 	mux          *http.ServeMux
 	characterize CharacterizeFunc
 	parallelism  int
+
+	requestTimeout   time.Duration
+	retry            resilience.RetryPolicy
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	clock            resilience.Clock
+
+	brMu     sync.Mutex
+	breakers map[string]*resilience.Breaker
 }
 
 // New builds a server from the config.
@@ -98,6 +141,18 @@ func New(cfg Config) *Server {
 	if parallelism <= 0 {
 		parallelism = workers
 	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = resilience.SystemClock{}
+	}
+	backoff := cfg.RetryBackoff
+	if backoff == 0 {
+		backoff = 100 * time.Millisecond
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown == 0 {
+		cooldown = 30 * time.Second
+	}
 	s := &Server{
 		log:          logger,
 		cache:        NewModelCache(cfg.CacheEntries, ttl),
@@ -107,6 +162,13 @@ func New(cfg Config) *Server {
 		mux:          http.NewServeMux(),
 		characterize: ch,
 		parallelism:  parallelism,
+
+		requestTimeout:   cfg.RequestTimeout,
+		retry:            resilience.RetryPolicy{MaxRetries: cfg.Retries, Base: backoff},
+		breakerThreshold: cfg.BreakerThreshold,
+		breakerCooldown:  cooldown,
+		clock:            clock,
+		breakers:         make(map[string]*resilience.Breaker),
 	}
 	s.metrics.SetParallelism(parallelism)
 	s.routes()
@@ -126,11 +188,17 @@ func (s *Server) routes() {
 
 // handle registers a pattern under the logging/metrics middleware. The
 // endpoint label aggregates path parameters (e.g. every /v1/models/{fp}
-// request counts under "/v1/models").
+// request counts under "/v1/models"). A configured RequestTimeout becomes
+// the request context's deadline here, so every handler inherits it.
 func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		if s.requestTimeout > 0 {
+			ctx, cancel := resilience.ContextWithTimeout(r.Context(), s.clock, s.requestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		h(rec, r)
 		s.metrics.ObserveRequest(endpoint, rec.status)
 		s.log.Info("request",
@@ -176,11 +244,14 @@ func (s *Server) Drain(ctx context.Context) error { return s.pool.Drain(ctx) }
 
 // characterizeCached resolves the machine's fingerprint and returns its
 // whole-host model, computing it at most once per (fingerprint, config)
-// across concurrent callers. The bool reports a cache (or coalesced) hit.
-func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cfg core.Config) (*core.MachineModel, string, bool, error) {
+// across concurrent callers. The first bool reports a cache (or coalesced)
+// hit; the second reports a stale entry served because recomputation
+// failed or its circuit breaker is open (graceful degradation: the last
+// good model beats a 500).
+func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cfg core.Config) (*core.MachineModel, string, bool, bool, error) {
 	fp, err := topology.Fingerprint(m)
 	if err != nil {
-		return nil, "", false, err
+		return nil, "", false, false, err
 	}
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = s.parallelism
@@ -189,21 +260,107 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 	// characterizations are bit-identical, so they share a cache entry.
 	key := fmt.Sprintf("%s|t%d r%d b%d g%g s%g",
 		fp, cfg.Threads, cfg.Repeats, int64(cfg.BytesPerThread), cfg.GapThreshold, cfg.Sigma)
+
+	br := s.breakerFor(key)
+	if br != nil && !br.Allow() {
+		if mm, ok := s.cache.GetStale(key); ok {
+			s.metrics.ObserveStaleServed()
+			return mm, fp, true, true, nil
+		}
+		return nil, fp, false, false, fmt.Errorf("%w: model %s", ErrCircuitOpen, fp)
+	}
+
 	mm, cached, err := s.cache.GetOrCompute(key, func() (*core.MachineModel, error) {
 		if err := s.pool.Acquire(ctx); err != nil {
 			return nil, err
 		}
 		defer s.pool.Release()
 		start := time.Now()
-		mm, err := s.characterize(m, cfg)
-		if err != nil {
-			return nil, err
+		var mm *core.MachineModel
+		rerr := resilience.Retry(ctx, s.clock, s.retry, func(attempt int) error {
+			if attempt > 0 {
+				s.metrics.ObserveCharacterizeRetry()
+				s.log.Warn("retrying characterization", "fingerprint", fp, "attempt", attempt)
+			}
+			var cerr error
+			mm, cerr = s.characterize(ctx, m, cfg)
+			if cerr != nil && ctx.Err() == nil {
+				// Everything but a dead request context is worth a retry.
+				return resilience.MarkTransient(cerr)
+			}
+			return cerr
+		})
+		if rerr != nil {
+			return nil, rerr
 		}
 		s.metrics.ObserveCharacterization(time.Since(start))
 		mm.Fingerprint = fp
 		return mm, nil
 	})
-	return mm, fp, cached, err
+	// Only the caller that actually computed (or failed to) moves the
+	// breaker; cache hits and coalesced followers say nothing about the
+	// machine's health.
+	if br != nil && !cached {
+		if err != nil {
+			br.Failure()
+		} else {
+			br.Success()
+		}
+	}
+	if err != nil {
+		if mm, ok := s.cache.GetStale(key); ok {
+			s.log.Warn("serving stale model after failed recomputation",
+				"fingerprint", fp, "error", err)
+			s.metrics.ObserveStaleServed()
+			return mm, fp, true, true, nil
+		}
+		return nil, fp, false, false, err
+	}
+	return mm, fp, cached, false, nil
+}
+
+// breakerFor returns the circuit breaker guarding one cache key, creating
+// it on first use; nil when breakers are disabled.
+func (s *Server) breakerFor(key string) *resilience.Breaker {
+	if s.breakerThreshold <= 0 {
+		return nil
+	}
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	br, ok := s.breakers[key]
+	if !ok {
+		br = resilience.NewBreaker(s.breakerThreshold, s.breakerCooldown, s.clock)
+		s.breakers[key] = br
+	}
+	return br
+}
+
+// openBreakers counts breakers currently open — the numaiod_breaker_open
+// gauge.
+func (s *Server) openBreakers() int {
+	s.brMu.Lock()
+	defer s.brMu.Unlock()
+	open := 0
+	for _, br := range s.breakers {
+		if br.State() == resilience.BreakerOpen {
+			open++
+		}
+	}
+	return open
+}
+
+// errStatus maps a characterization failure to its HTTP status: dead
+// deadlines are the gateway's fault (504), an open breaker is explicit
+// back-pressure (503), anything else is a plain 500.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrCircuitOpen):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // writeJSON encodes v with a status code.

@@ -2,6 +2,7 @@ package service_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,9 +26,9 @@ func newTestServer(t *testing.T, runs *atomic.Int64) *httptest.Server {
 	t.Helper()
 	svc := service.New(service.Config{
 		Workers: 2,
-		Characterize: func(m *topology.Machine, cfg core.Config) (*core.MachineModel, error) {
+		Characterize: func(ctx context.Context, m *topology.Machine, cfg core.Config) (*core.MachineModel, error) {
 			runs.Add(1)
-			return service.DefaultCharacterize(m, cfg)
+			return service.DefaultCharacterize(ctx, m, cfg)
 		},
 	})
 	ts := httptest.NewServer(svc.Handler())

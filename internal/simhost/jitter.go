@@ -5,6 +5,16 @@ import (
 	"math"
 )
 
+// Hash01 maps a key to a deterministic uniform value in [0, 1). It is the
+// probability draw behind Jitter and the fault injector's decisions
+// (internal/faults): because the value depends only on the key, concurrent
+// and serial runs see identical faults.
+func Hash01(key string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return float64(h.Sum64()%(1<<52)) / float64(int64(1)<<52)
+}
+
 // Jitter returns a deterministic multiplicative noise factor in
 // [1-sigma, 1+sigma] derived from the key. The same key always yields the
 // same factor, so experiments are reproducible while still showing the
@@ -14,11 +24,8 @@ func Jitter(key string, sigma float64) float64 {
 	if sigma <= 0 {
 		return 1
 	}
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
 	// Map the hash to (-1, 1) symmetrically.
-	v := h.Sum64()
-	u := float64(v%(1<<52)) / float64(int64(1)<<52) // [0,1)
+	u := Hash01(key)
 	return 1 + sigma*(2*u-1)
 }
 

@@ -7,12 +7,78 @@
 #
 # Compare two revisions with: benchstat BENCH_<old>.txt BENCH_<new>.txt
 #
+# With -check the script instead runs the CharacterizeAll/RunFluid hot
+# paths once and compares their ns/op against the most recent recorded
+# BENCH_*.json, failing on a slowdown beyond TOLERANCE — the CI
+# bench-regression guard. Nothing is recorded in this mode.
+#
 # Environment knobs:
 #   REV        label for the output files (default: git short hash)
 #   BENCHTIME  per-benchmark budget (default 2s; use e.g. 10x for CI)
 #   COUNT      repetitions per benchmark (default 1; benchstat wants >= 6)
+#   TOLERANCE  -check slowdown limit as a ratio (default 1.25 = +25%)
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-check" ]; then
+    # Latest record by commit date (checkout mtimes are meaningless); an
+    # uncommitted record counts as newest.
+    baseline=""
+    newest=-1
+    for f in BENCH_*.json; do
+        [ -e "$f" ] || continue
+        t=$(git log -1 --format=%ct -- "$f" 2>/dev/null)
+        [ -n "$t" ] || t=$(date +%s)
+        if [ "$t" -ge "$newest" ]; then
+            newest=$t
+            baseline=$f
+        fi
+    done
+    if [ -z "$baseline" ]; then
+        echo "bench.sh -check: no BENCH_*.json baseline recorded" >&2
+        exit 1
+    fi
+    tolerance=${TOLERANCE:-1.25}
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    echo "bench.sh -check: comparing against $baseline (limit ${tolerance}x)"
+    go test -run '^$' \
+        -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid)$' \
+        -benchtime "${BENCHTIME:-1s}" . | tee "$tmp/bench.txt"
+    awk -v limit="$tolerance" '
+    FNR == NR {
+        # Baseline JSON: one {"name": ..., "ns_per_op": ...} object per line.
+        if ($0 ~ /"name"/ && $0 ~ /"ns_per_op"/) {
+            name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+            ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
+            base[name] = ns + 0
+        }
+        next
+    }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (!(name in base))
+            next
+        ratio = ($3 + 0) / base[name]
+        verdict = (ratio > limit) ? "REGRESSION" : "ok"
+        printf "%-34s baseline %12.0f ns/op, now %12.0f ns/op (%+6.1f%%)  %s\n",
+            name, base[name], $3 + 0, (ratio - 1) * 100, verdict
+        if (ratio > limit)
+            bad = 1
+        checked++
+    }
+    END {
+        if (!checked) {
+            print "bench.sh -check: no benchmark matched the baseline" > "/dev/stderr"
+            exit 1
+        }
+        exit bad
+    }
+    ' "$baseline" "$tmp/bench.txt"
+    echo "bench.sh -check: no regression beyond ${tolerance}x"
+    exit 0
+fi
 
 rev=${REV:-$(git rev-parse --short HEAD 2>/dev/null || echo dev)}
 benchtime=${BENCHTIME:-2s}

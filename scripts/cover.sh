@@ -1,0 +1,32 @@
+#!/bin/sh
+# cover.sh — run the full test suite with a merged coverage profile and
+# enforce the recorded coverage floor. CI uploads the profile as an
+# artifact; inspect it locally with:
+#
+#   go tool cover -html=cover.out
+#
+# BASELINE is the total-statement floor in percent. Raise it when coverage
+# durably improves; never lower it to make a PR pass — add tests instead.
+#
+# Environment knobs:
+#   PROFILE   output profile path (default cover.out)
+#   BASELINE  override the floor (useful for local what-if runs)
+set -eu
+cd "$(dirname "$0")/.."
+
+profile=${PROFILE:-cover.out}
+baseline=${BASELINE:-82.0}
+
+go test -coverprofile="$profile" -covermode=atomic ./...
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/, "", $NF); print $NF}')
+if [ -z "$total" ]; then
+    echo "cover.sh: could not read total coverage from $profile" >&2
+    exit 1
+fi
+
+echo "cover.sh: total statement coverage ${total}% (floor ${baseline}%)"
+awk -v total="$total" -v floor="$baseline" 'BEGIN { exit !(total + 0 >= floor + 0) }' || {
+    echo "cover.sh: coverage ${total}% fell below the ${baseline}% floor" >&2
+    exit 1
+}

@@ -2,24 +2,44 @@
 # serve-smoke: boot numaiod on an ephemeral port, exercise the API with
 # curl, and shut it down gracefully with SIGTERM. Fails if any endpoint
 # misbehaves or the daemon does not drain cleanly.
+#
+# Cleanup is a single trap'd function so the daemon and the scratch
+# directory are reclaimed on every exit path, including ^C and a CI
+# timeout's SIGTERM; both startup waits are bounded so a wedged daemon
+# fails the script instead of hanging it.
 set -eu
 
 GO=${GO:-go}
+pid=""
 workdir=$(mktemp -d)
-trap 'rm -rf "$workdir"' EXIT
+
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+trap 'exit 129' INT
+trap 'exit 143' TERM
+
+fail() {
+    echo "serve-smoke: $1" >&2
+    exit 1
+}
 
 echo "serve-smoke: building numaiod"
 "$GO" build -o "$workdir/numaiod" ./cmd/numaiod
 
 "$workdir/numaiod" -addr 127.0.0.1:0 -quiet >"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
-trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
-# Wait for the listen banner.
+# Wait for the listen banner, bounded.
 base=""
 for _ in $(seq 1 100); do
     base=$(sed -n 's/^listening on //p' "$workdir/out.log" | head -n 1)
     [ -n "$base" ] && break
+    kill -0 "$pid" 2>/dev/null || break
     sleep 0.1
 done
 if [ -z "$base" ]; then
@@ -29,10 +49,16 @@ if [ -z "$base" ]; then
 fi
 echo "serve-smoke: daemon at $base"
 
-fail() {
-    echo "serve-smoke: $1" >&2
-    exit 1
-}
+# Wait until it actually serves, bounded: the banner precedes readiness.
+ready=""
+for _ in $(seq 1 100); do
+    if curl -fsS -o /dev/null "$base/healthz" 2>/dev/null; then
+        ready=1
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$ready" ] || fail "daemon never became healthy at $base/healthz"
 
 curl -fsS -o "$workdir/resp" "$base/healthz"
 grep -q ok "$workdir/resp" || fail "/healthz not ok"
@@ -42,6 +68,7 @@ curl -fsS -o "$workdir/resp" -X POST -d "$char" "$base/v1/characterize"
 grep -q '"cached": false' "$workdir/resp" || fail "first characterize was not a cache miss"
 curl -fsS -o "$workdir/resp" -X POST -d "$char" "$base/v1/characterize"
 grep -q '"cached": true' "$workdir/resp" || fail "second characterize was not served from cache"
+grep -q '"stale"' "$workdir/resp" && fail "healthy characterize marked stale"
 
 predict='{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1},
           "target": 0, "mode": "write", "mix": {"0": 0.5, "2": 0.5}}'
@@ -53,6 +80,10 @@ grep -q 'numaiod_requests_total{endpoint="/v1/characterize",status="200"} 2' "$w
     || fail "metrics missing characterize counter"
 grep -Eq 'numaiod_model_cache\{event="hit"\} [1-9]' "$workdir/metrics.txt" \
     || fail "metrics missing cache hit"
+grep -q 'numaiod_stale_models 0' "$workdir/metrics.txt" \
+    || fail "metrics missing staleness gauge"
+grep -q 'numaiod_breaker_open 0' "$workdir/metrics.txt" \
+    || fail "metrics missing breaker gauge"
 
 echo "serve-smoke: sending SIGTERM"
 kill -TERM "$pid"
@@ -62,5 +93,6 @@ while kill -0 "$pid" 2>/dev/null; do
     [ "$i" -gt 100 ] && fail "daemon did not exit after SIGTERM"
     sleep 0.1
 done
+pid=""
 grep -q drained "$workdir/out.log" || fail "daemon exited without draining"
 echo "serve-smoke: ok"
