@@ -6,9 +6,9 @@
 // Usage:
 //
 //	numaiod [-addr host:port] [-workers n] [-parallelism n]
-//	        [-cache-entries n] [-cache-ttl d] [-request-timeout d]
-//	        [-retries n] [-retry-backoff d] [-breaker-threshold n]
-//	        [-breaker-cooldown d] [-pprof]
+//	        [-cache-entries n] [-cache-ttl d] [-resp-cache-entries n]
+//	        [-request-timeout d] [-retries n] [-retry-backoff d]
+//	        [-breaker-threshold n] [-breaker-cooldown d] [-pprof]
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (use -addr 127.0.0.1:0 for an ephemeral port) and shuts down gracefully
@@ -47,6 +47,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "measurement worker-pool width per characterization (0 = same as -workers)")
 	cacheEntries := fs.Int("cache-entries", 64, "model cache capacity")
 	cacheTTL := fs.Duration("cache-ttl", time.Hour, "model cache entry lifetime (negative disables expiry)")
+	respCacheEntries := fs.Int("resp-cache-entries", 1024, "per-endpoint response cache capacity (negative disables)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget for in-flight jobs")
 	requestTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request deadline (0 disables; overruns are 504s)")
 	retries := fs.Int("retries", 2, "retry budget for a failed characterization")
@@ -86,6 +87,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Parallelism:      *parallelism,
 		CacheEntries:     *cacheEntries,
 		CacheTTL:         *cacheTTL,
+		RespCacheEntries: *respCacheEntries,
 		Logger:           logger,
 		RequestTimeout:   *requestTimeout,
 		Retries:          *retries,

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"numaio/internal/cli"
+)
+
+// Exit-code contract (internal/cli): 0 success or -h, 1 runtime failure,
+// 2 usage error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"missing -url", nil, 2},
+		{"bad endpoint", []string{"-url", "http://127.0.0.1:1", "-endpoint", "teleport"}, 2},
+		{"bad mix", []string{"-url", "http://127.0.0.1:1", "-mix", "zero:half"}, 2},
+		{"no caps", []string{"-url", "http://127.0.0.1:1", "-requests", "0", "-duration", "0s"}, 2},
+		{"unreachable daemon", []string{"-url", "http://127.0.0.1:1", "-requests", "1"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Errorf("args %v: exit code %d (err: %v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}

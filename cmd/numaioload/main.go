@@ -1,0 +1,165 @@
+// Command numaioload is the serving-path load harness: it drives a running
+// numaiod's /v1/predict or /v1/place endpoint at a configurable
+// concurrency and reports RPS plus p50/p95/p99 latency from an HDR-style
+// histogram (internal/loadgen). One warm-up request runs first so the
+// measured window never includes the initial characterization.
+//
+// Usage:
+//
+//	numaioload -url http://host:port [-endpoint predict|place]
+//	           [-machine name] [-target n] [-mode write|read]
+//	           [-mix "0:0.5,2:0.5"] [-tasks n] [-repeats n] [-sigma s]
+//	           [-concurrency n] [-duration d] [-requests n] [-timeout d]
+//
+// Exit status: 0 on a completed run, 1 when the daemon is unreachable or
+// requests fail, 2 on usage errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"numaio/internal/cli"
+	"numaio/internal/loadgen"
+)
+
+func main() {
+	os.Exit(cli.Main("numaioload", run(os.Args[1:], os.Stdout)))
+}
+
+// parseMix turns "0:0.5,2:0.5" into the predict request's mix object.
+func parseMix(s string) (map[string]float64, error) {
+	mix := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		node, frac, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q is not node:fraction", part)
+		}
+		if _, err := strconv.Atoi(node); err != nil {
+			return nil, fmt.Errorf("mix node %q is not an integer", node)
+		}
+		f, err := strconv.ParseFloat(frac, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mix fraction %q: %v", frac, err)
+		}
+		mix[node] = f
+	}
+	return mix, nil
+}
+
+// buildBody assembles the request body for the chosen endpoint.
+func buildBody(endpoint, machine string, target int, mode string, mix map[string]float64, tasks, repeats int, sigma float64) ([]byte, error) {
+	config := map[string]any{"repeats": repeats, "sigma": sigma}
+	body := map[string]any{"machine": machine, "config": config, "target": target}
+	switch endpoint {
+	case "predict":
+		body["mode"] = mode
+		body["mix"] = mix
+	case "place":
+		body["tasks"] = tasks
+	default:
+		return nil, fmt.Errorf("endpoint must be predict or place, got %q", endpoint)
+	}
+	return json.Marshal(body)
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("numaioload", flag.ContinueOnError)
+	url := fs.String("url", "", "base URL of a running numaiod (required, e.g. http://127.0.0.1:8080)")
+	endpoint := fs.String("endpoint", "predict", "endpoint to drive: predict or place")
+	machine := fs.String("machine", "dl585g7", "machine profile the requests name")
+	target := fs.Int("target", 7, "target node for predictions/placements")
+	mode := fs.String("mode", "write", "prediction mode: write or read")
+	mixFlag := fs.String("mix", "0:0.5,2:0.5", "predict traffic mix as node:fraction pairs")
+	tasks := fs.Int("tasks", 8, "tasks to place (place endpoint)")
+	repeats := fs.Int("repeats", 1, "characterization repeats requested")
+	sigma := fs.Float64("sigma", -1, "characterization noise sigma (negative disables)")
+	concurrency := fs.Int("concurrency", 4, "closed-loop worker count")
+	duration := fs.Duration("duration", 5*time.Second, "run length (ignored when -requests > 0)")
+	requests := fs.Int("requests", 0, "total request cap (0 = run for -duration)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return cli.Usagef("unexpected arguments: %v", fs.Args())
+	}
+	if *url == "" {
+		return cli.Usagef("-url is required")
+	}
+	if *concurrency < 1 {
+		return cli.Usagef("-concurrency must be at least 1, got %d", *concurrency)
+	}
+	if *requests <= 0 && *duration <= 0 {
+		return cli.Usagef("one of -requests or -duration must be positive")
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	body, err := buildBody(*endpoint, *machine, *target, *mode, mix, *tasks, *repeats, *sigma)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
+	path := *url + "/v1/" + *endpoint
+
+	client := &http.Client{Timeout: *timeout}
+	post := func() (int, string, error) {
+		resp, err := client.Post(path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b), nil
+	}
+
+	// Warm-up: characterize once outside the measured window, and fail fast
+	// on an unreachable daemon or a rejected request shape.
+	status, respBody, err := post()
+	if err != nil {
+		return fmt.Errorf("warm-up request: %w", err)
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("warm-up request: %d %s", status, strings.TrimSpace(respBody))
+	}
+
+	res, err := loadgen.Run(loadgen.Config{
+		Concurrency: *concurrency,
+		Requests:    *requests,
+		Duration:    *duration,
+		Do: func() error {
+			st, _, err := post()
+			if err != nil {
+				return err
+			}
+			if st != http.StatusOK {
+				return fmt.Errorf("status %d", st)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "numaioload: endpoint=/v1/%s machine=%s concurrency=%d duration=%s\n",
+		*endpoint, *machine, *concurrency, res.Duration.Round(time.Millisecond))
+	fmt.Fprintf(out, "requests %d errors %d rps %.1f\n", res.Requests, res.Errors, res.RPS)
+	fmt.Fprintf(out, "latency p50 %s p95 %s p99 %s max %s\n",
+		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),
+		res.P99.Round(time.Microsecond), res.Max.Round(time.Microsecond))
+	if res.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Requests)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"numaio/internal/service"
+)
+
+// testDaemon boots an in-process numaiod handler to drive.
+func testDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	svc := service.New(service.Config{Workers: 2})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestLoadPredict drives the predict endpoint for a fixed request count
+// and checks the report: all requests succeed, RPS is positive, and the
+// percentiles are ordered.
+func TestLoadPredict(t *testing.T) {
+	ts := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-endpoint", "predict",
+		"-machine", "intel-4s4n", "-target", "3", "-mix", "0:0.5,3:0.5",
+		"-concurrency", "2", "-requests", "40", "-duration", "0s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	m := regexp.MustCompile(`requests (\d+) errors (\d+) rps ([\d.]+)`).FindStringSubmatch(report)
+	if m == nil {
+		t.Fatalf("report missing summary line:\n%s", report)
+	}
+	if m[1] != "40" || m[2] != "0" {
+		t.Errorf("requests/errors = %s/%s, want 40/0", m[1], m[2])
+	}
+	if rps, _ := strconv.ParseFloat(m[3], 64); rps <= 0 {
+		t.Errorf("rps = %v, want > 0", rps)
+	}
+	if !strings.Contains(report, "latency p50") {
+		t.Errorf("report missing latency line:\n%s", report)
+	}
+}
+
+// TestLoadPlace drives the place endpoint.
+func TestLoadPlace(t *testing.T) {
+	ts := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-endpoint", "place",
+		"-machine", "intel-4s4n", "-target", "3", "-tasks", "4",
+		"-concurrency", "2", "-requests", "20", "-duration", "0s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "endpoint=/v1/place") {
+		t.Errorf("report missing endpoint banner:\n%s", out.String())
+	}
+}
+
+// TestWarmupRejectsBadShape: a request shape the daemon rejects fails fast
+// at warm-up, before any load is generated.
+func TestWarmupRejectsBadShape(t *testing.T) {
+	ts := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-endpoint", "predict",
+		"-machine", "intel-4s4n", "-target", "3", "-mode", "sideways",
+		"-requests", "10",
+	}, &out)
+	if err == nil || !strings.Contains(err.Error(), "warm-up") {
+		t.Errorf("expected warm-up failure, got %v", err)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("0:0.25, 2:0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix["0"] != 0.25 || mix["2"] != 0.75 {
+		t.Errorf("mix = %v", mix)
+	}
+	for _, bad := range []string{"", "0=1", "x:1", "0:huh"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) should fail", bad)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"numaio/internal/device"
@@ -103,6 +104,13 @@ type Model struct {
 	// Resilience reports what the fault-tolerance machinery absorbed while
 	// building the model; present only for runs under a fault plan.
 	Resilience *ResilienceReport `json:"resilience,omitempty"`
+
+	// table caches the lazily built node-sorted class-rate lookup used by
+	// Predict (see predictTable). It holds a []predictEntry; concurrent
+	// first builds are idempotent because the table is a pure function of
+	// Classes. Rebind Classes only on a fresh copy, never on a Model that
+	// has already served a Predict.
+	table atomic.Value
 }
 
 // ResilienceReport summarizes the faults a characterization sweep survived

@@ -9,6 +9,33 @@ import (
 	"numaio/internal/units"
 )
 
+// predictEntry is one node's row of the precomputed Eq. 1 lookup table:
+// its class rank and the class's average bandwidth.
+type predictEntry struct {
+	node topology.NodeID
+	rank int
+	avg  units.Bandwidth
+}
+
+// predictTable returns the model's node-sorted class-rate table, building
+// it on first use. Walking this table in order visits mix nodes in exactly
+// the ascending-node order the per-call sort used to produce, so float
+// accumulation stays byte-identical while Predict itself stops allocating.
+func (m *Model) predictTable() []predictEntry {
+	if t, ok := m.table.Load().([]predictEntry); ok {
+		return t
+	}
+	var t []predictEntry
+	for _, c := range m.Classes {
+		for _, n := range c.Nodes {
+			t = append(t, predictEntry{node: n, rank: c.Rank, avg: c.Avg})
+		}
+	}
+	sort.Slice(t, func(i, j int) bool { return t[i].node < t[j].node })
+	m.table.Store(t)
+	return t
+}
+
 // Predict estimates the aggregate device bandwidth when the device is
 // shared by data accesses distributed over NUMA nodes — Eq. 1 of the paper:
 //
@@ -36,26 +63,30 @@ func (m *Model) Predict(mix map[topology.NodeID]float64, classRates map[int]unit
 	}
 
 	var bw float64
-	// Deterministic iteration for reproducible float accumulation.
-	nodes := make([]topology.NodeID, 0, len(mix))
-	for n := range mix {
-		nodes = append(nodes, n)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
-	for _, n := range nodes {
-		cls, err := m.ClassOf(n)
-		if err != nil {
-			return 0, err
+	matched := 0
+	for _, e := range m.predictTable() {
+		f, ok := mix[e.node]
+		if !ok {
+			continue
 		}
-		rate := cls.Avg
+		matched++
+		rate := e.avg
 		if classRates != nil {
-			r, ok := classRates[cls.Rank]
+			r, ok := classRates[e.rank]
 			if !ok {
-				return 0, fmt.Errorf("core: no measured rate for class %d", cls.Rank)
+				return 0, fmt.Errorf("core: no measured rate for class %d", e.rank)
 			}
 			rate = r
 		}
-		bw += mix[n] * float64(rate)
+		bw += f * float64(rate)
+	}
+	if matched != len(mix) {
+		// Cold error path: rescan to name the unclassified node.
+		for n := range mix {
+			if _, err := m.ClassOf(n); err != nil {
+				return 0, err
+			}
+		}
 	}
 	return units.Bandwidth(bw), nil
 }

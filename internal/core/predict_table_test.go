@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// legacyPredict is the pre-table reference implementation of Eq. 1: sort
+// the mix keys per call and accumulate via ClassOf. The precomputed-table
+// Predict must match it bit for bit.
+func legacyPredict(m *Model, mix map[topology.NodeID]float64, classRates map[int]units.Bandwidth) (units.Bandwidth, error) {
+	var bw float64
+	nodes := make([]topology.NodeID, 0, len(mix))
+	for n := range mix {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		cls, err := m.ClassOf(n)
+		if err != nil {
+			return 0, err
+		}
+		rate := cls.Avg
+		if classRates != nil {
+			r, ok := classRates[cls.Rank]
+			if !ok {
+				return 0, fmt.Errorf("core: no measured rate for class %d", cls.Rank)
+			}
+			rate = r
+		}
+		bw += mix[n] * float64(rate)
+	}
+	return units.Bandwidth(bw), nil
+}
+
+// TestPredictTableMatchesLegacy pins the table-driven Predict to the
+// historical sorted-keys accumulation, bit for bit, across mixes of every
+// size and with and without a measured class-rate table.
+func TestPredictTableMatchesLegacy(t *testing.T) {
+	m := characterize(t, ModeWrite)
+	rates := map[int]units.Bandwidth{}
+	for _, c := range m.Classes {
+		rates[c.Rank] = c.Avg * 9 / 10
+	}
+
+	var nodes []topology.NodeID
+	for _, s := range m.Samples {
+		nodes = append(nodes, s.Node)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	mixes := []map[topology.NodeID]float64{
+		{nodes[0]: 1},
+		{nodes[0]: 0.5, nodes[len(nodes)-1]: 0.5},
+		{nodes[0]: 0.125, nodes[1]: 0.375, nodes[len(nodes)-1]: 0.5},
+	}
+	full := make(map[topology.NodeID]float64, len(nodes))
+	for _, n := range nodes {
+		full[n] = 1 / float64(len(nodes))
+	}
+	mixes = append(mixes, full)
+
+	for i, mix := range mixes {
+		for _, cr := range []map[int]units.Bandwidth{nil, rates} {
+			want, err := legacyPredict(m, mix, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := m.Predict(mix, cr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(float64(got)) != math.Float64bits(float64(want)) {
+				t.Errorf("mix %d (rates=%v): Predict = %v, legacy = %v", i, cr != nil, got, want)
+			}
+		}
+	}
+}
+
+// TestPredictAllocFree: once the table exists, a hot Predict call performs
+// no allocations — the serving-path contract.
+func TestPredictAllocFree(t *testing.T) {
+	m := characterize(t, ModeWrite)
+	mix := map[topology.NodeID]float64{0: 0.5, 2: 0.5}
+	if _, err := m.Predict(mix, nil); err != nil { // build the table
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := m.Predict(mix, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("hot Predict allocates %v times per call, want 0", allocs)
+	}
+}

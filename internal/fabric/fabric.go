@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
 	"numaio/internal/topology"
 	"numaio/internal/units"
@@ -29,18 +30,48 @@ import (
 // ResourceID names a capacity-constrained resource.
 type ResourceID string
 
+// internedIDs bounds the precomputed small-index resource-ID tables below:
+// the conventional constructors are on the per-request serving path (every
+// flow build names its links, controllers and core budgets), so the common
+// indices are built once at init instead of fmt.Sprintf-ing per call.
+const internedIDs = 64
+
+var (
+	linkIDs [internedIDs]ResourceID
+	memIDs  [internedIDs]ResourceID
+	coreIDs [internedIDs]ResourceID
+)
+
+func init() {
+	for i := range linkIDs {
+		s := strconv.Itoa(i)
+		linkIDs[i] = ResourceID("link:" + s)
+		memIDs[i] = ResourceID("mem:" + s)
+		coreIDs[i] = ResourceID("core:" + s)
+	}
+}
+
 // Conventional resource ID constructors.
 func LinkResource(linkIdx int) ResourceID {
-	return ResourceID(fmt.Sprintf("link:%d", linkIdx))
+	if linkIdx >= 0 && linkIdx < internedIDs {
+		return linkIDs[linkIdx]
+	}
+	return ResourceID("link:" + strconv.Itoa(linkIdx))
 }
 func MemResource(n topology.NodeID) ResourceID {
-	return ResourceID(fmt.Sprintf("mem:%d", int(n)))
+	if n >= 0 && int(n) < internedIDs {
+		return memIDs[n]
+	}
+	return ResourceID("mem:" + strconv.Itoa(int(n)))
 }
 func CoreResource(n topology.NodeID) ResourceID {
-	return ResourceID(fmt.Sprintf("core:%d", int(n)))
+	if n >= 0 && int(n) < internedIDs {
+		return coreIDs[n]
+	}
+	return ResourceID("core:" + strconv.Itoa(int(n)))
 }
 func DeviceResource(deviceID, engine string) ResourceID {
-	return ResourceID(fmt.Sprintf("dev:%s:%s", deviceID, engine))
+	return ResourceID("dev:" + deviceID + ":" + engine)
 }
 
 // Resource is a shared capacity.
@@ -134,8 +165,9 @@ type Solver struct {
 	resList  []Resource // registration order
 	resIndex map[ResourceID]int
 	sorted   []int // resource indices in ascending ID order
+	rank     []int // rank[resIdx] = position of the resource in sorted order
 	flows    []indexedFlow
-	flowIDs  map[string]bool
+	flowIdx  map[string]int // flow ID -> index into flows
 
 	// Scratch buffers reused across Solve calls.
 	rates        []float64
@@ -143,13 +175,14 @@ type Solver struct {
 	bottleneck   []int // resource index, -1 = demand-frozen
 	frozenLoad   []float64
 	activeWeight []float64
+	util         []float64 // final per-resource utilization (SolveIndexed)
 }
 
 // NewSolver returns an empty solver.
 func NewSolver() *Solver {
 	return &Solver{
 		resIndex: make(map[ResourceID]int),
-		flowIDs:  make(map[string]bool),
+		flowIdx:  make(map[string]int),
 	}
 }
 
@@ -166,13 +199,20 @@ func (s *Solver) SetResource(r Resource) error {
 	s.resList = append(s.resList, r)
 	s.resIndex[r.ID] = i
 	// Keep the ID-sorted index order incrementally (insertion into a
-	// sorted slice; resource counts are small).
+	// sorted slice; resource counts are small), and refresh the rank table
+	// so flow registration can order usages by integer compare.
 	pos := sort.Search(len(s.sorted), func(k int) bool {
 		return s.resList[s.sorted[k]].ID >= r.ID
 	})
 	s.sorted = append(s.sorted, 0)
 	copy(s.sorted[pos+1:], s.sorted[pos:])
 	s.sorted[pos] = i
+	for len(s.rank) < len(s.resList) {
+		s.rank = append(s.rank, 0)
+	}
+	for k, ri := range s.sorted {
+		s.rank[ri] = k
+	}
 	return nil
 }
 
@@ -185,16 +225,26 @@ func (s *Solver) Resource(id ResourceID) (Resource, bool) {
 	return s.resList[i], true
 }
 
+// spareUsages returns a zero-length usage slice for the next registered
+// flow, reusing the capacity parked past len(s.flows) by an earlier Reset
+// so steady-state rounds over a stable fabric register flows alloc-free.
+func (s *Solver) spareUsages() []indexedUsage {
+	if len(s.flows) < cap(s.flows) {
+		return s.flows[:cap(s.flows)][len(s.flows)].usages[:0]
+	}
+	return nil
+}
+
 // AddFlow registers a flow. Duplicate usages of the same resource are merged
 // by summing weights. Every referenced resource must already be registered.
 func (s *Solver) AddFlow(f Flow) error {
 	if f.ID == "" {
 		return fmt.Errorf("fabric: flow with empty ID")
 	}
-	if s.flowIDs[f.ID] {
+	if _, dup := s.flowIdx[f.ID]; dup {
 		return fmt.Errorf("fabric: duplicate flow %q", f.ID)
 	}
-	usages := make([]indexedUsage, 0, len(f.Usages))
+	usages := s.spareUsages()
 	for _, u := range f.Usages {
 		if u.Weight <= 0 {
 			return fmt.Errorf("fabric: flow %q: nonpositive weight %v on %q", f.ID, u.Weight, u.Resource)
@@ -211,48 +261,140 @@ func (s *Solver) AddFlow(f Flow) error {
 				break
 			}
 		}
-		if !merged {
-			usages = append(usages, indexedUsage{res: ri, weight: u.Weight})
+		if merged {
+			continue
 		}
+		// Insert in ascending resource-ID order (via the precomputed rank,
+		// so ordering is an integer compare); usage lists are tiny.
+		pos := len(usages)
+		for pos > 0 && s.rank[usages[pos-1].res] > s.rank[ri] {
+			pos--
+		}
+		usages = append(usages, indexedUsage{})
+		copy(usages[pos+1:], usages[pos:])
+		usages[pos] = indexedUsage{res: ri, weight: u.Weight}
 	}
-	sort.Slice(usages, func(i, j int) bool {
-		return s.resList[usages[i].res].ID < s.resList[usages[j].res].ID
-	})
+	s.flowIdx[f.ID] = len(s.flows)
 	s.flows = append(s.flows, indexedFlow{id: f.ID, demand: f.Demand, usages: usages})
-	s.flowIDs[f.ID] = true
 	return nil
 }
 
 // Reset drops every flow while keeping the registered resources, readying
-// the solver for a fresh round over the same fabric.
+// the solver for a fresh round over the same fabric. The usage slices of
+// the dropped flows stay parked in the backing array for reuse.
 func (s *Solver) Reset() {
 	s.flows = s.flows[:0]
-	clear(s.flowIDs)
+	clear(s.flowIdx)
 }
 
 // RemoveFlow unregisters one flow, preserving the relative order of the
 // rest. It reports whether the flow was present.
 func (s *Solver) RemoveFlow(id string) bool {
-	if !s.flowIDs[id] {
+	i, ok := s.flowIdx[id]
+	if !ok {
 		return false
 	}
-	for i := range s.flows {
-		if s.flows[i].id == id {
-			s.flows = append(s.flows[:i], s.flows[i+1:]...)
-			break
-		}
+	copy(s.flows[i:], s.flows[i+1:])
+	last := len(s.flows) - 1
+	// The vacated tail slot still aliases the shifted-down last flow's
+	// usages; sever it so a later spareUsages cannot corrupt a live flow.
+	s.flows[last].usages = nil
+	s.flows = s.flows[:last]
+	delete(s.flowIdx, id)
+	for k := i; k < len(s.flows); k++ {
+		s.flowIdx[s.flows[k].id] = k
 	}
-	delete(s.flowIDs, id)
 	return true
 }
 
 // NumFlows returns the number of registered flows.
 func (s *Solver) NumFlows() int { return len(s.flows) }
 
+// FlowIndex returns the dense index of a registered flow — the handle into
+// IndexedAllocation. Indices shift when earlier flows are removed.
+func (s *Solver) FlowIndex(id string) (int, bool) {
+	i, ok := s.flowIdx[id]
+	return i, ok
+}
+
 const eps = 1e-9
 
-// Solve computes the weighted max-min fair allocation.
-func (s *Solver) Solve() (*Allocation, error) { return s.solve() }
+// Solve computes the weighted max-min fair allocation and materializes the
+// string-keyed Allocation maps. Hot paths that re-solve the same fabric
+// (the fluid executor) use SolveIndexed instead and stay on dense indices.
+func (s *Solver) Solve() (*Allocation, error) {
+	ia, err := s.SolveIndexed()
+	if err != nil {
+		return nil, err
+	}
+	return ia.Allocation(), nil
+}
+
+// IndexedAllocation is the result of SolveIndexed: rates, bottlenecks and
+// utilization addressed by the solver's dense flow and resource indices,
+// with string IDs only at the accessor edge. It views the solver's scratch
+// buffers, so it is valid until the next Solve/SolveIndexed call or any
+// flow-set change on the solver.
+type IndexedAllocation struct {
+	s *Solver
+	n int
+}
+
+// SolveIndexed computes the weighted max-min fair allocation without
+// materializing any string-keyed map.
+func (s *Solver) SolveIndexed() (IndexedAllocation, error) {
+	if err := s.solve(); err != nil {
+		return IndexedAllocation{}, err
+	}
+	return IndexedAllocation{s: s, n: len(s.flows)}, nil
+}
+
+// NumFlows returns the number of allocated flows.
+func (a IndexedAllocation) NumFlows() int { return a.n }
+
+// FlowID returns the string ID of flow index i.
+func (a IndexedAllocation) FlowID(i int) string { return a.s.flows[i].id }
+
+// Rate returns the allocated rate of flow index i.
+func (a IndexedAllocation) Rate(i int) units.Bandwidth {
+	return units.Bandwidth(a.s.rates[i])
+}
+
+// Bottleneck returns the resource that froze flow i, or "" if the flow was
+// frozen by its own demand.
+func (a IndexedAllocation) Bottleneck(i int) ResourceID {
+	if ri := a.s.bottleneck[i]; ri >= 0 {
+		return a.s.resList[ri].ID
+	}
+	return ""
+}
+
+// NumResources returns the number of registered resources.
+func (a IndexedAllocation) NumResources() int { return len(a.s.resList) }
+
+// ResourceID returns the string ID of resource index ri.
+func (a IndexedAllocation) ResourceID(ri int) ResourceID { return a.s.resList[ri].ID }
+
+// Utilization returns the fraction of resource ri's capacity in use.
+func (a IndexedAllocation) Utilization(ri int) float64 { return a.s.util[ri] }
+
+// Allocation materializes the string-keyed Allocation maps.
+func (a IndexedAllocation) Allocation() *Allocation {
+	s := a.s
+	out := &Allocation{
+		Rates:       make(map[string]units.Bandwidth, a.n),
+		Bottlenecks: make(map[string]ResourceID, a.n),
+		Utilization: make(map[ResourceID]float64, len(s.resList)),
+	}
+	for i := 0; i < a.n; i++ {
+		out.Rates[s.flows[i].id] = units.Bandwidth(s.rates[i])
+		out.Bottlenecks[s.flows[i].id] = a.Bottleneck(i)
+	}
+	for ri := range s.resList {
+		out.Utilization[s.resList[ri].ID] = s.util[ri]
+	}
+	return out
+}
 
 // grow resizes the scratch buffers for n flows over the current resources.
 func (s *Solver) grow(n int) {
@@ -273,12 +415,14 @@ func (s *Solver) grow(n int) {
 	if cap(s.frozenLoad) < nr {
 		s.frozenLoad = make([]float64, nr)
 		s.activeWeight = make([]float64, nr)
+		s.util = make([]float64, nr)
 	}
 	s.frozenLoad = s.frozenLoad[:nr]
 	s.activeWeight = s.activeWeight[:nr]
+	s.util = s.util[:nr]
 }
 
-func (s *Solver) solve() (*Allocation, error) {
+func (s *Solver) solve() error {
 	n := len(s.flows)
 	s.grow(n)
 	rates, frozen, bottleneck := s.rates, s.frozen, s.bottleneck
@@ -350,7 +494,7 @@ func (s *Solver) solve() (*Allocation, error) {
 		}
 		if math.IsInf(nextX, 1) {
 			// No binding resource and no demand: unbounded allocation.
-			return nil, fmt.Errorf("fabric: unbounded flow(s) with no constraining resource")
+			return fmt.Errorf("fabric: unbounded flow(s) with no constraining resource")
 		}
 
 		// Raise all active flows to nextX and freeze the bound ones.
@@ -385,37 +529,25 @@ func (s *Solver) solve() (*Allocation, error) {
 		if !frozeAny {
 			// Defensive: should be impossible, but never loop forever.
 			if demandBound || bindRes >= 0 {
-				return nil, fmt.Errorf("fabric: solver stalled at level %v", nextX)
+				return fmt.Errorf("fabric: solver stalled at level %v", nextX)
 			}
-			return nil, fmt.Errorf("fabric: solver made no progress")
+			return fmt.Errorf("fabric: solver made no progress")
 		}
 	}
 
-	out := &Allocation{
-		Rates:       make(map[string]units.Bandwidth, n),
-		Bottlenecks: make(map[string]ResourceID, n),
-		Utilization: make(map[ResourceID]float64, len(s.resList)),
-	}
 	load := s.frozenLoad // reuse as the final-load scratch
 	for i := range load {
 		load[i] = 0
 	}
 	for i := range s.flows {
-		f := &s.flows[i]
-		out.Rates[f.id] = units.Bandwidth(rates[i])
-		if bottleneck[i] >= 0 {
-			out.Bottlenecks[f.id] = s.resList[bottleneck[i]].ID
-		} else {
-			out.Bottlenecks[f.id] = ""
-		}
-		for _, u := range f.usages {
+		for _, u := range s.flows[i].usages {
 			load[u.res] += u.weight * rates[i]
 		}
 	}
 	for ri := range s.resList {
-		out.Utilization[s.resList[ri].ID] = load[ri] / float64(s.resList[ri].Capacity)
+		s.util[ri] = load[ri] / float64(s.resList[ri].Capacity)
 	}
-	return out, nil
+	return nil
 }
 
 // SingleFlowRate is a convenience: the rate one flow would get alone, i.e.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 
 	"encoding/json"
 
@@ -53,7 +54,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache.Stats(), s.pool.InFlight(), s.openBreakers())
+	s.metrics.WriteTo(w, s.cache.Stats(), s.predictCache.Stats(), s.placeCache.Stats(),
+		s.pool.InFlight(), s.openBreakers())
 }
 
 type characterizeRequest struct {
@@ -182,14 +184,91 @@ func (s *Server) modelForRequest(ctx context.Context, fingerprint string, machin
 	return mm, 0, nil
 }
 
+// predictOne evaluates Eq. 1 for one (target, mode, mix-or-counts) item
+// against an already resolved whole-host model — the shared core of the
+// single and batch predict endpoints. All failures are client errors.
+func predictOne(mm *core.MachineModel, target int, modeStr string, mixIn map[string]float64, countsIn map[string]int) (units.Bandwidth, error) {
+	mode, err := core.ParseMode(modeStr)
+	if err != nil {
+		return 0, err
+	}
+	if (len(mixIn) == 0) == (len(countsIn) == 0) {
+		return 0, fmt.Errorf("exactly one of mix or counts is required")
+	}
+	model, err := mm.ModelFor(topology.NodeID(target), mode)
+	if err != nil {
+		return 0, err
+	}
+	if len(mixIn) > 0 {
+		mix, err := nodeKeys(mixIn)
+		if err != nil {
+			return 0, err
+		}
+		return model.Predict(mix, nil)
+	}
+	counts, err := nodeKeys(countsIn)
+	if err != nil {
+		return 0, err
+	}
+	return model.PredictCounts(counts, nil)
+}
+
+// predictCacheKey canonicalizes a predict request: machine/fingerprint,
+// characterization options, target, mode and the sorted mix or counts.
+// Requests that differ only in JSON key order map to the same key.
+func predictCacheKey(req *predictRequest, cfg core.Config) string {
+	var b strings.Builder
+	b.Write(req.Machine)
+	b.WriteByte('|')
+	b.WriteString(req.Fingerprint)
+	b.WriteByte('|')
+	b.WriteString(configKey(cfg))
+	fmt.Fprintf(&b, "|%d|%s", req.Target, req.Mode)
+	appendMixKey(&b, req.Mix, req.Counts)
+	return b.String()
+}
+
+// appendMixKey appends the sorted canonical form of a mix or counts map.
+func appendMixKey(b *strings.Builder, mix map[string]float64, counts map[string]int) {
+	if len(mix) > 0 {
+		keys := make([]string, 0, len(mix))
+		for k := range mix {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("|mix")
+		for _, k := range keys {
+			b.WriteByte(',')
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(strconv.FormatFloat(mix[k], 'g', -1, 64))
+		}
+	}
+	if len(counts) > 0 {
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("|counts")
+		for _, k := range keys {
+			b.WriteByte(',')
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(strconv.Itoa(counts[k]))
+		}
+	}
+}
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	var req predictRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	mode, err := core.ParseMode(req.Mode)
-	if err != nil {
+	// Cheap validation before any model work, so malformed requests cannot
+	// trigger a characterization.
+	if _, err := core.ParseMode(req.Mode); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -197,48 +276,117 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "exactly one of mix or counts is required")
 		return
 	}
-	mm, status, err := s.modelForRequest(r.Context(), req.Fingerprint, req.Machine, req.Config.toCore())
+	if err := firstErr(validateNodeKeys(req.Mix), validateNodeKeys(req.Counts)); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg := req.Config.toCore()
+	key := predictCacheKey(&req, cfg)
+	if body, ok := s.predictCache.Get(key); ok {
+		writeJSONBytes(w, http.StatusOK, body)
+		return
+	}
+	mm, status, err := s.modelForRequest(r.Context(), req.Fingerprint, req.Machine, cfg)
 	if err != nil {
 		writeError(w, status, "%v", err)
 		return
 	}
-	model, err := mm.ModelFor(topology.NodeID(req.Target), mode)
+	predicted, err := predictOne(mm, req.Target, req.Mode, req.Mix, req.Counts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-
-	var predicted units.Bandwidth
-	if len(req.Mix) > 0 {
-		mix, err := nodeKeys(req.Mix)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		predicted, err = model.Predict(mix, nil)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	} else {
-		counts, err := nodeKeys(req.Counts)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		predicted, err = model.PredictCounts(counts, nil)
-		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-	}
-	writeJSON(w, http.StatusOK, predictResponse{
+	writeJSONCached(w, http.StatusOK, predictResponse{
 		Fingerprint:   mm.Fingerprint,
 		Target:        req.Target,
 		Mode:          req.Mode,
 		PredictedBPS:  float64(predicted),
 		PredictedGbps: predicted.Gbps(),
-	})
+	}, s.predictCache, key)
+}
+
+// predictBatchRequest amortizes one model resolution over many prediction
+// items — POST /v1/predict/batch.
+type predictBatchRequest struct {
+	Machine     json.RawMessage    `json:"machine,omitempty"`
+	Fingerprint string             `json:"fingerprint,omitempty"`
+	Config      *configJSON        `json:"config,omitempty"`
+	Items       []predictBatchItem `json:"items"`
+}
+
+type predictBatchItem struct {
+	Target int                `json:"target"`
+	Mode   string             `json:"mode"`
+	Mix    map[string]float64 `json:"mix,omitempty"`
+	Counts map[string]int     `json:"counts,omitempty"`
+}
+
+// predictBatchResult is one item's outcome; a bad item reports its error
+// in place without failing the batch.
+type predictBatchResult struct {
+	Target        int     `json:"target"`
+	Mode          string  `json:"mode"`
+	PredictedBPS  float64 `json:"predicted_bps,omitempty"`
+	PredictedGbps float64 `json:"predicted_gbps,omitempty"`
+	Error         string  `json:"error,omitempty"`
+}
+
+type predictBatchResponse struct {
+	Fingerprint string               `json:"fingerprint"`
+	Results     []predictBatchResult `json:"results"`
+}
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req predictBatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	mm, status, err := s.modelForRequest(r.Context(), req.Fingerprint, req.Machine, req.Config.toCore())
+	if err != nil {
+		writeError(w, status, "%v", err)
+		return
+	}
+	resp := predictBatchResponse{
+		Fingerprint: mm.Fingerprint,
+		Results:     make([]predictBatchResult, len(req.Items)),
+	}
+	for i, it := range req.Items {
+		res := predictBatchResult{Target: it.Target, Mode: it.Mode}
+		if predicted, err := predictOne(mm, it.Target, it.Mode, it.Mix, it.Counts); err != nil {
+			res.Error = err.Error()
+		} else {
+			res.PredictedBPS = float64(predicted)
+			res.PredictedGbps = predicted.Gbps()
+		}
+		resp.Results[i] = res
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validateNodeKeys checks that every key parses as a node ID without
+// building the converted map — the cheap pre-resolution validation pass.
+func validateNodeKeys[V any](in map[string]V) error {
+	for k := range in {
+		if _, err := strconv.Atoi(k); err != nil {
+			return fmt.Errorf("node key %q is not an integer", k)
+		}
+	}
+	return nil
+}
+
+// firstErr returns the first non-nil error.
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // nodeKeys converts a JSON object keyed by node-ID strings into a NodeID
@@ -294,6 +442,21 @@ type placeResponse struct {
 	AggregateBPS  float64             `json:"aggregate_bps,omitempty"`
 }
 
+// placeCacheKey canonicalizes every placement-shaping field of a place
+// request. Placements and (simulated) evaluations are deterministic, so
+// equal-shaped requests share one rendered response.
+func placeCacheKey(req *placeRequest, cfg core.Config) string {
+	var b strings.Builder
+	b.Write(req.Machine)
+	b.WriteByte('|')
+	b.WriteString(configKey(cfg))
+	fmt.Fprintf(&b, "|%d|%s|%d|%t|%d|%d|%s|",
+		req.Target, req.Engine, req.Tasks, req.Evaluate, req.SizePerTask,
+		req.Replicas, req.ClusterPolicy)
+	b.WriteString(strings.Join(req.Policies, ","))
+	return b.String()
+}
+
 func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	var req placeRequest
 	if err := decodeBody(r, &req); err != nil {
@@ -308,12 +471,19 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	if engine == "" {
 		engine = "memcpy"
 	}
+	req.Engine = engine // canonical for the cache key
+	cfg := req.Config.toCore()
+	key := placeCacheKey(&req, cfg)
+	if body, ok := s.placeCache.Get(key); ok {
+		writeJSONBytes(w, http.StatusOK, body)
+		return
+	}
 	m, err := cli.ResolveMachine(req.Machine)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	mm, _, _, _, err := s.characterizeCached(r.Context(), m, req.Config.toCore())
+	mm, _, _, _, err := s.characterizeCached(r.Context(), m, cfg)
 	if err != nil {
 		writeError(w, errStatus(err), "%v", err)
 		return
@@ -326,7 +496,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		writeJSONCached(w, http.StatusOK, resp, s.placeCache, key)
 		return
 	}
 
@@ -371,7 +541,7 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, res)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSONCached(w, http.StatusOK, resp, s.placeCache, key)
 }
 
 // placeCluster handles the replicas > 1 arm: identical hosts sharing the

@@ -116,7 +116,7 @@ func (m *Metrics) RequestCount(endpoint string) int64 {
 
 // WriteTo renders the registry (plus the supplied cache, job and breaker
 // gauges) in the Prometheus text exposition format.
-func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, inflightJobs int64, openBreakers int) {
+func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, predict, place RespCacheStats, inflightJobs int64, openBreakers int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -163,6 +163,25 @@ func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, inflightJobs int64, ope
 	fmt.Fprintln(w, "# HELP numaiod_model_cache_entries Live model cache entries.")
 	fmt.Fprintln(w, "# TYPE numaiod_model_cache_entries gauge")
 	fmt.Fprintf(w, "numaiod_model_cache_entries %d\n", cache.Entries)
+
+	fmt.Fprintln(w, "# HELP numaiod_predict_cache_hits_total Predict responses served from the response cache.")
+	fmt.Fprintln(w, "# TYPE numaiod_predict_cache_hits_total counter")
+	fmt.Fprintf(w, "numaiod_predict_cache_hits_total %d\n", predict.Hits)
+	fmt.Fprintln(w, "# HELP numaiod_predict_cache_misses_total Predict requests that missed the response cache.")
+	fmt.Fprintln(w, "# TYPE numaiod_predict_cache_misses_total counter")
+	fmt.Fprintf(w, "numaiod_predict_cache_misses_total %d\n", predict.Misses)
+	fmt.Fprintln(w, "# HELP numaiod_predict_cache_entries Rendered predict responses currently cached.")
+	fmt.Fprintln(w, "# TYPE numaiod_predict_cache_entries gauge")
+	fmt.Fprintf(w, "numaiod_predict_cache_entries %d\n", predict.Entries)
+	fmt.Fprintln(w, "# HELP numaiod_place_cache_hits_total Place responses served from the response cache.")
+	fmt.Fprintln(w, "# TYPE numaiod_place_cache_hits_total counter")
+	fmt.Fprintf(w, "numaiod_place_cache_hits_total %d\n", place.Hits)
+	fmt.Fprintln(w, "# HELP numaiod_place_cache_misses_total Place requests that missed the response cache.")
+	fmt.Fprintln(w, "# TYPE numaiod_place_cache_misses_total counter")
+	fmt.Fprintf(w, "numaiod_place_cache_misses_total %d\n", place.Misses)
+	fmt.Fprintln(w, "# HELP numaiod_place_cache_entries Rendered place responses currently cached.")
+	fmt.Fprintln(w, "# TYPE numaiod_place_cache_entries gauge")
+	fmt.Fprintf(w, "numaiod_place_cache_entries %d\n", place.Entries)
 	fmt.Fprintln(w, "# HELP numaiod_inflight_jobs Characterizations currently holding a worker slot.")
 	fmt.Fprintln(w, "# TYPE numaiod_inflight_jobs gauge")
 	fmt.Fprintf(w, "numaiod_inflight_jobs %d\n", inflightJobs)

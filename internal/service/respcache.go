@@ -1,0 +1,121 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RespCache is the serving fast lane: an LRU of fully rendered response
+// bodies keyed by the canonicalized request shape. Characterization is
+// deterministic (the simulated measurements are pure functions of the
+// machine and config), so a cached response never goes stale in substance —
+// the TTL only bounds memory, mirroring the model cache's policy.
+//
+// The daemon keeps one RespCache per cached endpoint so hit rates are
+// observable per endpoint (numaiod_predict_cache_hits_total vs
+// numaiod_place_cache_hits_total).
+type RespCache struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	now func() time.Time
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type respEntry struct {
+	key     string
+	body    []byte
+	expires time.Time
+}
+
+// NewRespCache builds a response cache holding up to max rendered bodies,
+// each valid for ttl after insertion. max == 0 means 1024 entries; max < 0
+// disables caching (every call returns nil). ttl <= 0 means entries never
+// expire.
+func NewRespCache(max int, ttl time.Duration) *RespCache {
+	if max < 0 {
+		return nil
+	}
+	if max == 0 {
+		max = 1024
+	}
+	return &RespCache{
+		max:     max,
+		ttl:     ttl,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		now:     time.Now,
+	}
+}
+
+// Get returns the cached body for key, if present and unexpired. Callers
+// must not mutate the returned slice. A nil cache always misses without
+// counting.
+func (c *RespCache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	ent := el.Value.(*respEntry)
+	if c.ttl > 0 && c.now().After(ent.expires) {
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.hits.Add(1)
+	return ent.body, true
+}
+
+// Put stores a rendered body, evicting the least recently used entry when
+// over capacity. The cache takes ownership of body. No-op on a nil cache.
+func (c *RespCache) Put(key string, body []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent := &respEntry{key: key, body: body, expires: c.now().Add(c.ttl)}
+	if el, ok := c.entries[key]; ok {
+		el.Value = ent
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(ent)
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*respEntry).key)
+	}
+}
+
+// RespCacheStats is a snapshot of one response cache's counters.
+type RespCacheStats struct {
+	Hits, Misses int64
+	Entries      int
+}
+
+// Stats snapshots the counters; zero-valued on a nil (disabled) cache.
+func (c *RespCache) Stats() RespCacheStats {
+	if c == nil {
+		return RespCacheStats{}
+	}
+	c.mu.Lock()
+	entries := c.order.Len()
+	c.mu.Unlock()
+	return RespCacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: entries}
+}

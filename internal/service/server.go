@@ -11,6 +11,7 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -69,6 +70,11 @@ type Config struct {
 	// CacheTTL expires cached models; 0 means 1 hour, negative disables
 	// expiry.
 	CacheTTL time.Duration
+	// RespCacheEntries bounds the per-endpoint response caches (rendered
+	// predict/place bodies keyed by canonical request shape); 0 means 1024,
+	// negative disables response caching. Entries share CacheTTL — they are
+	// deterministic, so the TTL only bounds memory.
+	RespCacheEntries int
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 	// Characterize overrides the Algorithm 1 runner (tests); nil uses
@@ -102,6 +108,8 @@ type Config struct {
 type Server struct {
 	log          *slog.Logger
 	cache        *ModelCache
+	predictCache *RespCache
+	placeCache   *RespCache
 	pool         *Pool
 	jobs         *JobRegistry
 	metrics      *Metrics
@@ -156,6 +164,8 @@ func New(cfg Config) *Server {
 	s := &Server{
 		log:          logger,
 		cache:        NewModelCache(cfg.CacheEntries, ttl),
+		predictCache: NewRespCache(cfg.RespCacheEntries, ttl),
+		placeCache:   NewRespCache(cfg.RespCacheEntries, ttl),
 		pool:         NewPool(workers),
 		jobs:         NewJobRegistry(),
 		metrics:      NewMetrics(),
@@ -182,6 +192,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/models/{fingerprint}", "/v1/models", s.handleModel)
 	s.handle("GET /v1/jobs/{id}", "/v1/jobs", s.handleJob)
 	s.handle("POST /v1/predict", "/v1/predict", s.handlePredict)
+	s.handle("POST /v1/predict/batch", "/v1/predict/batch", s.handlePredictBatch)
 	s.handle("POST /v1/place", "/v1/place", s.handlePlace)
 	s.handle("POST /v1/whatif", "/v1/whatif", s.handleWhatif)
 }
@@ -256,10 +267,7 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = s.parallelism
 	}
-	// Parallelism is deliberately absent from the key: parallel and serial
-	// characterizations are bit-identical, so they share a cache entry.
-	key := fmt.Sprintf("%s|t%d r%d b%d g%g s%g",
-		fp, cfg.Threads, cfg.Repeats, int64(cfg.BytesPerThread), cfg.GapThreshold, cfg.Sigma)
+	key := fp + "|" + configKey(cfg)
 
 	br := s.breakerFor(key)
 	if br != nil && !br.Allow() {
@@ -363,13 +371,82 @@ func errStatus(err error) int {
 	}
 }
 
+// configKey canonicalizes the characterization options that shape a model
+// — the shared suffix of model- and response-cache keys. Parallelism is
+// deliberately absent: parallel and serial characterizations are
+// bit-identical, so they share cache entries.
+func configKey(cfg core.Config) string {
+	return fmt.Sprintf("t%d r%d b%d g%g s%g",
+		cfg.Threads, cfg.Repeats, int64(cfg.BytesPerThread), cfg.GapThreshold, cfg.Sigma)
+}
+
+// jsonEncoder is a pooled buffer+encoder pair so the hot serving path does
+// not rebuild a json.Encoder (and grow a fresh buffer) per response.
+type jsonEncoder struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	e := &jsonEncoder{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+// encodeJSON renders v exactly as writeJSON does (two-space indent,
+// trailing newline) into a freshly owned byte slice, via the encoder pool.
+func encodeJSON(v any) ([]byte, error) {
+	e := encPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
+		return nil, err
+	}
+	body := make([]byte, e.buf.Len())
+	copy(body, e.buf.Bytes())
+	encPool.Put(e)
+	return body, nil
+}
+
 // writeJSON encodes v with a status code.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	e := encPool.Get().(*jsonEncoder)
+	e.buf.Reset()
+	if err := e.enc.Encode(v); err != nil {
+		encPool.Put(e)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	encPool.Put(e)
+}
+
+// writeJSONBytes serves an already rendered JSON body (response-cache
+// hits).
+func writeJSONBytes(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeJSONCached renders v once, serves it, and retains the bytes in
+// cache under key when the response is a 200 — the store half of the
+// serving fast lane.
+func writeJSONCached(w http.ResponseWriter, status int, v any, cache *RespCache, key string) {
+	if status != http.StatusOK || cache == nil {
+		writeJSON(w, status, v)
+		return
+	}
+	body, err := encodeJSON(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	cache.Put(key, body)
+	writeJSONBytes(w, status, body)
 }
 
 // apiError is the uniform error body.

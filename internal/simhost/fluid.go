@@ -79,10 +79,14 @@ func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult
 	if len(transfers) == 0 {
 		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
 	}
-	fs, err := NewFluidSession(resources)
-	if err != nil {
-		return nil, err
+	s := fabric.AcquireSolver()
+	defer fabric.ReleaseSolver(s)
+	for _, r := range resources {
+		if err := s.SetResource(r); err != nil {
+			return nil, err
+		}
 	}
+	fs := &FluidSession{s: s}
 	return fs.Run(transfers)
 }
 
@@ -127,18 +131,23 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 	activeCount := len(ord)
 	first := true
 	for activeCount > 0 {
-		alloc, err := s.Solve()
+		ia, err := s.SolveIndexed()
 		if err != nil {
 			return nil, err
 		}
 
-		// Time until the next completion at current rates.
+		// Time until the next completion at current rates. Flows were added
+		// in sorted ord order and RemoveFlow splices in place, so the k-th
+		// still-active transfer is exactly flow index k — rates come straight
+		// off the indexed view without any string-keyed lookups.
 		dt := math.Inf(1)
+		k := 0
 		for i := range ord {
 			if done[i] {
 				continue
 			}
-			r := float64(alloc.Rates[ord[i].ID])
+			r := float64(ia.Rate(k))
+			k++
 			if r <= 0 {
 				return nil, fmt.Errorf("simhost: transfer %q starved (zero rate)", ord[i].ID)
 			}
@@ -148,11 +157,17 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 			}
 		}
 
+		// Materialize utilization for the timeline before any RemoveFlow
+		// below invalidates the indexed view.
+		util := make(map[fabric.ResourceID]float64, ia.NumResources())
+		for ri := 0; ri < ia.NumResources(); ri++ {
+			util[ia.ResourceID(ri)] = ia.Utilization(ri)
+		}
 		phase := Phase{
 			Start:       units.Duration(now),
 			Duration:    units.Duration(dt),
 			Rates:       make(map[string]units.Bandwidth, activeCount),
-			Utilization: alloc.Utilization,
+			Utilization: util,
 		}
 		for i := range ord {
 			if done[i] {

@@ -7,8 +7,9 @@
 #
 # Compare two revisions with: benchstat BENCH_<old>.txt BENCH_<new>.txt
 #
-# With -check the script instead runs the CharacterizeAll/RunFluid hot
-# paths once and compares their ns/op against the most recent recorded
+# With -check the script instead runs the CharacterizeAll/RunFluid and
+# PredictRequest/PlaceRequest hot paths once and compares their ns/op
+# against the most recent recorded
 # BENCH_*.json, failing on a slowdown beyond TOLERANCE — the CI
 # bench-regression guard. Nothing is recorded in this mode.
 #
@@ -43,7 +44,7 @@ if [ "${1:-}" = "-check" ]; then
     trap 'rm -rf "$tmp"' EXIT
     echo "bench.sh -check: comparing against $baseline (limit ${tolerance}x)"
     go test -run '^$' \
-        -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid)$' \
+        -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
         -benchtime "${BENCHTIME:-1s}" . | tee "$tmp/bench.txt"
     awk -v limit="$tolerance" '
     FNR == NR {
@@ -87,7 +88,7 @@ txt="BENCH_${rev}.txt"
 json="BENCH_${rev}.json"
 
 go test -run '^$' \
-    -bench '^(BenchmarkCharacterize|BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolver)$' \
+    -bench '^(BenchmarkCharacterize|BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolver|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
     -benchmem -benchtime "$benchtime" -count "$count" . | tee "$txt"
 
 awk -v rev="$rev" -v benchtime="$benchtime" '

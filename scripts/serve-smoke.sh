@@ -28,8 +28,9 @@ fail() {
     exit 1
 }
 
-echo "serve-smoke: building numaiod"
+echo "serve-smoke: building numaiod and numaioload"
 "$GO" build -o "$workdir/numaiod" ./cmd/numaiod
+"$GO" build -o "$workdir/numaioload" ./cmd/numaioload
 
 "$workdir/numaiod" -addr 127.0.0.1:0 -quiet >"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
@@ -74,6 +75,20 @@ predict='{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1},
           "target": 0, "mode": "write", "mix": {"0": 0.5, "2": 0.5}}'
 curl -fsS -o "$workdir/resp" -X POST -d "$predict" "$base/v1/predict"
 grep -q '"predicted_bps"' "$workdir/resp" || fail "/v1/predict returned no prediction"
+
+# Serving fast lane: a short closed-loop load run must complete with a
+# non-zero RPS, and the repeated identical requests must land as response
+# cache hits.
+echo "serve-smoke: numaioload against $base"
+"$workdir/numaioload" -url "$base" -endpoint predict \
+    -machine intel-4s4n -target 0 -mix "0:0.5,2:0.5" \
+    -concurrency 2 -requests 50 >"$workdir/load.txt" || fail "numaioload run failed"
+cat "$workdir/load.txt"
+grep -q 'requests 50 errors 0' "$workdir/load.txt" || fail "numaioload lost requests"
+grep -Eq 'rps [1-9][0-9]*' "$workdir/load.txt" || fail "numaioload reported zero RPS"
+curl -fsS "$base/metrics" >"$workdir/metrics.txt"
+grep -Eq 'numaiod_predict_cache_hits_total [1-9]' "$workdir/metrics.txt" \
+    || fail "predict response cache saw no hits under load"
 
 curl -fsS "$base/metrics" >"$workdir/metrics.txt"
 grep -q 'numaiod_requests_total{endpoint="/v1/characterize",status="200"} 2' "$workdir/metrics.txt" \

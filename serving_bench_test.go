@@ -1,0 +1,76 @@
+// Serving-path microbenchmarks: one hot /v1/predict and /v1/place request
+// against a warmed numaiod service (model already characterized and cached).
+// scripts/bench.sh records these next to the characterization benchmarks so
+// the request-path fast lane (interned solver IDs, response caching, pooled
+// encoders) is pinned by the same regression gate.
+package numaio
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"numaio/internal/service"
+)
+
+// benchHandler builds a daemon handler and warms the model cache with one
+// characterization of the reference machine, so the benchmark loop measures
+// pure request serving, not Algorithm 1.
+func benchHandler(b *testing.B, warm string) http.Handler {
+	b.Helper()
+	svc := service.New(service.Config{Workers: 2})
+	h := svc.Handler()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, warmPath(warm), strings.NewReader(warm))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm-up request = %d %s", rec.Code, rec.Body.String())
+	}
+	return h
+}
+
+// warmPath picks the endpoint matching the warm-up body.
+func warmPath(body string) string {
+	if strings.Contains(body, `"tasks"`) {
+		return "/v1/place"
+	}
+	return "/v1/predict"
+}
+
+const benchPredictBody = `{"machine": "dl585g7", "config": {"repeats": 1, "sigma": -1},
+ "target": 7, "mode": "write", "mix": {"0": 0.25, "2": 0.25, "4": 0.25, "7": 0.25}}`
+
+const benchPlaceBody = `{"machine": "dl585g7", "config": {"repeats": 1, "sigma": -1},
+ "target": 7, "tasks": 8}`
+
+// BenchmarkPredictRequest measures one hot Eq. 1 prediction request.
+func BenchmarkPredictRequest(b *testing.B) {
+	h := benchHandler(b, benchPredictBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(benchPredictBody))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("predict = %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkPlaceRequest measures one hot placement request (all four
+// single-host policies, estimates only).
+func BenchmarkPlaceRequest(b *testing.B) {
+	h := benchHandler(b, benchPlaceBody)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/place", strings.NewReader(benchPlaceBody))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("place = %d %s", rec.Code, rec.Body.String())
+		}
+	}
+}
