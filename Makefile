@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-check bench-paper experiments examples serve-smoke clean
+.PHONY: all build vet lint test race cover bench bench-check bench-paper experiments examples serve-smoke trace-demo clean
 
 all: build vet test
 
@@ -60,6 +60,13 @@ examples:
 # Boot numaiod on an ephemeral port, curl the API, SIGTERM, verify drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Record a whole-host characterization as Chrome trace-event JSON and print
+# the per-stage breakdown; open trace-demo.json in https://ui.perfetto.dev
+# or chrome://tracing (docs/OBSERVABILITY.md).
+trace-demo:
+	$(GO) run ./cmd/iomodel -machine dl585g7 -mode both -parallelism 4 \
+		-trace trace-demo.json -stage-report
 
 clean:
 	$(GO) clean ./...

@@ -7,7 +7,13 @@
 //
 //	iomodel [-machine profile] [-target node] [-mode write|read|both]
 //	        [-threads n] [-repeats n] [-parallelism n] [-o model.json]
-//	        [-chaos plan] [-chaos-seed n]
+//	        [-chaos plan] [-chaos-seed n] [-trace trace.json] [-stage-report]
+//
+// With -trace the whole run is recorded as Chrome trace-event JSON — one
+// span per characterization sweep and per (node, repeat) measurement cell,
+// plus fluid solver phases — loadable in chrome://tracing or Perfetto.
+// -stage-report prints a per-stage time breakdown instead of (or along
+// with) saving the trace. See docs/OBSERVABILITY.md.
 //
 // With -chaos the sweep runs under a named fault plan (or a JSON plan
 // file; see internal/faults) with the resilience machinery on: degraded
@@ -50,6 +56,7 @@ func run(args []string, out io.Writer) error {
 	chaos := fs.String("chaos", "", "run under a fault plan: "+strings.Join(faults.PlanNames(), ", ")+", or a JSON plan file")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "override the fault plan's seed (0 keeps the plan's own)")
 	outPath := fs.String("o", "", "write the model(s) as JSON to this file")
+	trace := cli.NewTraceFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -67,7 +74,7 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg := core.Config{
 		Threads: *threads, Repeats: *repeats, GapThreshold: *gap,
-		Parallelism: *parallelism,
+		Parallelism: *parallelism, Tracer: trace.Tracer(),
 	}
 	if *chaos != "" {
 		plan, err := faults.Load(*chaos)
@@ -122,6 +129,9 @@ func run(args []string, out io.Writer) error {
 				}
 			}
 			printResilience(out, cfg.Faults, &sum)
+		}
+		if err := trace.Finish(out); err != nil {
+			return err
 		}
 		if *outPath != "" {
 			f, err := os.Create(*outPath)
@@ -187,7 +197,7 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	return nil
+	return trace.Finish(out)
 }
 
 // printResilience summarizes the faults a chaos sweep absorbed.

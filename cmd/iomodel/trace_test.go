@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTraceFile: iomodel -trace on dl585g7 must produce Chrome trace-event
+// JSON with one measurement span per (node, mode, repeat) cell plus the
+// sweep spans, and -stage-report must print the breakdown table.
+func TestTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	if err := run([]string{
+		"-machine", "dl585g7", "-mode", "both", "-repeats", "2",
+		"-trace", path, "-stage-report",
+	}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string  `json:"name"`
+			Cat  string  `json:"cat"`
+			Ph   string  `json:"ph"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	var measures, sweeps int
+	for _, e := range doc.TraceEvents {
+		switch e.Cat {
+		case "measure":
+			if e.Ph != "X" {
+				t.Errorf("measure event %q has phase %q, want X", e.Name, e.Ph)
+			}
+			measures++
+		case "characterize":
+			sweeps++
+		}
+	}
+	// dl585g7 has 8 nodes; -repeats 2 in both modes → 8×2×2 cells.
+	if want := 8 * 2 * 2; measures != want {
+		t.Errorf("trace has %d measure spans, want %d", measures, want)
+	}
+	if sweeps != 2 {
+		t.Errorf("trace has %d characterize sweeps, want 2 (one per mode)", sweeps)
+	}
+
+	s := out.String()
+	if !strings.Contains(s, "per-stage time breakdown") ||
+		!strings.Contains(s, "characterize") || !strings.Contains(s, "measure") {
+		t.Errorf("stage report missing from output:\n%s", s)
+	}
+	if !strings.Contains(s, "trace: ") {
+		t.Errorf("trace confirmation line missing from output:\n%s", s)
+	}
+}
+
+// TestTraceUnwritable: a trace path that cannot be created is a runtime
+// failure (exit 1), reported after the model tables.
+func TestTraceUnwritable(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-mode", "write", "-trace", filepath.Join(t.TempDir(), "no", "such", "dir", "t.json")}, &out)
+	if err == nil {
+		t.Fatal("expected error for unwritable trace path")
+	}
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numaio/internal/cli"
+)
+
+// TestHistDump: -hist-dump writes the raw latency histogram as JSON whose
+// bucket counts sum to the request count.
+func TestHistDump(t *testing.T) {
+	ts := testDaemon(t)
+	path := filepath.Join(t.TempDir(), "hist.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-endpoint", "predict",
+		"-machine", "intel-4s4n", "-target", "3", "-mix", "0:0.5,3:0.5",
+		"-concurrency", "2", "-requests", "30", "-duration", "0s",
+		"-hist-dump", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Count   int64 `json:"count"`
+		SumNS   int64 `json:"sum_ns"`
+		MaxNS   int64 `json:"max_ns"`
+		Buckets []struct {
+			UpperNS int64 `json:"upper_ns"`
+			Count   int64 `json:"count"`
+		} `json:"buckets"`
+	}
+	if err := json.Unmarshal(raw, &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, raw)
+	}
+	if dump.Count != 30 {
+		t.Errorf("dump count = %d, want 30", dump.Count)
+	}
+	var sum int64
+	for _, b := range dump.Buckets {
+		if b.Count <= 0 {
+			t.Errorf("dump contains empty bucket upper_ns=%d", b.UpperNS)
+		}
+		sum += b.Count
+	}
+	if sum != dump.Count {
+		t.Errorf("bucket counts sum to %d, want %d", sum, dump.Count)
+	}
+	if dump.MaxNS <= 0 || dump.SumNS < dump.MaxNS {
+		t.Errorf("dump sum_ns=%d max_ns=%d inconsistent", dump.SumNS, dump.MaxNS)
+	}
+}
+
+// TestHistDumpUnwritable: a dump path that cannot be created fails the run
+// with exit code 1 (runtime, not usage) — the load itself already ran.
+func TestHistDumpUnwritable(t *testing.T) {
+	ts := testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-endpoint", "predict",
+		"-machine", "intel-4s4n", "-target", "3", "-mix", "0:0.5,3:0.5",
+		"-requests", "2", "-duration", "0s",
+		"-hist-dump", filepath.Join(t.TempDir(), "no", "such", "dir", "h.json"),
+	}, &out)
+	if err == nil {
+		t.Fatal("expected error for unwritable hist-dump path")
+	}
+	if got := cli.ExitCode(err); got != 1 {
+		t.Errorf("exit code = %d (err %v), want 1", got, err)
+	}
+}
+
+// TestTraceRecordsRequests: -trace captures one request span per measured
+// request plus the load-run envelope.
+func TestTraceRecordsRequests(t *testing.T) {
+	ts := testDaemon(t)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-url", ts.URL, "-endpoint", "predict",
+		"-machine", "intel-4s4n", "-target", "3", "-mix", "0:0.5,3:0.5",
+		"-requests", "10", "-duration", "0s",
+		"-trace", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Cat  string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var reqs, runs int
+	for _, e := range doc.TraceEvents {
+		switch e.Cat {
+		case "request":
+			reqs++
+		case "load":
+			runs++
+		}
+	}
+	if reqs != 10 {
+		t.Errorf("trace has %d request spans, want 10", reqs)
+	}
+	if runs != 1 {
+		t.Errorf("trace has %d load-run spans, want 1", runs)
+	}
+}

@@ -10,6 +10,12 @@
 //	           [-machine name] [-target n] [-mode write|read]
 //	           [-mix "0:0.5,2:0.5"] [-tasks n] [-repeats n] [-sigma s]
 //	           [-concurrency n] [-duration d] [-requests n] [-timeout d]
+//	           [-hist-dump hist.json] [-trace trace.json] [-stage-report]
+//
+// -hist-dump writes the raw measured-window latency histogram (bucket
+// uppers and counts, nanoseconds) as JSON for offline analysis. -trace
+// records one span per measured request as Chrome trace-event JSON;
+// -stage-report prints the per-stage breakdown. See docs/OBSERVABILITY.md.
 //
 // Exit status: 0 on a completed run, 1 when the daemon is unreachable or
 // requests fail, 2 on usage errors.
@@ -29,6 +35,7 @@ import (
 
 	"numaio/internal/cli"
 	"numaio/internal/loadgen"
+	"numaio/internal/telemetry"
 )
 
 func main() {
@@ -86,6 +93,8 @@ func run(args []string, out io.Writer) error {
 	duration := fs.Duration("duration", 5*time.Second, "run length (ignored when -requests > 0)")
 	requests := fs.Int("requests", 0, "total request cap (0 = run for -duration)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request HTTP timeout")
+	histDump := fs.String("hist-dump", "", "write the raw latency histogram as JSON to this file")
+	trace := cli.NewTraceFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -133,12 +142,17 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("warm-up request: %d %s", status, strings.TrimSpace(respBody))
 	}
 
+	tr := trace.Tracer()
+	runSpan := tr.StartSpan("load-run", "load")
 	res, err := loadgen.Run(loadgen.Config{
 		Concurrency: *concurrency,
 		Requests:    *requests,
 		Duration:    *duration,
 		Do: func() error {
+			span := tr.StartSpan("/v1/"+*endpoint, "request")
 			st, _, err := post()
+			span.SetAttr(telemetry.Int("status", st))
+			span.End()
 			if err != nil {
 				return err
 			}
@@ -148,8 +162,22 @@ func run(args []string, out io.Writer) error {
 			return nil
 		},
 	})
+	runSpan.End()
 	if err != nil {
 		return err
+	}
+	if *histDump != "" {
+		f, err := os.Create(*histDump)
+		if err != nil {
+			return err
+		}
+		if err := res.Hist.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 
 	fmt.Fprintf(out, "numaioload: endpoint=/v1/%s machine=%s concurrency=%d duration=%s\n",
@@ -158,6 +186,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "latency p50 %s p95 %s p99 %s max %s\n",
 		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),
 		res.P99.Round(time.Microsecond), res.Max.Round(time.Microsecond))
+	if err := trace.Finish(out); err != nil {
+		return err
+	}
 	if res.Errors > 0 {
 		return fmt.Errorf("%d of %d requests failed", res.Errors, res.Requests)
 	}

@@ -9,6 +9,8 @@
 //	paperbench -list            # list experiment IDs
 //	paperbench -parallelism 4   # parallel characterizations (same output, less wall time)
 //	paperbench -chaos chaos     # rerun the Tables IV/V sweep under a fault plan
+//	paperbench -trace t.json    # record the characterizations as a Chrome trace
+//	paperbench -stage-report    # per-stage time breakdown after the run
 //
 // With -chaos the characterization reruns under the named fault plan (or a
 // JSON plan file; see internal/faults) with the resilience machinery on,
@@ -412,6 +414,7 @@ func run(args []string, out io.Writer) error {
 	parallelism := fs.Int("parallelism", 0, "characterization worker-pool width (0 = serial; output is identical at any setting)")
 	chaos := fs.String("chaos", "", "chaos-survival report under a fault plan: "+strings.Join(faults.PlanNames(), ", ")+", or a JSON plan file")
 	chaosSeed := fs.Uint64("chaos-seed", 0, "override the fault plan's seed (0 keeps the plan's own)")
+	trace := cli.NewTraceFlags(fs)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
@@ -430,6 +433,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	lab.Parallelism = *parallelism
+	lab.Tracer = trace.Tracer()
 
 	if *chaos != "" {
 		if *md || *only != "" {
@@ -498,7 +502,12 @@ func run(args []string, out io.Writer) error {
 	if !matched {
 		return cli.Usagef("unknown experiment ID %q (use -list)", *only)
 	}
-	return nil
+	if *md {
+		// Keep the markdown document clean: trace confirmation and the
+		// stage report go to stderr, not into EXPERIMENTS.md.
+		return trace.Finish(os.Stderr)
+	}
+	return trace.Finish(out)
 }
 
 const mdHeader = `# EXPERIMENTS — paper vs. measured

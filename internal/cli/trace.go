@@ -1,0 +1,80 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"numaio/internal/report"
+	"numaio/internal/telemetry"
+)
+
+// TraceFlags is the shared observability flag pair every measuring tool
+// carries: -trace <file> records the run as Chrome trace-event JSON
+// (chrome://tracing / Perfetto), -stage-report prints a per-stage time
+// breakdown after the run. Either flag turns the tracer on; with neither,
+// Tracer() stays nil and instrumentation is a no-op.
+type TraceFlags struct {
+	path        *string
+	stageReport *bool
+	tr          *telemetry.Tracer
+}
+
+// NewTraceFlags registers -trace and -stage-report on fs.
+func NewTraceFlags(fs *flag.FlagSet) *TraceFlags {
+	t := &TraceFlags{}
+	t.path = fs.String("trace", "", "write the run as Chrome trace-event JSON to this file")
+	t.stageReport = fs.Bool("stage-report", false, "print a per-stage time breakdown after the run")
+	return t
+}
+
+// Tracer returns the tracer the run should record onto — nil (a no-op)
+// unless -trace or -stage-report was given. Call after Parse.
+func (t *TraceFlags) Tracer() *telemetry.Tracer {
+	if t.tr == nil && (*t.path != "" || *t.stageReport) {
+		t.tr = telemetry.NewTracer()
+	}
+	return t.tr
+}
+
+// Finish writes the trace file and prints the stage report, as requested.
+// A no-op when neither flag was given.
+func (t *TraceFlags) Finish(out io.Writer) error {
+	if t.tr == nil {
+		return nil
+	}
+	if *t.path != "" {
+		f, err := os.Create(*t.path)
+		if err != nil {
+			return err
+		}
+		if err := t.tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace: %d events written to %s\n", t.tr.Len(), *t.path)
+	}
+	if *t.stageReport {
+		wall := t.tr.WallTime()
+		tbl := report.NewTable(
+			fmt.Sprintf("per-stage time breakdown (wall %v)", wall.Round(time.Microsecond)),
+			"stage", "spans", "total", "share of wall")
+		for _, row := range t.tr.StageReport() {
+			share := "-"
+			if wall > 0 {
+				share = fmt.Sprintf("%.1f%%", 100*row.Total.Seconds()/wall.Seconds())
+			}
+			tbl.AddRow(row.Stage, fmt.Sprintf("%d", row.Spans),
+				row.Total.Round(time.Microsecond).String(), share)
+		}
+		if _, err := fmt.Fprint(out, tbl.Render()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

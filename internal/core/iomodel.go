@@ -30,9 +30,19 @@ import (
 	"numaio/internal/fio"
 	"numaio/internal/numa"
 	"numaio/internal/resilience"
+	"numaio/internal/telemetry"
 	"numaio/internal/topology"
 	"numaio/internal/units"
 )
+
+// activeWorkers counts the measurement workers currently executing a
+// (node, repeat) cell, process-wide; numaiod exports it as the
+// numaiod_measure_workers_busy gauge.
+var activeWorkers atomic.Int64
+
+// ActiveMeasureWorkers returns the number of measurement cells currently
+// executing across all characterizations in the process.
+func ActiveMeasureWorkers() int64 { return activeWorkers.Load() }
 
 // Mode selects which I/O direction the model describes.
 type Mode int
@@ -186,6 +196,13 @@ type Config struct {
 	// system clock. Tests inject resilience.NewAutoClock so chaos sweeps
 	// run without real sleeps.
 	Clock resilience.Clock
+
+	// Tracer, when non-nil, records the sweep onto the trace: one span per
+	// (target, mode) sweep, one per (node, repeat) cell, the classification
+	// pass, the underlying fluid runs, and resilience events (timeouts,
+	// failures, outlier rejections). Tracing shapes no results and is
+	// excluded from model cache keys.
+	Tracer *telemetry.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -273,13 +290,14 @@ func NewCharacterizer(sys *numa.System, cfg Config) (*Characterizer, error) {
 }
 
 // newRunner builds one measurement runner (one per worker), configured
-// with the sweep's noise and fault plan.
-func (c *Characterizer) newRunner() (*fio.Runner, error) {
+// with the sweep's noise, fault plan and trace track.
+func (c *Characterizer) newRunner(tid int) (*fio.Runner, error) {
 	runner := fio.NewRunner(c.sys)
 	runner.Sigma = c.cfg.Sigma
 	if err := runner.SetFaults(c.inj); err != nil {
 		return nil, err
 	}
+	runner.Tracer, runner.TraceTID = c.cfg.Tracer, tid
 	return runner, nil
 }
 
@@ -300,13 +318,19 @@ func (c *Characterizer) workers(items int) int {
 // the classified model. With Config.Parallelism > 1 the (node, repeat)
 // measurement cells run concurrently; the model is identical either way.
 func (c *Characterizer) Characterize(target topology.NodeID, mode Mode) (*Model, error) {
-	return c.characterize(target, mode, -1)
+	return c.characterize(target, mode, -1, 0)
 }
 
-// characterize is Characterize with an explicit worker budget; budget < 0
-// means use the configured parallelism. CharacterizeAll passes 1 so that
-// fanning out over (target, mode) pairs does not multiply the pool width.
-func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget int) (*Model, error) {
+// characterize is Characterize with an explicit worker budget and trace
+// track; budget < 0 means use the configured parallelism. CharacterizeAll
+// passes 1 so that fanning out over (target, mode) pairs does not multiply
+// the pool width, and gives each sweep its worker's track.
+func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget, tid int) (*Model, error) {
+	sweep := c.cfg.Tracer.StartSpanOn(tid,
+		fmt.Sprintf("characterize t%d %v", int(target), mode), "characterize",
+		telemetry.Int("target", int(target)), telemetry.String("mode", mode.String()))
+	defer sweep.End()
+
 	m := c.sys.Machine()
 	targetNode, ok := m.Node(target)
 	if !ok {
@@ -321,7 +345,7 @@ func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget i
 	if budget < 0 {
 		budget = c.workers(len(nodes) * c.cfg.Repeats)
 	}
-	vals, stats, err := c.measureCells(target, mode, threads, nodes, budget)
+	vals, stats, err := c.measureCells(target, mode, threads, nodes, budget, tid)
 	if err != nil {
 		return nil, err
 	}
@@ -332,6 +356,10 @@ func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget i
 		if c.cfg.OutlierMAD > 0 {
 			kept, rejected = rejectOutliers(vals[i], c.cfg.OutlierMAD)
 			totalOutliers += rejected
+		}
+		if rejected > 0 {
+			c.cfg.Tracer.InstantOn(tid, "outliers-rejected", "resilience",
+				telemetry.Int("node", int(n)), telemetry.Int("rejected", rejected))
 		}
 		bw, sd := meanStddev(kept)
 		model.Samples = append(model.Samples, Sample{Node: n, Bandwidth: bw, StdDev: sd, Outliers: rejected})
@@ -346,7 +374,9 @@ func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget i
 			Outliers:  totalOutliers,
 		}
 	}
+	clsSpan := sweep.StartSpan("classify", "classify")
 	classes, err := Classify(m, target, model.Samples, c.cfg.GapThreshold)
+	clsSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +401,7 @@ func (s *cellStats) add(o cellStats) {
 // pool, one fio.Runner per worker. The result matrix (and the per-cell
 // stats it sums) is indexed, not appended, so scheduling order cannot
 // change the assembled model.
-func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads int, nodes []topology.NodeID, workers int) ([][]float64, cellStats, error) {
+func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads int, nodes []topology.NodeID, workers, tid int) ([][]float64, cellStats, error) {
 	reps := c.cfg.Repeats
 	flat := make([]float64, len(nodes)*reps)
 	vals := make([][]float64, len(nodes))
@@ -383,13 +413,15 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 	var sum cellStats
 
 	if workers <= 1 {
-		runner, err := c.newRunner()
+		runner, err := c.newRunner(tid)
 		if err != nil {
 			return nil, sum, err
 		}
 		for i, n := range nodes {
 			for rep := 0; rep < reps; rep++ {
-				v, st, err := c.measureCell(runner, target, n, mode, threads, rep)
+				activeWorkers.Add(1)
+				v, st, err := c.measureCell(runner, target, n, mode, threads, rep, tid)
+				activeWorkers.Add(-1)
 				if err != nil {
 					return nil, sum, err
 				}
@@ -409,9 +441,9 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wtid int) {
 			defer wg.Done()
-			runner, err := c.newRunner()
+			runner, err := c.newRunner(wtid)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -425,7 +457,12 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 			}
 			for idx := range cells {
 				i, rep := idx/reps, idx%reps
-				v, st, err := c.measureCell(runner, target, nodes[i], mode, threads, rep)
+				// Worker-pool occupancy, sampled onto the trace as a counter
+				// series (parallel paths only, so serial traces stay
+				// byte-deterministic).
+				c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(1)))
+				v, st, err := c.measureCell(runner, target, nodes[i], mode, threads, rep, wtid)
+				c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(-1)))
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -437,7 +474,7 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 				vals[i][rep] = v
 				perCell[idx] = st
 			}
-		}()
+		}(w + 1)
 	}
 	for idx := 0; idx < total; idx++ {
 		cells <- idx
@@ -467,7 +504,11 @@ func retryable(err error) bool {
 // attempt-suffixed job name, so the retry deterministically re-rolls its
 // fault and jitter draws. The returned stats are a pure function of the
 // cell and the fault-plan seed.
-func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep int) (float64, cellStats, error) {
+func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep, tid int) (float64, cellStats, error) {
+	cell := c.cfg.Tracer.StartSpanOn(tid,
+		fmt.Sprintf("measure n%d r%d", int(n), rep), "measure",
+		telemetry.Int("target", int(target)), telemetry.String("mode", mode.String()),
+		telemetry.Int("node", int(n)), telemetry.Int("repeat", rep))
 	var st cellStats
 	maxAttempts := c.cfg.MaxRetries + 1
 	if maxAttempts < 1 {
@@ -476,14 +517,24 @@ func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeI
 	for attempt := 0; ; attempt++ {
 		v, err := c.measureAttempt(runner, target, n, mode, threads, rep, attempt)
 		if err == nil {
+			cell.SetAttr(telemetry.Int("attempts", attempt+1))
+			cell.End()
 			return v, st, nil
 		}
 		if errors.Is(err, context.DeadlineExceeded) {
 			st.timeouts++
+			c.cfg.Tracer.InstantOn(tid, "measure-timeout", "resilience",
+				telemetry.Int("node", int(n)), telemetry.Int("repeat", rep),
+				telemetry.Int("attempt", attempt))
 		} else {
 			st.failures++
+			c.cfg.Tracer.InstantOn(tid, "measure-failure", "resilience",
+				telemetry.Int("node", int(n)), telemetry.Int("repeat", rep),
+				telemetry.Int("attempt", attempt))
 		}
 		if attempt+1 >= maxAttempts || !retryable(err) {
+			cell.SetAttr(telemetry.Int("attempts", attempt+1), telemetry.String("error", "failed"))
+			cell.End()
 			return 0, st, fmt.Errorf("core: node %d repeat %d failed after %d attempts: %w",
 				int(n), rep, attempt+1, err)
 		}

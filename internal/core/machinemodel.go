@@ -60,11 +60,11 @@ func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 	var firstErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wtid int) {
 			defer wg.Done()
 			for idx := range jobs {
 				target, mode := targets[idx/len(modes)], modes[idx%len(modes)]
-				model, err := c.characterize(target, mode, 1)
+				model, err := c.characterize(target, mode, 1, wtid)
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -76,7 +76,7 @@ func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 				}
 				out.Models[idx] = model
 			}
-		}()
+		}(w + 1)
 	}
 	for idx := 0; idx < pairs; idx++ {
 		jobs <- idx

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"numaio/internal/telemetry"
+)
+
+// traceJSON runs one Characterize sweep on dl585g7 under a fake step clock
+// and returns the serialized trace.
+func traceJSON(t *testing.T, parallelism int) []byte {
+	t.Helper()
+	sys := sysFor(t, "dl585g7")
+	tr := telemetry.NewTracerFunc(telemetry.StepClock(time.Microsecond))
+	c, err := NewCharacterizer(sys, Config{Parallelism: parallelism, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Characterize(7, ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// spanKeys reduces a trace to its multiset of complete spans — one
+// "name|cat|sorted args" line each, sorted. Counter samples and track IDs
+// are scheduling-dependent and excluded.
+func spanKeys(t *testing.T, trace []byte) []string {
+	t.Helper()
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Cat  string          `json:"cat"`
+			Ph   string          `json:"ph"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	var keys []string
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		args := make(map[string]string)
+		if len(e.Args) > 0 {
+			if err := json.Unmarshal(e.Args, &args); err != nil {
+				t.Fatalf("span %q args are not strings: %v", e.Name, err)
+			}
+		}
+		argKeys := make([]string, 0, len(args))
+		for k := range args {
+			argKeys = append(argKeys, k)
+		}
+		sort.Strings(argKeys)
+		key := e.Name + "|" + e.Cat
+		for _, k := range argKeys {
+			key += "|" + k + "=" + args[k]
+		}
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestTraceGoldenSerial: two identical serial runs under the fake clock
+// must serialize byte-identically, and the trace must contain exactly one
+// measure span per (node, repeat) cell.
+func TestTraceGoldenSerial(t *testing.T) {
+	a, b := traceJSON(t, 1), traceJSON(t, 1)
+	if !bytes.Equal(a, b) {
+		t.Error("two serial fake-clock runs produced different trace bytes")
+	}
+
+	keys := spanKeys(t, a)
+	const nodes, reps = 8, 5 // dl585g7 nodes × default repeats
+	measures := 0
+	seen := make(map[string]bool)
+	for _, k := range keys {
+		if len(k) >= 8 && k[:8] == "measure " {
+			measures++
+			seen[k] = true
+		}
+	}
+	if measures != nodes*reps {
+		t.Errorf("trace has %d measure spans, want %d", measures, nodes*reps)
+	}
+	if len(seen) != nodes*reps {
+		t.Errorf("measure spans are not unique per cell: %d distinct of %d", len(seen), nodes*reps)
+	}
+	for n := 0; n < nodes; n++ {
+		for r := 0; r < reps; r++ {
+			k := fmt.Sprintf("measure n%d r%d|measure|attempts=1|mode=write|node=%d|repeat=%d|target=7", n, r, n, r)
+			if !seen[k] {
+				t.Errorf("missing cell span %q", k)
+			}
+		}
+	}
+}
+
+// TestTraceParallelEventSetIdentical: at Parallelism=8 the same spans must
+// be recorded (different order and tracks, same multiset).
+func TestTraceParallelEventSetIdentical(t *testing.T) {
+	serial := spanKeys(t, traceJSON(t, 1))
+	parallel := spanKeys(t, traceJSON(t, 8))
+	if len(serial) != len(parallel) {
+		t.Fatalf("span counts differ: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("span multiset differs at %d:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestStageReportReconciles: under a real clock, the top-level sweep
+// stage's total must reconcile with the trace's wall time within 5% (the
+// sweep span covers the whole run; only span-recording overhead escapes
+// it).
+func TestStageReportReconciles(t *testing.T) {
+	sys := sysFor(t, "dl585g7")
+	tr := telemetry.NewTracer()
+	c, err := NewCharacterizer(sys, Config{Parallelism: 1, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Characterize(7, ModeWrite); err != nil {
+		t.Fatal(err)
+	}
+	wall := tr.WallTime()
+	if wall <= 0 {
+		t.Fatal("no wall time recorded")
+	}
+	var sweepTotal time.Duration
+	found := false
+	for _, row := range tr.StageReport() {
+		if row.Stage == "characterize" {
+			sweepTotal, found = row.Total, true
+		}
+	}
+	if !found {
+		t.Fatal("no characterize stage in report")
+	}
+	if diff := (wall - sweepTotal).Seconds(); diff < 0 || diff > 0.05*wall.Seconds() {
+		t.Errorf("characterize total %v does not reconcile with wall %v", sweepTotal, wall)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"numaio/internal/numa"
 	"numaio/internal/report"
 	"numaio/internal/stream"
+	"numaio/internal/telemetry"
 	"numaio/internal/topology"
 	"numaio/internal/units"
 )
@@ -25,6 +26,9 @@ type Lab struct {
 	// run (core.Config.Parallelism); 0 keeps them serial. Results are
 	// identical at any setting, so EXPERIMENTS.md does not depend on it.
 	Parallelism int
+	// Tracer, when non-nil, records every characterization the experiments
+	// run (core.Config.Tracer). Tracing shapes no results.
+	Tracer *telemetry.Tracer
 }
 
 // NewLab boots the testbed.

@@ -15,7 +15,7 @@ import (
 
 // characterize runs Algorithm 1 for the target in the given mode.
 func (l *Lab) characterize(mode core.Mode) (*core.Model, error) {
-	c, err := core.NewCharacterizer(l.Sys, core.Config{Parallelism: l.Parallelism})
+	c, err := core.NewCharacterizer(l.Sys, core.Config{Parallelism: l.Parallelism, Tracer: l.Tracer})
 	if err != nil {
 		return nil, err
 	}

@@ -109,7 +109,7 @@ func (l *Lab) AblationLinkDegradation() (*DegradeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := core.NewCharacterizer(sys, core.Config{Parallelism: l.Parallelism})
+	c, err := core.NewCharacterizer(sys, core.Config{Parallelism: l.Parallelism, Tracer: l.Tracer})
 	if err != nil {
 		return nil, err
 	}

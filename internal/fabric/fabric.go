@@ -283,6 +283,7 @@ func (s *Solver) AddFlow(f Flow) error {
 // the solver for a fresh round over the same fabric. The usage slices of
 // the dropped flows stay parked in the backing array for reuse.
 func (s *Solver) Reset() {
+	statResets.Add(1)
 	s.flows = s.flows[:0]
 	clear(s.flowIdx)
 }
@@ -343,7 +344,7 @@ type IndexedAllocation struct {
 // SolveIndexed computes the weighted max-min fair allocation without
 // materializing any string-keyed map.
 func (s *Solver) SolveIndexed() (IndexedAllocation, error) {
-	if err := s.solve(); err != nil {
+	if err := s.timedSolve(); err != nil {
 		return IndexedAllocation{}, err
 	}
 	return IndexedAllocation{s: s, n: len(s.flows)}, nil

@@ -6,13 +6,17 @@ import "sync"
 // buffers — across independent solves. The request-serving path builds a
 // solver per fluid run (one per /v1/place evaluation, for example); pooling
 // keeps those runs from re-growing every buffer each time.
-var solverPool = sync.Pool{New: func() any { return NewSolver() }}
+var solverPool = sync.Pool{New: func() any {
+	statPoolNews.Add(1)
+	return NewSolver()
+}}
 
 // AcquireSolver returns an empty solver from the package pool. Its resource
 // and flow sets are clear, but previously grown internal buffers are
 // retained, so repeated acquire/solve/release cycles over similarly sized
 // problems stop allocating. Pair with ReleaseSolver.
 func AcquireSolver() *Solver {
+	statPoolGets.Add(1)
 	return solverPool.Get().(*Solver)
 }
 

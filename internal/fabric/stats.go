@@ -1,0 +1,56 @@
+package fabric
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Package-wide solver statistics, exported to numaiod's /metrics. They are
+// plain atomics (no telemetry dependency — fabric stays leaf-level) counted
+// across every solver in the process, pooled or not.
+var (
+	statSolves     atomic.Int64
+	statSolveNanos atomic.Int64
+	statResets     atomic.Int64
+	statPoolGets   atomic.Int64
+	statPoolNews   atomic.Int64
+)
+
+// Stats is a snapshot of the package-wide solver counters.
+type Stats struct {
+	// Solves counts successful SolveIndexed/Solve calls; SolveNanos is the
+	// wall time they took in total.
+	Solves     int64
+	SolveNanos int64
+	// Resets counts Solver.Reset calls (flow-set reuse between fluid runs).
+	Resets int64
+	// PoolGets counts AcquireSolver calls; PoolNews counts the ones that had
+	// to construct a fresh solver. PoolGets - PoolNews is the pool hit count.
+	PoolGets int64
+	PoolNews int64
+}
+
+// ReadStats snapshots the solver counters.
+func ReadStats() Stats {
+	return Stats{
+		Solves:     statSolves.Load(),
+		SolveNanos: statSolveNanos.Load(),
+		Resets:     statResets.Load(),
+		PoolGets:   statPoolGets.Load(),
+		PoolNews:   statPoolNews.Load(),
+	}
+}
+
+// PoolHits returns the number of AcquireSolver calls served from the pool.
+func (s Stats) PoolHits() int64 { return s.PoolGets - s.PoolNews }
+
+// timedSolve wraps the core water-filling pass with the stats counters.
+func (s *Solver) timedSolve() error {
+	start := time.Now()
+	err := s.solve()
+	statSolveNanos.Add(time.Since(start).Nanoseconds())
+	if err == nil {
+		statSolves.Add(1)
+	}
+	return err
+}

@@ -23,6 +23,7 @@ import (
 	"numaio/internal/faults"
 	"numaio/internal/numa"
 	"numaio/internal/simhost"
+	"numaio/internal/telemetry"
 	"numaio/internal/topology"
 	"numaio/internal/units"
 )
@@ -124,6 +125,11 @@ type Runner struct {
 	specs map[string]device.Spec
 	// Sigma is the reporting jitter; 0 disables it.
 	Sigma float64
+	// Tracer, when set, records the underlying fluid runs (one span per run
+	// plus one per phase) on track TraceTID; see internal/telemetry. Tracing
+	// shapes no results.
+	Tracer   *telemetry.Tracer
+	TraceTID int
 
 	// baseRes is the machine + per-node core resource table, invariant
 	// across runs (capacity-clamped so appends cannot alias it).
@@ -286,7 +292,7 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
 
 	var fluid *simhost.SessionResult
 	if hasDevice {
-		fluid, err = simhost.RunFluid(resources, transfers)
+		fluid, err = simhost.RunFluidTraced(resources, transfers, r.Tracer, r.TraceTID)
 	} else {
 		// Device-free runs (the memcpy characterization path) always solve
 		// over exactly the base resource table — reuse one session.
@@ -296,6 +302,7 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
 				return nil, err
 			}
 		}
+		r.memSession.SetTracer(r.Tracer, r.TraceTID)
 		fluid, err = r.memSession.Run(transfers)
 	}
 	if err != nil {

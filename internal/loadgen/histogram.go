@@ -1,136 +1,11 @@
 package loadgen
 
-import (
-	"math/bits"
-	"time"
-)
+import "numaio/internal/telemetry"
 
-// Histogram is an HDR-style log-linear latency histogram over nanosecond
-// values: each power-of-two magnitude is split into 2^subBits/2 linear
-// sub-buckets, bounding the relative quantile error at ~2/2^subBits
-// (≈3% at subBits = 6) across the full range with a few KiB of counters.
-// Recording is O(1) and allocation-free; buckets grow lazily with the
-// largest observed value. Not safe for concurrent use — give each worker
-// its own and Merge.
-type Histogram struct {
-	counts []int64
-	total  int64
-	sum    int64
-	max    int64
-}
-
-const (
-	subBits  = 6
-	subCount = 1 << subBits
-)
-
-// bucketIndex maps a nanosecond value to its log-linear bucket. Values
-// below subCount get exact unit buckets; above, value>>exp lands in
-// [subCount/2, subCount), giving subCount/2 linear sub-buckets per octave.
-func bucketIndex(v int64) int {
-	if v < 0 {
-		v = 0
-	}
-	if v < subCount {
-		return int(v)
-	}
-	exp := bits.Len64(uint64(v)) - subBits
-	return exp*subCount/2 + int(v>>uint(exp))
-}
-
-// bucketUpper returns the largest value mapping to bucket i — the
-// conservative representative reported for quantiles in that bucket.
-func bucketUpper(i int) int64 {
-	if i < subCount {
-		return int64(i)
-	}
-	exp := i/(subCount/2) - 1
-	base := int64(i - exp*subCount/2)
-	return base<<uint(exp) + (1 << uint(exp)) - 1
-}
+// Histogram is the shared HDR-style log-linear latency histogram; the
+// implementation lives in internal/telemetry so the daemon and the load
+// generator report quantiles from one code path.
+type Histogram = telemetry.Histogram
 
 // NewHistogram builds an empty histogram.
-func NewHistogram() *Histogram {
-	return &Histogram{counts: make([]int64, subCount)}
-}
-
-// Record adds one latency observation.
-func (h *Histogram) Record(d time.Duration) {
-	v := int64(d)
-	if v < 0 {
-		v = 0
-	}
-	i := bucketIndex(v)
-	for i >= len(h.counts) {
-		h.counts = append(h.counts, make([]int64, len(h.counts))...)
-	}
-	h.counts[i]++
-	h.total++
-	h.sum += v
-	if v > h.max {
-		h.max = v
-	}
-}
-
-// Merge folds another histogram into this one.
-func (h *Histogram) Merge(o *Histogram) {
-	if o == nil {
-		return
-	}
-	for len(h.counts) < len(o.counts) {
-		h.counts = append(h.counts, make([]int64, len(h.counts))...)
-	}
-	for i, c := range o.counts {
-		h.counts[i] += c
-	}
-	h.total += o.total
-	h.sum += o.sum
-	if o.max > h.max {
-		h.max = o.max
-	}
-}
-
-// Count returns the number of recorded observations.
-func (h *Histogram) Count() int64 { return h.total }
-
-// Max returns the largest recorded observation.
-func (h *Histogram) Max() time.Duration { return time.Duration(h.max) }
-
-// Mean returns the arithmetic mean of the recorded observations.
-func (h *Histogram) Mean() time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	return time.Duration(h.sum / h.total)
-}
-
-// Quantile returns the latency at quantile q in [0, 1]: the upper edge of
-// the bucket containing the q-th observation, clamped to the recorded
-// maximum. Zero observations yield zero.
-func (h *Histogram) Quantile(q float64) time.Duration {
-	if h.total == 0 {
-		return 0
-	}
-	if q < 0 {
-		q = 0
-	}
-	if q > 1 {
-		q = 1
-	}
-	rank := int64(q * float64(h.total))
-	if rank >= h.total {
-		rank = h.total - 1
-	}
-	var seen int64
-	for i, c := range h.counts {
-		seen += c
-		if seen > rank {
-			v := bucketUpper(i)
-			if v > h.max {
-				v = h.max
-			}
-			return time.Duration(v)
-		}
-	}
-	return time.Duration(h.max)
-}
+func NewHistogram() *Histogram { return telemetry.NewHistogram() }

@@ -2,100 +2,13 @@ package loadgen
 
 import (
 	"errors"
-	"math/rand"
-	"sort"
 	"sync/atomic"
 	"testing"
 	"time"
 )
 
-// TestBucketIndexMonotone: the log-linear mapping must be monotone and
-// contiguous, and every value must fall at or below its bucket's upper
-// edge.
-func TestBucketIndexMonotone(t *testing.T) {
-	prev := -1
-	for v := int64(0); v < 1<<14; v++ {
-		i := bucketIndex(v)
-		if i != prev && i != prev+1 {
-			t.Fatalf("bucketIndex(%d) = %d jumps from %d", v, i, prev)
-		}
-		prev = i
-		if up := bucketUpper(i); v > up {
-			t.Fatalf("value %d above its bucket %d upper edge %d", v, i, up)
-		}
-	}
-	// Spot-check large magnitudes (seconds to minutes in nanoseconds).
-	for _, v := range []int64{1e6, 1e9, 6e10, 36e11} {
-		i := bucketIndex(v)
-		up := bucketUpper(i)
-		if v > up {
-			t.Errorf("value %d above bucket upper %d", v, up)
-		}
-		// Log-linear relative error bound: the bucket spans < 2/subCount of
-		// the value.
-		if lo := bucketUpper(i - 1); float64(up-lo) > float64(v)*2/subCount {
-			t.Errorf("bucket span %d too wide for value %d", up-lo, v)
-		}
-	}
-}
-
-// TestHistogramQuantiles: quantiles of a known uniform distribution land
-// within the histogram's resolution of the exact order statistics.
-func TestHistogramQuantiles(t *testing.T) {
-	h := NewHistogram()
-	rng := rand.New(rand.NewSource(7))
-	vals := make([]int64, 10000)
-	for i := range vals {
-		vals[i] = rng.Int63n(int64(10 * time.Millisecond))
-		h.Record(time.Duration(vals[i]))
-	}
-	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-	if h.Count() != int64(len(vals)) {
-		t.Fatalf("count = %d", h.Count())
-	}
-	if h.Max() != time.Duration(vals[len(vals)-1]) {
-		t.Errorf("max = %v, want %v", h.Max(), time.Duration(vals[len(vals)-1]))
-	}
-	for _, q := range []float64{0.5, 0.95, 0.99} {
-		exact := float64(vals[int(q*float64(len(vals)))])
-		got := float64(h.Quantile(q))
-		if got < exact*(1-4.0/subCount) || got > exact*(1+4.0/subCount) {
-			t.Errorf("q%.2f = %v, exact %v: outside resolution bound", q, got, exact)
-		}
-	}
-}
-
-// TestHistogramMerge: merging per-worker histograms equals recording
-// everything into one.
-func TestHistogramMerge(t *testing.T) {
-	whole, a, b := NewHistogram(), NewHistogram(), NewHistogram()
-	rng := rand.New(rand.NewSource(11))
-	for i := 0; i < 5000; i++ {
-		d := time.Duration(rng.Int63n(int64(time.Second)))
-		whole.Record(d)
-		if i%2 == 0 {
-			a.Record(d)
-		} else {
-			b.Record(d)
-		}
-	}
-	a.Merge(b)
-	if a.Count() != whole.Count() || a.Max() != whole.Max() || a.Mean() != whole.Mean() {
-		t.Fatalf("merge mismatch: count %d/%d max %v/%v", a.Count(), whole.Count(), a.Max(), whole.Max())
-	}
-	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
-		if a.Quantile(q) != whole.Quantile(q) {
-			t.Errorf("q%g: merged %v != whole %v", q, a.Quantile(q), whole.Quantile(q))
-		}
-	}
-}
-
-func TestHistogramEmpty(t *testing.T) {
-	h := NewHistogram()
-	if h.Quantile(0.99) != 0 || h.Max() != 0 || h.Mean() != 0 || h.Count() != 0 {
-		t.Error("empty histogram should report zeros")
-	}
-}
+// Histogram behavior is tested in internal/telemetry, where the shared
+// implementation lives.
 
 // TestRunRequestCap: a request-capped run issues exactly that many
 // requests across workers and counts errors.

@@ -254,6 +254,27 @@ type Breaker struct {
 	failures  int
 	openedAt  time.Time
 	probing   bool
+	onChange  func(from, to BreakerState)
+}
+
+// SetTransitionHook installs fn to be called on every state change
+// (telemetry taps breaker transitions onto the active trace). fn runs with
+// the breaker's lock held, so it must not call back into the breaker; nil
+// clears the hook.
+func (b *Breaker) SetTransitionHook(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onChange = fn
+}
+
+// setState moves the breaker to state to, firing the transition hook on an
+// actual change. Callers hold b.mu.
+func (b *Breaker) setState(to BreakerState) {
+	from := b.state
+	b.state = to
+	if from != to && b.onChange != nil {
+		b.onChange(from, to)
+	}
 }
 
 // NewBreaker builds a breaker tripping after threshold consecutive
@@ -282,7 +303,7 @@ func (b *Breaker) Allow() bool {
 		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return true
 	case BreakerHalfOpen:
@@ -299,7 +320,7 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	b.setState(BreakerClosed)
 	b.failures = 0
 	b.probing = false
 }
@@ -321,7 +342,7 @@ func (b *Breaker) Failure() {
 }
 
 func (b *Breaker) open() {
-	b.state = BreakerOpen
+	b.setState(BreakerOpen)
 	b.openedAt = b.clock.Now()
 	b.failures = 0
 	b.probing = false

@@ -56,6 +56,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w, s.cache.Stats(), s.predictCache.Stats(), s.placeCache.Stats(),
 		s.pool.InFlight(), s.openBreakers())
+	// Additive series (solver, pool, occupancy, trace state) render after
+	// the historical block so its bytes — and every scraper grep — are
+	// untouched.
+	s.registry.Render(w)
 }
 
 type characterizeRequest struct {

@@ -6,31 +6,36 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"numaio/internal/telemetry"
 )
 
-// Metrics is a small in-process registry rendered as Prometheus-style
-// plain text on /metrics: request counters by endpoint and status,
-// characterization latency histogram, cache counters and job gauges.
+// Metrics is the daemon's request-path metric state, built on the
+// telemetry package's sharded atomic primitives: request counting and
+// latency observation take no global lock, so the serving fast lane never
+// serializes on a metrics mutex. WriteTo renders the historical
+// Prometheus-style text byte-for-byte — every pre-existing metric name and
+// ordering is preserved (serve-smoke greps and scrapers depend on it).
 type Metrics struct {
-	mu       sync.Mutex
-	requests map[string]map[int]int64 // endpoint -> status -> count
+	// requests maps endpoint -> per-status counters. The endpoint set is
+	// tiny and fixed after startup, so lookups take a read lock and the
+	// per-status increment is a sharded atomic add.
+	epMu     sync.RWMutex
+	requests map[string]*telemetry.IntCounterVec
 
-	// Characterization latency histogram (seconds).
-	latBuckets []float64
-	latCounts  []int64 // len(latBuckets)+1; last bucket is +Inf
-	latSum     float64
-	latTotal   int64
+	// lat is the characterization latency histogram (seconds).
+	lat *telemetry.BucketHistogram
 
 	// parallelism is the daemon's configured measurement worker-pool
 	// width, exported as a gauge so latency shifts can be correlated with
 	// the setting.
-	parallelism int
+	parallelism telemetry.Gauge
 
 	// Resilience counters: characterization attempts retried after a
 	// failure, and responses served from an expired cache entry because
 	// recomputation failed (or its breaker was open).
-	charRetries int64
-	staleServed int64
+	charRetries telemetry.Counter
+	staleServed telemetry.Counter
 }
 
 // defaultLatencyBuckets cover sub-millisecond simulated runs up to
@@ -40,76 +45,57 @@ var defaultLatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 
 // NewMetrics builds an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		requests:   make(map[string]map[int]int64),
-		latBuckets: defaultLatencyBuckets,
-		latCounts:  make([]int64, len(defaultLatencyBuckets)+1),
+		requests: make(map[string]*telemetry.IntCounterVec),
+		lat:      telemetry.NewBucketHistogram(defaultLatencyBuckets),
 	}
 }
 
 // SetParallelism records the daemon's measurement worker-pool width.
-func (m *Metrics) SetParallelism(p int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.parallelism = p
-}
+func (m *Metrics) SetParallelism(p int) { m.parallelism.Set(int64(p)) }
 
 // ObserveCharacterizeRetry counts one retried characterization attempt.
-func (m *Metrics) ObserveCharacterizeRetry() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.charRetries++
-}
+func (m *Metrics) ObserveCharacterizeRetry() { m.charRetries.Inc() }
 
 // ObserveStaleServed counts one response served from a stale model.
-func (m *Metrics) ObserveStaleServed() {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.staleServed++
-}
+func (m *Metrics) ObserveStaleServed() { m.staleServed.Inc() }
 
 // StaleServed returns the stale-response counter (tests).
-func (m *Metrics) StaleServed() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.staleServed
-}
+func (m *Metrics) StaleServed() int64 { return m.staleServed.Value() }
 
-// ObserveRequest counts one served request.
+// ObserveRequest counts one served request. The hot path — an endpoint
+// seen before — is a read-locked map lookup plus an atomic increment.
 func (m *Metrics) ObserveRequest(endpoint string, status int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	byStatus, ok := m.requests[endpoint]
+	m.epMu.RLock()
+	vec, ok := m.requests[endpoint]
+	m.epMu.RUnlock()
 	if !ok {
-		byStatus = make(map[int]int64)
-		m.requests[endpoint] = byStatus
+		m.epMu.Lock()
+		if vec, ok = m.requests[endpoint]; !ok {
+			vec = telemetry.NewIntCounterVec()
+			m.requests[endpoint] = vec
+		}
+		m.epMu.Unlock()
 	}
-	byStatus[status]++
+	vec.With(status).Inc()
 }
 
 // ObserveCharacterization records one Algorithm 1 run's wall time.
 func (m *Metrics) ObserveCharacterization(d time.Duration) {
-	s := d.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.latSum += s
-	m.latTotal++
-	for i, le := range m.latBuckets {
-		if s <= le {
-			m.latCounts[i]++
-			return
-		}
-	}
-	m.latCounts[len(m.latBuckets)]++
+	m.lat.Observe(d.Seconds())
 }
 
 // RequestCount returns the total requests seen for an endpoint (all
 // statuses); handy for tests.
 func (m *Metrics) RequestCount(endpoint string) int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.epMu.RLock()
+	vec := m.requests[endpoint]
+	m.epMu.RUnlock()
+	if vec == nil {
+		return 0
+	}
 	var total int64
-	for _, n := range m.requests[endpoint] {
-		total += n
+	for _, s := range vec.Keys() {
+		total += vec.Value(s)
 	}
 	return total
 }
@@ -117,42 +103,42 @@ func (m *Metrics) RequestCount(endpoint string) int64 {
 // WriteTo renders the registry (plus the supplied cache, job and breaker
 // gauges) in the Prometheus text exposition format.
 func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, predict, place RespCacheStats, inflightJobs int64, openBreakers int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
 	fmt.Fprintln(w, "# HELP numaiod_requests_total Requests served, by endpoint and status.")
 	fmt.Fprintln(w, "# TYPE numaiod_requests_total counter")
+	m.epMu.RLock()
 	endpoints := make([]string, 0, len(m.requests))
 	for e := range m.requests {
 		endpoints = append(endpoints, e)
 	}
+	vecs := make(map[string]*telemetry.IntCounterVec, len(endpoints))
+	for _, e := range endpoints {
+		vecs[e] = m.requests[e]
+	}
+	m.epMu.RUnlock()
 	sort.Strings(endpoints)
 	for _, e := range endpoints {
-		statuses := make([]int, 0, len(m.requests[e]))
-		for s := range m.requests[e] {
-			statuses = append(statuses, s)
-		}
-		sort.Ints(statuses)
-		for _, s := range statuses {
-			fmt.Fprintf(w, "numaiod_requests_total{endpoint=%q,status=\"%d\"} %d\n", e, s, m.requests[e][s])
+		for _, s := range vecs[e].Keys() {
+			fmt.Fprintf(w, "numaiod_requests_total{endpoint=%q,status=\"%d\"} %d\n", e, s, vecs[e].Value(s))
 		}
 	}
 
 	fmt.Fprintln(w, "# HELP numaiod_characterize_seconds Wall time of Algorithm 1 characterizations.")
 	fmt.Fprintln(w, "# TYPE numaiod_characterize_seconds histogram")
+	counts := m.lat.Counts()
+	bounds := m.lat.Bounds()
 	var cum int64
-	for i, le := range m.latBuckets {
-		cum += m.latCounts[i]
+	for i, le := range bounds {
+		cum += counts[i]
 		fmt.Fprintf(w, "numaiod_characterize_seconds_bucket{le=\"%g\"} %d\n", le, cum)
 	}
-	cum += m.latCounts[len(m.latBuckets)]
+	cum += counts[len(bounds)]
 	fmt.Fprintf(w, "numaiod_characterize_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "numaiod_characterize_seconds_sum %g\n", m.latSum)
-	fmt.Fprintf(w, "numaiod_characterize_seconds_count %d\n", m.latTotal)
+	fmt.Fprintf(w, "numaiod_characterize_seconds_sum %g\n", m.lat.Sum())
+	fmt.Fprintf(w, "numaiod_characterize_seconds_count %d\n", m.lat.Total())
 
 	fmt.Fprintln(w, "# HELP numaiod_characterize_parallelism Configured measurement worker-pool width.")
 	fmt.Fprintln(w, "# TYPE numaiod_characterize_parallelism gauge")
-	fmt.Fprintf(w, "numaiod_characterize_parallelism %d\n", m.parallelism)
+	fmt.Fprintf(w, "numaiod_characterize_parallelism %d\n", m.parallelism.Value())
 
 	fmt.Fprintln(w, "# HELP numaiod_model_cache Model cache activity.")
 	fmt.Fprintln(w, "# TYPE numaiod_model_cache counter")
@@ -188,10 +174,10 @@ func (m *Metrics) WriteTo(w io.Writer, cache CacheStats, predict, place RespCach
 
 	fmt.Fprintln(w, "# HELP numaiod_characterize_retries_total Characterization attempts retried after a failure.")
 	fmt.Fprintln(w, "# TYPE numaiod_characterize_retries_total counter")
-	fmt.Fprintf(w, "numaiod_characterize_retries_total %d\n", m.charRetries)
+	fmt.Fprintf(w, "numaiod_characterize_retries_total %d\n", m.charRetries.Value())
 	fmt.Fprintln(w, "# HELP numaiod_stale_served_total Responses served from an expired cache entry after a failed recomputation.")
 	fmt.Fprintln(w, "# TYPE numaiod_stale_served_total counter")
-	fmt.Fprintf(w, "numaiod_stale_served_total %d\n", m.staleServed)
+	fmt.Fprintf(w, "numaiod_stale_served_total %d\n", m.staleServed.Value())
 	fmt.Fprintln(w, "# HELP numaiod_stale_models Expired models retained as stale fallbacks.")
 	fmt.Fprintln(w, "# TYPE numaiod_stale_models gauge")
 	fmt.Fprintf(w, "numaiod_stale_models %d\n", cache.Stale)

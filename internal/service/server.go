@@ -20,11 +20,14 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"numaio/internal/core"
+	"numaio/internal/fabric"
 	"numaio/internal/numa"
 	"numaio/internal/resilience"
+	"numaio/internal/telemetry"
 	"numaio/internal/topology"
 )
 
@@ -113,9 +116,16 @@ type Server struct {
 	pool         *Pool
 	jobs         *JobRegistry
 	metrics      *Metrics
+	registry     *telemetry.Registry
 	mux          *http.ServeMux
 	characterize CharacterizeFunc
 	parallelism  int
+
+	// activeTracer is the /debug/trace recording in progress (nil when
+	// tracing is off); lastTrace retains the most recently stopped one so
+	// it can still be downloaded.
+	activeTracer atomic.Pointer[telemetry.Tracer]
+	lastTrace    atomic.Pointer[telemetry.Tracer]
 
 	requestTimeout   time.Duration
 	retry            resilience.RetryPolicy
@@ -181,8 +191,54 @@ func New(cfg Config) *Server {
 		breakers:         make(map[string]*resilience.Breaker),
 	}
 	s.metrics.SetParallelism(parallelism)
+	s.registry = newExtraRegistry(s)
 	s.routes()
 	return s
+}
+
+// newExtraRegistry builds the telemetry registry rendered after the
+// historical metrics block on /metrics: solver and pool counters from
+// internal/fabric, measurement-worker occupancy from internal/core, and
+// the trace recorder's state. Pre-existing metric names are untouched —
+// these series are strictly additive.
+func newExtraRegistry(s *Server) *telemetry.Registry {
+	r := telemetry.NewRegistry()
+	r.IntCounterFunc("numaiod_solver_solves_total",
+		"Successful fabric solver passes (water-filling allocations).",
+		func() int64 { return fabric.ReadStats().Solves })
+	r.FloatCounterFunc("numaiod_solver_solve_seconds_total",
+		"Total wall time spent in fabric solver passes.",
+		func() float64 { return float64(fabric.ReadStats().SolveNanos) / 1e9 })
+	r.IntCounterFunc("numaiod_solver_resets_total",
+		"Solver flow-set resets (fluid-session reuse between runs).",
+		func() int64 { return fabric.ReadStats().Resets })
+	r.IntCounterFunc("numaiod_solver_pool_hits_total",
+		"AcquireSolver calls served from the solver pool.",
+		func() int64 { return fabric.ReadStats().PoolHits() })
+	r.IntCounterFunc("numaiod_solver_pool_misses_total",
+		"AcquireSolver calls that constructed a fresh solver.",
+		func() int64 { return fabric.ReadStats().PoolNews })
+	r.IntGaugeFunc("numaiod_measure_workers_busy",
+		"Measurement workers currently executing a characterization cell.",
+		core.ActiveMeasureWorkers)
+	r.IntGaugeFunc("numaiod_trace_active",
+		"Whether a /debug/trace recording is in progress.",
+		func() int64 {
+			if s.activeTracer.Load() != nil {
+				return 1
+			}
+			return 0
+		})
+	r.IntGaugeFunc("numaiod_trace_events",
+		"Events recorded by the active (or last stopped) trace.",
+		func() int64 {
+			tr := s.activeTracer.Load()
+			if tr == nil {
+				tr = s.lastTrace.Load()
+			}
+			return int64(tr.Len())
+		})
+	return r
 }
 
 func (s *Server) routes() {
@@ -195,6 +251,9 @@ func (s *Server) routes() {
 	s.handle("POST /v1/predict/batch", "/v1/predict/batch", s.handlePredictBatch)
 	s.handle("POST /v1/place", "/v1/place", s.handlePlace)
 	s.handle("POST /v1/whatif", "/v1/whatif", s.handleWhatif)
+	s.handle("POST /debug/trace/start", "/debug/trace/start", s.handleTraceStart)
+	s.handle("POST /debug/trace/stop", "/debug/trace/stop", s.handleTraceStop)
+	s.handle("GET /debug/trace", "/debug/trace", s.handleTraceDownload)
 }
 
 // handle registers a pattern under the logging/metrics middleware. The
@@ -210,7 +269,18 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		// One span per request on the active trace. The explicit nil guard
+		// (rather than relying on nil-tracer no-ops) keeps the untraced
+		// fast path free of the variadic attr allocations.
+		var span *telemetry.Span
+		if tr := s.activeTracer.Load(); tr != nil {
+			span = tr.StartSpan(endpoint, "http", telemetry.String("method", r.Method))
+		}
 		h(rec, r)
+		if span != nil {
+			span.SetAttr(telemetry.Int("status", rec.status))
+			span.End()
+		}
 		s.metrics.ObserveRequest(endpoint, rec.status)
 		s.log.Info("request",
 			"method", r.Method,
@@ -267,6 +337,10 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 	if cfg.Parallelism == 0 {
 		cfg.Parallelism = s.parallelism
 	}
+	// Record onto the active /debug/trace, if one is running. The tracer
+	// shapes no results and configKey never includes it, so traced and
+	// untraced runs share cache entries.
+	cfg.Tracer = s.activeTracer.Load()
 	key := fp + "|" + configKey(cfg)
 
 	br := s.breakerFor(key)
@@ -338,6 +412,11 @@ func (s *Server) breakerFor(key string) *resilience.Breaker {
 	br, ok := s.breakers[key]
 	if !ok {
 		br = resilience.NewBreaker(s.breakerThreshold, s.breakerCooldown, s.clock)
+		br.SetTransitionHook(func(from, to resilience.BreakerState) {
+			s.activeTracer.Load().Instant("breaker-"+to.String(), "resilience",
+				telemetry.String("from", from.String()),
+				telemetry.String("key", key))
+		})
 		s.breakers[key] = br
 	}
 	return br

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"numaio/internal/fabric"
+	"numaio/internal/telemetry"
 	"numaio/internal/units"
 )
 
@@ -53,6 +54,18 @@ type SessionResult struct {
 // FluidSession is not safe for concurrent use.
 type FluidSession struct {
 	s *fabric.Solver
+
+	// tr, when set, records one span per Run plus one per constant-rate
+	// phase (category "fluid") on track tid, so solver work nests under the
+	// measurement cell that triggered it. Tracing shapes no results.
+	tr  *telemetry.Tracer
+	tid int
+}
+
+// SetTracer attaches (or, with nil, detaches) a tracer; phase spans land
+// on track tid.
+func (fs *FluidSession) SetTracer(tr *telemetry.Tracer, tid int) {
+	fs.tr, fs.tid = tr, tid
 }
 
 // NewFluidSession registers the resources once and returns the reusable
@@ -76,6 +89,12 @@ func NewFluidSession(resources []fabric.Resource) (*FluidSession, error) {
 // keeps the remaining flows in sorted order, so every phase solves the exact
 // same problem (same float accumulation order) the per-phase rebuild did.
 func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult, error) {
+	return RunFluidTraced(resources, transfers, nil, 0)
+}
+
+// RunFluidTraced is RunFluid with per-run and per-phase spans recorded on
+// the tracer (nil means no tracing).
+func RunFluidTraced(resources []fabric.Resource, transfers []Transfer, tr *telemetry.Tracer, tid int) (*SessionResult, error) {
 	if len(transfers) == 0 {
 		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
 	}
@@ -86,7 +105,7 @@ func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult
 			return nil, err
 		}
 	}
-	fs := &FluidSession{s: s}
+	fs := &FluidSession{s: s, tr: tr, tid: tid}
 	return fs.Run(transfers)
 }
 
@@ -125,14 +144,22 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 	}
 	results := make(map[string]TransferResult, len(ord))
 
+	runSpan := fs.tr.StartSpanOn(fs.tid, "fluid-run", "fluid",
+		telemetry.Int("transfers", len(ord)))
+	defer runSpan.End()
+
 	var now float64 // seconds
 	var totalBits float64
 	var timeline Timeline
 	activeCount := len(ord)
 	first := true
+	phaseIdx := 0
 	for activeCount > 0 {
+		phaseSpan := runSpan.StartSpan("fluid-phase", "fluid",
+			telemetry.Int("phase", phaseIdx), telemetry.Int("active", activeCount))
 		ia, err := s.SolveIndexed()
 		if err != nil {
+			phaseSpan.End()
 			return nil, err
 		}
 
@@ -149,6 +176,7 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 			r := float64(ia.Rate(k))
 			k++
 			if r <= 0 {
+				phaseSpan.End()
 				return nil, fmt.Errorf("simhost: transfer %q starved (zero rate)", ord[i].ID)
 			}
 			rate[i] = r
@@ -196,6 +224,9 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 			}
 		}
 		timeline.Phases = append(timeline.Phases, phase)
+		phaseSpan.SetAttr(telemetry.Int("completed", len(phase.Completed)))
+		phaseSpan.End()
+		phaseIdx++
 		now += dt
 		first = false
 	}

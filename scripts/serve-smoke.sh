@@ -99,6 +99,38 @@ grep -q 'numaiod_stale_models 0' "$workdir/metrics.txt" \
     || fail "metrics missing staleness gauge"
 grep -q 'numaiod_breaker_open 0' "$workdir/metrics.txt" \
     || fail "metrics missing breaker gauge"
+# Additive telemetry series (rendered after the historical block; the
+# pre-existing names above must keep matching unchanged).
+grep -q 'numaiod_solver_solves_total' "$workdir/metrics.txt" \
+    || fail "metrics missing solver counter"
+grep -q 'numaiod_solver_pool_hits_total' "$workdir/metrics.txt" \
+    || fail "metrics missing solver pool counter"
+grep -q 'numaiod_measure_workers_busy' "$workdir/metrics.txt" \
+    || fail "metrics missing worker occupancy gauge"
+grep -q 'numaiod_trace_active 0' "$workdir/metrics.txt" \
+    || fail "metrics missing trace gauge"
+
+# Trace round-trip: start, run a fresh (uncached) characterization under
+# the recorder, stop, download, and check the recording is a non-empty
+# Chrome trace that captured the measurement spans.
+echo "serve-smoke: /debug/trace round-trip"
+curl -fsS -o "$workdir/resp" -X POST "$base/debug/trace/start"
+grep -q '"tracing": true' "$workdir/resp" || fail "trace start not acknowledged"
+curl -fsS "$base/metrics" | grep -q 'numaiod_trace_active 1' \
+    || fail "trace gauge did not flip on"
+char2='{"machine": "intel-4s4n", "config": {"repeats": 2, "sigma": -1}}'
+curl -fsS -o "$workdir/resp" -X POST -d "$char2" "$base/v1/characterize"
+grep -q '"cached": false' "$workdir/resp" || fail "traced characterize unexpectedly cached"
+curl -fsS -o "$workdir/resp" -X POST "$base/debug/trace/stop"
+grep -Eq '"events": [1-9]' "$workdir/resp" || fail "trace stop reported no events"
+curl -fsS -o "$workdir/trace.json" "$base/debug/trace"
+[ -s "$workdir/trace.json" ] || fail "downloaded trace is empty"
+grep -q '"displayTimeUnit":"ms"' "$workdir/trace.json" || fail "trace is not Chrome trace-event JSON"
+grep -q '"cat":"measure"' "$workdir/trace.json" || fail "trace has no measurement spans"
+grep -q '"cat":"http"' "$workdir/trace.json" || fail "trace has no request spans"
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$workdir/trace.json" >/dev/null || fail "trace is not valid JSON"
+fi
 
 echo "serve-smoke: sending SIGTERM"
 kill -TERM "$pid"
