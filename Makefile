@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-check bench-paper experiments examples serve-smoke trace-demo clean
+.PHONY: all build vet lint test race cover bench bench-check bench-paper experiments examples serve-smoke fleet-smoke trace-demo clean
 
 all: build vet test
 
@@ -60,6 +60,12 @@ examples:
 # Boot numaiod on an ephemeral port, curl the API, SIGTERM, verify drain.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# Boot 3 numaiod replicas behind a numaiogw gateway, exercise sharded
+# routing, fleet placement and hot-model replication, kill the owning
+# replica and verify degraded serving, then drain (docs/FLEET.md).
+fleet-smoke:
+	sh scripts/fleet-smoke.sh
 
 # Record a whole-host characterization as Chrome trace-event JSON and print
 # the per-stage breakdown; open trace-demo.json in https://ui.perfetto.dev

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"numaio/internal/cli"
+	"numaio/internal/service"
+)
+
+// Exit-code contract (internal/cli): 0 success or -h, 1 runtime failure,
+// 2 usage error.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"unexpected positional", []string{"positional"}, 2},
+		{"no membership", nil, 2},
+		{"config and replicas", []string{"-config", "x.json", "-replicas", "http://127.0.0.1:1"}, 2},
+		{"bad breaker threshold", []string{"-replicas", "http://127.0.0.1:1", "-breaker-threshold", "0"}, 2},
+		{"missing config file", []string{"-config", "/definitely/not/a/file.json"}, 1},
+		{"unusable address", []string{"-replicas", "http://127.0.0.1:1", "-addr", "256.256.256.256:0"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, io.Discard)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Errorf("args %v: exit code %d (err: %v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestFleetConfigFromFlags checks the -replicas spelling and flag
+// overrides of config-file values.
+func TestFleetConfigFromFlags(t *testing.T) {
+	cfg, err := fleetConfig("", "http://a:1, http://b:2/", 7, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Replicas) != 2 || cfg.Replicas[0].Name != "r0" || cfg.Replicas[1].URL != "http://b:2" {
+		t.Errorf("replicas = %+v", cfg.Replicas)
+	}
+	if cfg.VNodes != 7 || cfg.Replication != 2 || cfg.HotThreshold != 3 {
+		t.Errorf("tuning = %+v", cfg)
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fleet.json")
+	file := `{"replicas": [{"name": "alpha", "url": "http://a:1"}], "vnodes": 16}`
+	if err := os.WriteFile(path, []byte(file), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err = fleetConfig(path, "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.VNodes != 16 || cfg.Replicas[0].Name != "alpha" {
+		t.Errorf("file config = %+v", cfg)
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeAndGracefulShutdown boots a real replica (in-process numaiod
+// handler) plus the gateway binary's run(), exercises a routed predict and
+// the fleet endpoints through the gateway, then cancels the signal context
+// and verifies a clean shutdown.
+func TestServeAndGracefulShutdown(t *testing.T) {
+	svc := service.New(service.Config{Workers: 2})
+	replica := httptest.NewServer(svc.Handler())
+	defer replica.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-quiet",
+			"-replicas", replica.URL,
+			"-health-interval", "100ms",
+		}, &out)
+	}()
+
+	var base string
+	deadline := time.Now().Add(10 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway never announced its address; output: %q", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				base = strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	predict := `{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1},
+	             "target": 0, "mode": "write", "mix": {"0": 0.5, "2": 0.5}}`
+	resp, err = http.Post(base+"/v1/predict", "application/json", strings.NewReader(predict))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict through gateway = %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("gateway response carries no request ID")
+	}
+
+	place := `{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1}, "target": 0}`
+	resp, err = http.Post(base+"/v1/fleet/place", "application/json", strings.NewReader(place))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var placed struct {
+		Host string `json:"host"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&placed); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || placed.Host != "r0" {
+		t.Fatalf("fleet place = %d host %q", resp.StatusCode, placed.Host)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"numaiogw_replicas 1",
+		"numaiogw_routed_total 1",
+		"numaiogw_fleet_place_total 1",
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("gateway did not shut down after context cancellation")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("no drain confirmation in output: %q", out.String())
+	}
+}

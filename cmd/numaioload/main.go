@@ -1,16 +1,22 @@
 // Command numaioload is the serving-path load harness: it drives a running
-// numaiod's /v1/predict or /v1/place endpoint at a configurable
-// concurrency and reports RPS plus p50/p95/p99 latency from an HDR-style
-// histogram (internal/loadgen). One warm-up request runs first so the
-// measured window never includes the initial characterization.
+// numaiod's /v1/predict or /v1/place endpoint — or a numaiogw gateway's
+// /v1/fleet/place — at a configurable concurrency and reports RPS plus
+// p50/p95/p99 latency from an HDR-style histogram (internal/loadgen). One
+// warm-up request runs first against every target so the measured window
+// never includes the initial characterization.
 //
 // Usage:
 //
-//	numaioload -url http://host:port [-endpoint predict|place]
+//	numaioload -addr http://host:port [-addr http://host2:port]
+//	           [-endpoint predict|place|fleet-place]
 //	           [-machine name] [-target n] [-mode write|read]
 //	           [-mix "0:0.5,2:0.5"] [-tasks n] [-repeats n] [-sigma s]
 //	           [-concurrency n] [-duration d] [-requests n] [-timeout d]
 //	           [-hist-dump hist.json] [-trace trace.json] [-stage-report]
+//
+// -addr may repeat (or take a comma-separated list); requests round-robin
+// across the targets, so a fleet of daemons — or several gateways — can be
+// driven from one harness. -url remains as a single-target synonym.
 //
 // -hist-dump writes the raw measured-window latency histogram (bucket
 // uppers and counts, nanoseconds) as JSON for offline analysis. -trace
@@ -31,6 +37,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"numaio/internal/cli"
@@ -62,6 +69,21 @@ func parseMix(s string) (map[string]float64, error) {
 	return mix, nil
 }
 
+// endpointPath maps the -endpoint kind to its URL path. fleet-place is
+// served by the numaiogw gateway, the other two by numaiod (or a gateway
+// proxying for one).
+func endpointPath(endpoint string) (string, error) {
+	switch endpoint {
+	case "predict":
+		return "/v1/predict", nil
+	case "place":
+		return "/v1/place", nil
+	case "fleet-place":
+		return "/v1/fleet/place", nil
+	}
+	return "", fmt.Errorf("endpoint must be predict, place or fleet-place, got %q", endpoint)
+}
+
 // buildBody assembles the request body for the chosen endpoint.
 func buildBody(endpoint, machine string, target int, mode string, mix map[string]float64, tasks, repeats int, sigma float64) ([]byte, error) {
 	config := map[string]any{"repeats": repeats, "sigma": sigma}
@@ -70,18 +92,27 @@ func buildBody(endpoint, machine string, target int, mode string, mix map[string
 	case "predict":
 		body["mode"] = mode
 		body["mix"] = mix
-	case "place":
+	case "place", "fleet-place":
 		body["tasks"] = tasks
 	default:
-		return nil, fmt.Errorf("endpoint must be predict or place, got %q", endpoint)
+		return nil, fmt.Errorf("endpoint must be predict, place or fleet-place, got %q", endpoint)
 	}
 	return json.Marshal(body)
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("numaioload", flag.ContinueOnError)
-	url := fs.String("url", "", "base URL of a running numaiod (required, e.g. http://127.0.0.1:8080)")
-	endpoint := fs.String("endpoint", "predict", "endpoint to drive: predict or place")
+	url := fs.String("url", "", "base URL of a running numaiod (single-target synonym for -addr)")
+	var addrs []string
+	fs.Func("addr", "target base URL; repeat or comma-separate for round-robin across a fleet", func(v string) error {
+		for _, a := range strings.Split(v, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, strings.TrimRight(a, "/"))
+			}
+		}
+		return nil
+	})
+	endpoint := fs.String("endpoint", "predict", "endpoint to drive: predict, place or fleet-place")
 	machine := fs.String("machine", "dl585g7", "machine profile the requests name")
 	target := fs.Int("target", 7, "target node for predictions/placements")
 	mode := fs.String("mode", "write", "prediction mode: write or read")
@@ -102,8 +133,11 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return cli.Usagef("unexpected arguments: %v", fs.Args())
 	}
-	if *url == "" {
-		return cli.Usagef("-url is required")
+	if *url != "" {
+		addrs = append([]string{strings.TrimRight(*url, "/")}, addrs...)
+	}
+	if len(addrs) == 0 {
+		return cli.Usagef("at least one -addr (or -url) is required")
 	}
 	if *concurrency < 1 {
 		return cli.Usagef("-concurrency must be at least 1, got %d", *concurrency)
@@ -119,11 +153,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return cli.Usagef("%v", err)
 	}
-	path := *url + "/v1/" + *endpoint
+	path, err := endpointPath(*endpoint)
+	if err != nil {
+		return cli.Usagef("%v", err)
+	}
 
 	client := &http.Client{Timeout: *timeout}
-	post := func() (int, string, error) {
-		resp, err := client.Post(path, "application/json", bytes.NewReader(body))
+	postTo := func(base string) (int, string, error) {
+		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
 		if err != nil {
 			return 0, "", err
 		}
@@ -131,15 +168,22 @@ func run(args []string, out io.Writer) error {
 		b, _ := io.ReadAll(resp.Body)
 		return resp.StatusCode, string(b), nil
 	}
-
-	// Warm-up: characterize once outside the measured window, and fail fast
-	// on an unreachable daemon or a rejected request shape.
-	status, respBody, err := post()
-	if err != nil {
-		return fmt.Errorf("warm-up request: %w", err)
+	// Round-robin across the targets so load spreads over a fleet.
+	var next atomic.Uint64
+	post := func() (int, string, error) {
+		return postTo(addrs[(next.Add(1)-1)%uint64(len(addrs))])
 	}
-	if status != http.StatusOK {
-		return fmt.Errorf("warm-up request: %d %s", status, strings.TrimSpace(respBody))
+
+	// Warm-up: characterize once per target outside the measured window,
+	// and fail fast on an unreachable daemon or a rejected request shape.
+	for _, base := range addrs {
+		status, respBody, err := postTo(base)
+		if err != nil {
+			return fmt.Errorf("warm-up request to %s: %w", base, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("warm-up request to %s: %d %s", base, status, strings.TrimSpace(respBody))
+		}
 	}
 
 	tr := trace.Tracer()
@@ -149,7 +193,7 @@ func run(args []string, out io.Writer) error {
 		Requests:    *requests,
 		Duration:    *duration,
 		Do: func() error {
-			span := tr.StartSpan("/v1/"+*endpoint, "request")
+			span := tr.StartSpan(path, "request")
 			st, _, err := post()
 			span.SetAttr(telemetry.Int("status", st))
 			span.End()
@@ -180,8 +224,8 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
-	fmt.Fprintf(out, "numaioload: endpoint=/v1/%s machine=%s concurrency=%d duration=%s\n",
-		*endpoint, *machine, *concurrency, res.Duration.Round(time.Millisecond))
+	fmt.Fprintf(out, "numaioload: endpoint=%s targets=%d machine=%s concurrency=%d duration=%s\n",
+		path, len(addrs), *machine, *concurrency, res.Duration.Round(time.Millisecond))
 	fmt.Fprintf(out, "requests %d errors %d rps %.1f\n", res.Requests, res.Errors, res.RPS)
 	fmt.Fprintf(out, "latency p50 %s p95 %s p99 %s max %s\n",
 		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),

@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
+	"numaio/internal/cli"
 	"numaio/internal/service"
 )
 
@@ -94,5 +98,88 @@ func TestParseMix(t *testing.T) {
 		if _, err := parseMix(bad); err == nil {
 			t.Errorf("parseMix(%q) should fail", bad)
 		}
+	}
+}
+
+// TestLoadRoundRobin: with two -addr targets the closed loop alternates
+// between them, and both get a warm-up.
+func TestLoadRoundRobin(t *testing.T) {
+	a, b := testDaemon(t), testDaemon(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", a.URL, "-addr", b.URL + "/",
+		"-machine", "intel-4s4n", "-target", "3", "-mix", "0:0.5,3:0.5",
+		"-concurrency", "2", "-requests", "40", "-duration", "0s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "targets=2") {
+		t.Errorf("report missing target count:\n%s", out.String())
+	}
+	// 40 measured + 2 warm-ups, alternating: each daemon sees ~half.
+	// Exactness matters — round-robin, not random spray.
+	// (Warm-ups go one to each, measured requests alternate from a.)
+	// We only assert both served a nontrivial share to stay robust to
+	// worker scheduling.
+	// Request counts come from each daemon's own metrics.
+	countOf := func(ts *httptest.Server) int64 {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		m := regexp.MustCompile(`numaiod_requests_total\{endpoint="/v1/predict",status="200"\} (\d+)`).FindSubmatch(body)
+		if m == nil {
+			t.Fatalf("no predict counter in metrics:\n%s", body)
+		}
+		n, _ := strconv.ParseInt(string(m[1]), 10, 64)
+		return n
+	}
+	na, nb := countOf(a), countOf(b)
+	if na+nb != 42 {
+		t.Errorf("total requests = %d + %d, want 42 (40 measured + 2 warm-ups)", na, nb)
+	}
+	if na != 21 || nb != 21 {
+		t.Errorf("split = %d/%d, want 21/21 round-robin", na, nb)
+	}
+}
+
+// TestLoadFleetPlace drives a numaiogw-style /v1/fleet/place endpoint (a
+// stub here — the real gateway is exercised in cmd/numaiogw tests).
+func TestLoadFleetPlace(t *testing.T) {
+	var hits atomic.Int64
+	gw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/fleet/place" {
+			t.Errorf("fleet-place hit %s", r.URL.Path)
+		}
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"host": "r0", "node": 3, "predicted_bps": 1e9}`))
+	}))
+	defer gw.Close()
+	var out bytes.Buffer
+	err := run([]string{
+		"-addr", gw.URL, "-endpoint", "fleet-place",
+		"-machine", "intel-4s4n", "-target", "3", "-tasks", "4",
+		"-concurrency", "2", "-requests", "20", "-duration", "0s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "endpoint=/v1/fleet/place") {
+		t.Errorf("report missing endpoint banner:\n%s", out.String())
+	}
+	if hits.Load() != 21 {
+		t.Errorf("gateway stub saw %d requests, want 21", hits.Load())
+	}
+}
+
+// TestNoTargetIsUsageError: no -addr and no -url is exit code 2.
+func TestNoTargetIsUsageError(t *testing.T) {
+	err := run([]string{"-requests", "1"}, io.Discard)
+	if cli.ExitCode(err) != 2 {
+		t.Errorf("no target: exit %d (err %v), want 2", cli.ExitCode(err), err)
 	}
 }

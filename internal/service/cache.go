@@ -147,6 +147,15 @@ func (c *ModelCache) GetOrCompute(key string, compute func() (*core.MachineModel
 	return f.model, false, f.err
 }
 
+// Install places an externally supplied model into the cache under key —
+// the fleet replication hook. It behaves exactly like a computed entry:
+// TTL applies from now and LRU pressure can evict it.
+func (c *ModelCache) Install(key string, mm *core.MachineModel) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.put(key, mm)
+}
+
 // FindByFingerprint returns the most recently used unexpired entry whose
 // model carries the given topology fingerprint, regardless of the
 // characterization options in its key — the GET /v1/models lookup.

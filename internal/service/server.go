@@ -104,6 +104,10 @@ type Config struct {
 	// cooldowns; nil means the system clock. Tests inject fakes so
 	// resilience paths run without real sleeps.
 	Clock resilience.Clock
+
+	// PullClient performs outbound model fetches for the replication pull
+	// hook (POST /v1/models/pull); nil means a 30s-timeout client.
+	PullClient *http.Client
 }
 
 // Server is the daemon state: cache, worker pool, job registry, metrics
@@ -120,6 +124,11 @@ type Server struct {
 	mux          *http.ServeMux
 	characterize CharacterizeFunc
 	parallelism  int
+	pullClient   *http.Client
+
+	// installs counts models installed by the fleet replication hooks
+	// (push or pull) — the numaiod_models_installed_total series.
+	installs telemetry.Counter
 
 	// activeTracer is the /debug/trace recording in progress (nil when
 	// tracing is off); lastTrace retains the most recently stopped one so
@@ -171,6 +180,10 @@ func New(cfg Config) *Server {
 	if cooldown == 0 {
 		cooldown = 30 * time.Second
 	}
+	pullClient := cfg.PullClient
+	if pullClient == nil {
+		pullClient = &http.Client{Timeout: 30 * time.Second}
+	}
 	s := &Server{
 		log:          logger,
 		cache:        NewModelCache(cfg.CacheEntries, ttl),
@@ -182,6 +195,7 @@ func New(cfg Config) *Server {
 		mux:          http.NewServeMux(),
 		characterize: ch,
 		parallelism:  parallelism,
+		pullClient:   pullClient,
 
 		requestTimeout:   cfg.RequestTimeout,
 		retry:            resilience.RetryPolicy{MaxRetries: cfg.Retries, Base: backoff},
@@ -218,6 +232,9 @@ func newExtraRegistry(s *Server) *telemetry.Registry {
 	r.IntCounterFunc("numaiod_solver_pool_misses_total",
 		"AcquireSolver calls that constructed a fresh solver.",
 		func() int64 { return fabric.ReadStats().PoolNews })
+	r.IntCounterFunc("numaiod_models_installed_total",
+		"Models installed by the fleet replication hooks (push or pull).",
+		s.installs.Value)
 	r.IntGaugeFunc("numaiod_measure_workers_busy",
 		"Measurement workers currently executing a characterization cell.",
 		core.ActiveMeasureWorkers)
@@ -246,6 +263,8 @@ func (s *Server) routes() {
 	s.handle("GET /metrics", "/metrics", s.handleMetrics)
 	s.handle("POST /v1/characterize", "/v1/characterize", s.handleCharacterize)
 	s.handle("GET /v1/models/{fingerprint}", "/v1/models", s.handleModel)
+	s.handle("PUT /v1/models/{fingerprint}", "/v1/models", s.handleModelInstall)
+	s.handle("POST /v1/models/pull", "/v1/models/pull", s.handleModelPull)
 	s.handle("GET /v1/jobs/{id}", "/v1/jobs", s.handleJob)
 	s.handle("POST /v1/predict", "/v1/predict", s.handlePredict)
 	s.handle("POST /v1/predict/batch", "/v1/predict/batch", s.handlePredictBatch)
@@ -264,6 +283,13 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		// A request ID arriving from the gateway (or any client) is echoed
+		// on the response and joined to the request log, so one forwarded
+		// request is traceable across hops.
+		rid := r.Header.Get("X-Request-Id")
+		if rid != "" {
+			w.Header().Set("X-Request-Id", rid)
+		}
 		if s.requestTimeout > 0 {
 			ctx, cancel := resilience.ContextWithTimeout(r.Context(), s.clock, s.requestTimeout)
 			defer cancel()
@@ -282,13 +308,18 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 			span.End()
 		}
 		s.metrics.ObserveRequest(endpoint, rec.status)
-		s.log.Info("request",
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
 			"duration", time.Since(start),
 			"bytes", rec.bytes,
-			"remote", r.RemoteAddr)
+			"remote", r.RemoteAddr,
+		}
+		if rid != "" {
+			attrs = append(attrs, "request_id", rid)
+		}
+		s.log.Info("request", attrs...)
 	})
 }
 

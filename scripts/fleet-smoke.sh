@@ -1,0 +1,186 @@
+#!/bin/sh
+# fleet-smoke: boot three numaiod replicas behind a numaiogw gateway,
+# exercise sharded routing, fleet-wide placement, hot-model replication
+# and request-ID traceability, then kill the replica that owns the test
+# fingerprint and prove the fleet keeps serving — degraded, with the
+# breaker metrics showing it. Finally drain the gateway with SIGTERM.
+#
+# FLEET_SMOKE_BASE_PORT pins replica ports to base..base+2 and the gateway
+# to base+3; unset (the default) every process takes a kernel-assigned
+# ephemeral port, so this smoke never collides with serve-smoke.sh or a
+# developer's running daemon.
+set -eu
+
+GO=${GO:-go}
+base_port=${FLEET_SMOKE_BASE_PORT:-}
+pids=""
+workdir=$(mktemp -d)
+
+cleanup() {
+    for p in $pids; do
+        kill "$p" 2>/dev/null || true
+    done
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+trap 'exit 129' INT
+trap 'exit 143' TERM
+
+fail() {
+    echo "fleet-smoke: $1" >&2
+    for f in "$workdir"/*.err.log; do
+        [ -f "$f" ] && { echo "--- $f" >&2; tail -5 "$f" >&2; }
+    done
+    exit 1
+}
+
+# wait_banner LOGFILE -> prints the announced base URL, empty on timeout.
+wait_banner() {
+    b=""
+    for _ in $(seq 1 100); do
+        b=$(sed -n 's/^listening on //p' "$1" | head -n 1)
+        [ -n "$b" ] && break
+        sleep 0.1
+    done
+    echo "$b"
+}
+
+# wait_metric URL PATTERN -> succeeds once PATTERN appears in /metrics.
+wait_metric() {
+    for _ in $(seq 1 100); do
+        if curl -fsS "$1/metrics" 2>/dev/null | grep -Eq "$2"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+echo "fleet-smoke: building numaiod, numaiogw and numaioload"
+"$GO" build -o "$workdir/numaiod" ./cmd/numaiod
+"$GO" build -o "$workdir/numaiogw" ./cmd/numaiogw
+"$GO" build -o "$workdir/numaioload" ./cmd/numaioload
+
+# Three replicas. Without a base port each takes :0 and announces what it
+# got; request logs stay on so request-ID traceability can be grepped.
+for i in 0 1 2; do
+    if [ -n "$base_port" ]; then
+        addr="127.0.0.1:$((base_port + i))"
+    else
+        addr="127.0.0.1:0"
+    fi
+    "$workdir/numaiod" -addr "$addr" \
+        >"$workdir/r$i.out.log" 2>"$workdir/r$i.err.log" &
+    pids="$pids $!"
+    eval "pid_r$i=$!"
+done
+
+for i in 0 1 2; do
+    url=$(wait_banner "$workdir/r$i.out.log")
+    [ -n "$url" ] || fail "replica r$i never announced its address"
+    eval "url_r$i=$url"
+done
+echo "fleet-smoke: replicas at $url_r0 $url_r1 $url_r2"
+
+cat >"$workdir/fleet.json" <<EOF
+{
+  "replicas": [
+    {"name": "r0", "url": "$url_r0"},
+    {"name": "r1", "url": "$url_r1"},
+    {"name": "r2", "url": "$url_r2"}
+  ],
+  "replication": 2,
+  "hot_threshold": 2
+}
+EOF
+
+if [ -n "$base_port" ]; then
+    gw_addr="127.0.0.1:$((base_port + 3))"
+else
+    gw_addr="127.0.0.1:0"
+fi
+"$workdir/numaiogw" -addr "$gw_addr" -config "$workdir/fleet.json" \
+    -health-interval 200ms \
+    >"$workdir/gw.out.log" 2>"$workdir/gw.err.log" &
+pids="$pids $!"
+gw_pid=$!
+
+gw=$(wait_banner "$workdir/gw.out.log")
+[ -n "$gw" ] || fail "gateway never announced its address"
+echo "fleet-smoke: gateway at $gw"
+
+curl -fsS -o "$workdir/resp" "$gw/healthz" || fail "gateway /healthz unreachable"
+grep -q '3/3' "$workdir/resp" || fail "gateway does not see 3/3 replicas: $(cat "$workdir/resp")"
+
+# Routed predict with a pinned request ID: lands on the ring owner, and
+# the ID must appear in the structured logs on BOTH hops.
+predict='{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1},
+          "target": 0, "mode": "write", "mix": {"0": 0.5, "2": 0.5}}'
+curl -fsS -o "$workdir/resp" -H 'X-Request-Id: smoke-rid-42' \
+    -X POST -d "$predict" "$gw/v1/predict" || fail "routed predict failed"
+grep -q '"predicted_bps"' "$workdir/resp" || fail "predict returned no prediction"
+
+curl -fsS "$gw/metrics" >"$workdir/metrics.txt"
+grep -q 'numaiogw_routed_total 1' "$workdir/metrics.txt" || fail "predict was not counted as routed"
+grep -q 'numaiogw_proxied_total 0' "$workdir/metrics.txt" || fail "healthy-fleet predict was proxied"
+grep -q 'request_id=smoke-rid-42' "$workdir/gw.err.log" || fail "gateway log missing request ID"
+grep -q 'request_id=smoke-rid-42' "$workdir"/r?.err.log || fail "replica logs missing propagated request ID"
+
+# The owner is whichever replica absorbed that forward.
+owner=$(sed -n 's/^numaiogw_forwards_total{replica="\(r[0-9]\)"} 1$/\1/p' "$workdir/metrics.txt" | head -n 1)
+[ -n "$owner" ] || fail "could not identify the ring owner from forward counters"
+echo "fleet-smoke: fingerprint owner is $owner"
+
+# Second identical predict crosses hot_threshold=2: the model replicates
+# to a ring peer so the fingerprint stays readable if the owner dies.
+curl -fsS -o /dev/null -X POST -d "$predict" "$gw/v1/predict" || fail "second predict failed"
+curl -fsS "$gw/metrics" | grep -q 'numaiogw_replication_pulls_total 1' \
+    || fail "hot model did not replicate after crossing the threshold"
+
+# Fleet-wide placement over all three replicas.
+place='{"machine": "intel-4s4n", "config": {"repeats": 1, "sigma": -1}, "target": 0}'
+curl -fsS -o "$workdir/resp" -X POST -d "$place" "$gw/v1/fleet/place" || fail "fleet place failed"
+grep -q '"host"' "$workdir/resp" || fail "fleet place returned no host"
+grep -q '"degraded": false' "$workdir/resp" || fail "healthy fleet place marked degraded"
+
+# Load through the gateway: every request must survive the extra hop.
+echo "fleet-smoke: numaioload against $gw"
+"$workdir/numaioload" -addr "$gw" -endpoint predict \
+    -machine intel-4s4n -target 0 -mix "0:0.5,2:0.5" \
+    -concurrency 2 -requests 40 >"$workdir/load.txt" || fail "numaioload run failed"
+cat "$workdir/load.txt"
+grep -q 'requests 40 errors 0' "$workdir/load.txt" || fail "numaioload lost requests through the gateway"
+
+# Kill the owner. The fleet must keep serving: the next predict proxies to
+# a ring successor, the health loop pulls the dead replica out, and the
+# breaker metrics record the degradation.
+echo "fleet-smoke: killing owner $owner"
+eval "kill \$pid_$owner"
+wait_metric "$gw" 'numaiogw_replicas_healthy 2' || fail "health loop never noticed the dead replica"
+
+curl -fsS -o "$workdir/resp" -X POST -d "$predict" "$gw/v1/predict" \
+    || fail "predict with dead owner failed — fleet did not degrade gracefully"
+grep -q '"predicted_bps"' "$workdir/resp" || fail "degraded predict returned no prediction"
+curl -fsS "$gw/metrics" >"$workdir/metrics.txt"
+grep -Eq 'numaiogw_proxied_total [1-9]' "$workdir/metrics.txt" || fail "degraded predict was not proxied"
+grep -q "numaiogw_replica_healthy{replica=\"$owner\"} 0" "$workdir/metrics.txt" \
+    || fail "dead replica still marked healthy"
+wait_metric "$gw" 'numaiogw_breaker_open 1' || fail "breaker never opened for the dead replica"
+
+curl -fsS -o "$workdir/resp" "$gw/healthz" || fail "gateway /healthz failed while degraded"
+grep -q '2/3' "$workdir/resp" || fail "gateway healthz does not report 2/3: $(cat "$workdir/resp")"
+
+curl -fsS -o "$workdir/resp" -X POST -d "$place" "$gw/v1/fleet/place" || fail "degraded fleet place failed"
+grep -q '"degraded": true' "$workdir/resp" || fail "fleet place did not report degradation"
+grep -q '"host"' "$workdir/resp" || fail "degraded fleet place returned no host"
+
+echo "fleet-smoke: sending SIGTERM to gateway"
+kill -TERM "$gw_pid"
+i=0
+while kill -0 "$gw_pid" 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "gateway did not exit after SIGTERM"
+    sleep 0.1
+done
+grep -q drained "$workdir/gw.out.log" || fail "gateway exited without draining"
+echo "fleet-smoke: ok"

@@ -7,9 +7,14 @@
 # directory are reclaimed on every exit path, including ^C and a CI
 # timeout's SIGTERM; both startup waits are bounded so a wedged daemon
 # fails the script instead of hanging it.
+#
+# SERVE_SMOKE_PORT overrides the listen port (default 0 = kernel-assigned
+# ephemeral), so this smoke and fleet-smoke.sh can run side by side — or be
+# pinned apart explicitly — without fixed-port collisions.
 set -eu
 
 GO=${GO:-go}
+port=${SERVE_SMOKE_PORT:-0}
 pid=""
 workdir=$(mktemp -d)
 
@@ -32,7 +37,7 @@ echo "serve-smoke: building numaiod and numaioload"
 "$GO" build -o "$workdir/numaiod" ./cmd/numaiod
 "$GO" build -o "$workdir/numaioload" ./cmd/numaioload
 
-"$workdir/numaiod" -addr 127.0.0.1:0 -quiet >"$workdir/out.log" 2>"$workdir/err.log" &
+"$workdir/numaiod" -addr "127.0.0.1:$port" -quiet >"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
 
 # Wait for the listen banner, bounded.
