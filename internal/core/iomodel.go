@@ -255,6 +255,16 @@ type Characterizer struct {
 	cfg   Config
 	inj   *faults.Injector
 	retry resilience.RetryPolicy
+
+	// Runner freelist. Building a runner is the expensive part of a sweep —
+	// resource table, fluid session, private host — so runners are pooled
+	// across sweeps and across CharacterizeAll calls instead of rebuilt per
+	// worker. Each runner owns a private numa.System over the shared machine:
+	// measured values never read host allocator state (memcpy buffer
+	// placement is explicit), and private hosts mean parallel workers never
+	// serialize on one allocator mutex.
+	mu   sync.Mutex
+	idle []*fio.Runner
 }
 
 // NewCharacterizer returns a characterizer for the system.
@@ -289,16 +299,39 @@ func NewCharacterizer(sys *numa.System, cfg Config) (*Characterizer, error) {
 	return c, nil
 }
 
-// newRunner builds one measurement runner (one per worker), configured
-// with the sweep's noise, fault plan and trace track.
-func (c *Characterizer) newRunner(tid int) (*fio.Runner, error) {
-	runner := fio.NewRunner(c.sys)
+// getRunner pops a pooled measurement runner (or builds one on a pool
+// miss), rebound to the given trace track. Return it with putRunner.
+func (c *Characterizer) getRunner(tid int) (*fio.Runner, error) {
+	c.mu.Lock()
+	if n := len(c.idle); n > 0 {
+		runner := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		runner.Tracer, runner.TraceTID = c.cfg.Tracer, tid
+		return runner, nil
+	}
+	c.mu.Unlock()
+	sys, err := numa.NewSystem(c.sys.Machine())
+	if err != nil {
+		return nil, err
+	}
+	runner := fio.NewRunner(sys)
 	runner.Sigma = c.cfg.Sigma
+	// The sweep reads only Report.Aggregate; skip the per-phase timeline.
+	runner.LeanTimeline = true
 	if err := runner.SetFaults(c.inj); err != nil {
 		return nil, err
 	}
 	runner.Tracer, runner.TraceTID = c.cfg.Tracer, tid
 	return runner, nil
+}
+
+// putRunner parks a runner for reuse by later cells and sweeps.
+func (c *Characterizer) putRunner(runner *fio.Runner) {
+	runner.Tracer = nil
+	c.mu.Lock()
+	c.idle = append(c.idle, runner)
+	c.mu.Unlock()
 }
 
 // workers clamps the configured parallelism to the number of independent
@@ -326,9 +359,15 @@ func (c *Characterizer) Characterize(target topology.NodeID, mode Mode) (*Model,
 // passes 1 so that fanning out over (target, mode) pairs does not multiply
 // the pool width, and gives each sweep its worker's track.
 func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget, tid int) (*Model, error) {
-	sweep := c.cfg.Tracer.StartSpanOn(tid,
-		fmt.Sprintf("characterize t%d %v", int(target), mode), "characterize",
-		telemetry.Int("target", int(target)), telemetry.String("mode", mode.String()))
+	// Span construction (name formatting, attr slice) is skipped outright
+	// without a tracer — this sits on the sweep's hot path. All span methods
+	// are nil-safe, so the untraced flow below is unchanged.
+	var sweep *telemetry.Span
+	if c.cfg.Tracer != nil {
+		sweep = c.cfg.Tracer.StartSpanOn(tid,
+			fmt.Sprintf("characterize t%d %v", int(target), mode), "characterize",
+			telemetry.Int("target", int(target)), telemetry.String("mode", mode.String()))
+	}
 	defer sweep.End()
 
 	m := c.sys.Machine()
@@ -413,10 +452,11 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 	var sum cellStats
 
 	if workers <= 1 {
-		runner, err := c.newRunner(tid)
+		runner, err := c.getRunner(tid)
 		if err != nil {
 			return nil, sum, err
 		}
+		defer c.putRunner(runner)
 		for i, n := range nodes {
 			for rep := 0; rep < reps; rep++ {
 				activeWorkers.Add(1)
@@ -443,7 +483,7 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 		wg.Add(1)
 		go func(wtid int) {
 			defer wg.Done()
-			runner, err := c.newRunner(wtid)
+			runner, err := c.getRunner(wtid)
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -455,6 +495,7 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 				}
 				return
 			}
+			defer c.putRunner(runner)
 			for idx := range cells {
 				i, rep := idx/reps, idx%reps
 				// Worker-pool occupancy, sampled onto the trace as a counter
@@ -505,10 +546,13 @@ func retryable(err error) bool {
 // fault and jitter draws. The returned stats are a pure function of the
 // cell and the fault-plan seed.
 func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep, tid int) (float64, cellStats, error) {
-	cell := c.cfg.Tracer.StartSpanOn(tid,
-		fmt.Sprintf("measure n%d r%d", int(n), rep), "measure",
-		telemetry.Int("target", int(target)), telemetry.String("mode", mode.String()),
-		telemetry.Int("node", int(n)), telemetry.Int("repeat", rep))
+	var cell *telemetry.Span
+	if c.cfg.Tracer != nil {
+		cell = c.cfg.Tracer.StartSpanOn(tid,
+			fmt.Sprintf("measure n%d r%d", int(n), rep), "measure",
+			telemetry.Int("target", int(target)), telemetry.String("mode", mode.String()),
+			telemetry.Int("node", int(n)), telemetry.Int("repeat", rep))
+	}
 	var st cellStats
 	maxAttempts := c.cfg.MaxRetries + 1
 	if maxAttempts < 1 {

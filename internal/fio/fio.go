@@ -17,6 +17,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"numaio/internal/device"
 	"numaio/internal/fabric"
@@ -130,6 +131,11 @@ type Runner struct {
 	// shapes no results.
 	Tracer   *telemetry.Tracer
 	TraceTID int
+	// LeanTimeline skips recording the Report.Timeline for device-free
+	// (memcpy) runs. Bandwidths, durations and latencies are unchanged; the
+	// characterization sweep turns this on because it only reads aggregates
+	// and the per-phase maps dominate a run's allocations.
+	LeanTimeline bool
 
 	// baseRes is the machine + per-node core resource table, invariant
 	// across runs (capacity-clamped so appends cannot alias it).
@@ -246,7 +252,7 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
 			}
 		}
 		for k := 0; k < j.NumJobs; k++ {
-			in := &instance{job: j, idx: k, id: fmt.Sprintf("%s/%d", j.Name, k)}
+			in := &instance{job: j, idx: k, id: j.Name + "/" + strconv.Itoa(k)}
 			switch j.Engine {
 			case device.EngineMemcpy:
 				if j.SrcNode == nil || j.DstNode == nil {
@@ -303,6 +309,7 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
 			}
 		}
 		r.memSession.SetTracer(r.Tracer, r.TraceTID)
+		r.memSession.SetLeanTimeline(r.LeanTimeline)
 		fluid, err = r.memSession.Run(transfers)
 	}
 	if err != nil {
@@ -312,8 +319,10 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
 	rep := &Report{PerJob: make(map[string]units.Bandwidth), Timeline: fluid.Timeline}
 	for _, in := range insts {
 		res := fluid.Transfers[in.id]
+		// Concatenation, byte-identical to the "%s/%s/%s/n%d" format this key
+		// has always used — same draws, no Sprintf on the sweep's hot path.
 		jitter := simhost.Jitter(
-			fmt.Sprintf("%s/%s/%s/n%d", m.Name, in.job.Engine, in.id, in.job.Node),
+			m.Name+"/"+in.job.Engine+"/"+in.id+"/n"+strconv.Itoa(int(in.job.Node)),
 			r.effectiveSigma(in.job))
 		if r.faults != nil {
 			// Outliers and extra noise, keyed per job: every instance of a

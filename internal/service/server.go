@@ -226,6 +226,12 @@ func newExtraRegistry(s *Server) *telemetry.Registry {
 	r.IntCounterFunc("numaiod_solver_resets_total",
 		"Solver flow-set resets (fluid-session reuse between runs).",
 		func() int64 { return fabric.ReadStats().Resets })
+	r.IntCounterFunc("numaiod_solver_incremental_total",
+		"Solver passes served from converged state (dirty components only).",
+		func() int64 { return fabric.ReadStats().IncrementalSolves })
+	r.IntCounterFunc("numaiod_solver_full_total",
+		"Solver passes that re-leveled every flow from scratch.",
+		func() int64 { return fabric.ReadStats().FullSolves })
 	r.IntCounterFunc("numaiod_solver_pool_hits_total",
 		"AcquireSolver calls served from the solver pool.",
 		func() int64 { return fabric.ReadStats().PoolHits() })

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"numaio/internal/fabric"
 	"numaio/internal/telemetry"
@@ -39,18 +40,20 @@ type SessionResult struct {
 	AggregateBandwidth units.Bandwidth
 	// SteadyAggregate is the sum of initial (all-active) rates, the number
 	// a long-running benchmark such as fio converges to when all jobs move
-	// the same amount of data.
+	// the same amount of data. It is accumulated in ascending transfer-ID
+	// order, so the float sum is deterministic.
 	SteadyAggregate units.Bandwidth
 	// Timeline records every constant-rate phase of the run, including
 	// per-resource utilization — the observability layer for contention
-	// analysis.
+	// analysis. Empty when the session runs lean (SetLeanTimeline).
 	Timeline Timeline
 }
 
 // FluidSession runs fluid sessions over a fixed resource set, reusing one
-// solver (and its registered resource table) across runs. Callers with a
-// stable fabric — the fio runner re-solving the same machine for every
-// measurement cell — avoid re-registering every resource per run. A
+// solver (and its registered resource table) across runs plus the per-run
+// bookkeeping buffers, so steady-state runs stay off the allocator. Callers
+// with a stable fabric — the fio runner re-solving the same machine for
+// every measurement cell — avoid re-registering every resource per run. A
 // FluidSession is not safe for concurrent use.
 type FluidSession struct {
 	s *fabric.Solver
@@ -60,6 +63,32 @@ type FluidSession struct {
 	// measurement cell that triggered it. Tracing shapes no results.
 	tr  *telemetry.Tracer
 	tid int
+
+	// lean skips the phase-by-phase Timeline (its maps dominate the cost of
+	// a run); rates, durations and aggregates are unaffected. The
+	// characterization sweep, which only reads aggregates, runs lean.
+	lean bool
+
+	// resSnap records the resource table registered into s by RunFluidTraced,
+	// so a pooled session whose next caller passes the same table (ID and
+	// capacity, compared cheaply — the IDs are interned) skips re-registering
+	// all of it. Empty for sessions built via NewFluidSession.
+	resSnap []fabric.Resource
+
+	// Per-run scratch, reused across Run calls.
+	ord       []Transfer
+	remaining []float64 // bits left per ord index
+	rate      []float64 // per-phase rate per ord index
+	done      []bool
+	results   []TransferResult // per ord index
+	dropIdx   []int32          // per-phase completed flow indices
+
+	// raw snapshots the caller's transfer slice (input order) from the last
+	// run that built the solver's flow table. When the next run passes an
+	// identical slice — the repeat pattern of every measurement loop — Run
+	// skips validation, sorting and flow registration entirely and restores
+	// the solver's checkpointed table instead.
+	raw []Transfer
 }
 
 // SetTracer attaches (or, with nil, detaches) a tracer; phase spans land
@@ -67,6 +96,10 @@ type FluidSession struct {
 func (fs *FluidSession) SetTracer(tr *telemetry.Tracer, tid int) {
 	fs.tr, fs.tid = tr, tid
 }
+
+// SetLeanTimeline toggles lean mode: when on, Run skips recording the
+// phase-by-phase Timeline. All other results are identical.
+func (fs *FluidSession) SetLeanTimeline(lean bool) { fs.lean = lean }
 
 // NewFluidSession registers the resources once and returns the reusable
 // session.
@@ -80,14 +113,20 @@ func NewFluidSession(resources []fabric.Resource) (*FluidSession, error) {
 	return &FluidSession{s: s}, nil
 }
 
+// sessionPool recycles the one-shot sessions behind RunFluid, keeping their
+// scratch buffers (the solver itself comes from the fabric pool).
+var sessionPool = sync.Pool{New: func() any { return &FluidSession{} }}
+
 // RunFluid advances the given transfers through a max-min fair fabric until
 // all complete, re-solving the allocation whenever a transfer finishes
 // (fluid-flow approximation of the real time-shared hardware).
 //
 // The solver is built once — resources registered and flows added in sorted
-// ID order — and completed flows are removed between phases. Ordered removal
-// keeps the remaining flows in sorted order, so every phase solves the exact
-// same problem (same float accumulation order) the per-phase rebuild did.
+// ID order — and completed flows are removed between phases; the solver
+// re-levels only the components those removals touched. Ordered removal
+// keeps the remaining flows in sorted order, so every phase solves the
+// exact same problem (same float accumulation order) a per-phase rebuild
+// would.
 func RunFluid(resources []fabric.Resource, transfers []Transfer) (*SessionResult, error) {
 	return RunFluidTraced(resources, transfers, nil, 0)
 }
@@ -98,65 +137,138 @@ func RunFluidTraced(resources []fabric.Resource, transfers []Transfer, tr *telem
 	if len(transfers) == 0 {
 		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
 	}
-	s := fabric.AcquireSolver()
-	defer fabric.ReleaseSolver(s)
-	for _, r := range resources {
-		if err := s.SetResource(r); err != nil {
-			return nil, err
+	fs := sessionPool.Get().(*FluidSession)
+	if !resourcesMatch(fs.resSnap, resources) {
+		if fs.s != nil {
+			fabric.ReleaseSolver(fs.s)
+			fs.s = nil
+		}
+		s := fabric.AcquireSolver()
+		for _, r := range resources {
+			if err := s.SetResource(r); err != nil {
+				fabric.ReleaseSolver(s)
+				fs.resSnap = fs.resSnap[:0]
+				sessionPool.Put(fs)
+				return nil, err
+			}
+		}
+		fs.s = s
+		fs.resSnap = append(fs.resSnap[:0], resources...)
+	}
+	fs.tr, fs.tid = tr, tid
+	out, err := fs.Run(transfers)
+	fs.tr = nil
+	sessionPool.Put(fs) // keeps the solver and its registered table
+	return out, err
+}
+
+// sameAsLast reports whether transfers is entry-for-entry identical to the
+// input that built the solver's current checkpoint: same IDs, sizes and
+// demands, and the same backing array for each usage list (measurement
+// loops pass cached usage slices, so pointer equality is the common case
+// and content comparison is not worth its cost).
+func (fs *FluidSession) sameAsLast(transfers []Transfer) bool {
+	if len(fs.raw) != len(transfers) || len(transfers) == 0 {
+		return false
+	}
+	for i := range transfers {
+		a, b := &fs.raw[i], &transfers[i]
+		if a.ID != b.ID || a.Bytes != b.Bytes || a.Demand != b.Demand ||
+			len(a.Usages) != len(b.Usages) {
+			return false
+		}
+		if len(a.Usages) > 0 && &a.Usages[0] != &b.Usages[0] {
+			return false
 		}
 	}
-	fs := &FluidSession{s: s, tr: tr, tid: tid}
-	return fs.Run(transfers)
+	return true
+}
+
+// resourcesMatch reports whether the session's registered table equals the
+// requested one entry for entry. Resource IDs are interned, so the string
+// compares hit the pointer-equality fast path.
+func resourcesMatch(snap, resources []fabric.Resource) bool {
+	if len(snap) != len(resources) || len(snap) == 0 {
+		return false
+	}
+	for i := range resources {
+		if snap[i].ID != resources[i].ID || snap[i].Capacity != resources[i].Capacity {
+			return false
+		}
+	}
+	return true
 }
 
 // Run executes one fluid session over the session's fabric.
 func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
-	if len(transfers) == 0 {
+	n := len(transfers)
+	if n == 0 {
 		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
 	}
-	seen := make(map[string]bool, len(transfers))
-	for _, tr := range transfers {
-		if tr.Bytes <= 0 {
-			return nil, fmt.Errorf("simhost: transfer %q has nonpositive size", tr.ID)
-		}
-		if seen[tr.ID] {
-			return nil, fmt.Errorf("simhost: duplicate transfer %q", tr.ID)
-		}
-		seen[tr.ID] = true
-	}
-	ord := make([]Transfer, len(transfers))
-	copy(ord, transfers)
-	sort.Slice(ord, func(i, j int) bool { return ord[i].ID < ord[j].ID })
-
 	s := fs.s
-	s.Reset()
-	for _, tr := range ord {
-		if err := s.AddFlow(fabric.Flow{ID: tr.ID, Demand: tr.Demand, Usages: tr.Usages}); err != nil {
-			return nil, err
+	if !(fs.sameAsLast(transfers) && s.RestoreCheckpoint()) {
+		// Full build: validate, sort, register — then checkpoint the solver
+		// table and snapshot the input so identical repeats skip all of it.
+		fs.raw = fs.raw[:0]
+		for i := range transfers {
+			if transfers[i].Bytes <= 0 {
+				return nil, fmt.Errorf("simhost: transfer %q has nonpositive size", transfers[i].ID)
+			}
 		}
+		fs.ord = append(fs.ord[:0], transfers...)
+		ord := fs.ord
+		if !sort.SliceIsSorted(ord, func(i, j int) bool { return ord[i].ID < ord[j].ID }) {
+			sort.Slice(ord, func(i, j int) bool { return ord[i].ID < ord[j].ID })
+		}
+		for i := 1; i < n; i++ {
+			if ord[i].ID == ord[i-1].ID {
+				return nil, fmt.Errorf("simhost: duplicate transfer %q", ord[i].ID)
+			}
+		}
+		s.Reset()
+		for i := range ord {
+			if err := s.AddFlow(fabric.Flow{ID: ord[i].ID, Demand: ord[i].Demand, Usages: ord[i].Usages}); err != nil {
+				return nil, err
+			}
+		}
+		s.Checkpoint()
+		fs.raw = append(fs.raw[:0], transfers...)
+	}
+	ord := fs.ord
+
+	if cap(fs.remaining) < n {
+		fs.remaining = make([]float64, n)
+		fs.rate = make([]float64, n)
+		fs.done = make([]bool, n)
+		fs.results = make([]TransferResult, n)
+	}
+	remaining, rate := fs.remaining[:n], fs.rate[:n]
+	done, results := fs.done[:n], fs.results[:n]
+	for i := range ord {
+		remaining[i] = ord[i].Bytes.Bits()
+		done[i] = false
+		results[i] = TransferResult{}
 	}
 
-	remaining := make([]float64, len(ord)) // bits
-	rate := make([]float64, len(ord))      // per-phase scratch
-	done := make([]bool, len(ord))
-	for i, tr := range ord {
-		remaining[i] = tr.Bytes.Bits()
+	var runSpan *telemetry.Span
+	if fs.tr != nil {
+		runSpan = fs.tr.StartSpanOn(fs.tid, "fluid-run", "fluid",
+			telemetry.Int("transfers", n))
+		defer runSpan.End()
 	}
-	results := make(map[string]TransferResult, len(ord))
-
-	runSpan := fs.tr.StartSpanOn(fs.tid, "fluid-run", "fluid",
-		telemetry.Int("transfers", len(ord)))
-	defer runSpan.End()
 
 	var now float64 // seconds
 	var totalBits float64
 	var timeline Timeline
-	activeCount := len(ord)
+	activeCount := n
 	first := true
 	phaseIdx := 0
 	for activeCount > 0 {
-		phaseSpan := runSpan.StartSpan("fluid-phase", "fluid",
-			telemetry.Int("phase", phaseIdx), telemetry.Int("active", activeCount))
+		var phaseSpan *telemetry.Span
+		if fs.tr != nil {
+			phaseSpan = runSpan.StartSpan("fluid-phase", "fluid",
+				telemetry.Int("phase", phaseIdx), telemetry.Int("active", activeCount))
+		}
 		ia, err := s.SolveIndexed()
 		if err != nil {
 			phaseSpan.End()
@@ -164,7 +276,7 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 		}
 
 		// Time until the next completion at current rates. Flows were added
-		// in sorted ord order and RemoveFlow splices in place, so the k-th
+		// in sorted ord order and removal splices in place, so the k-th
 		// still-active transfer is exactly flow index k — rates come straight
 		// off the indexed view without any string-keyed lookups.
 		dt := math.Inf(1)
@@ -185,46 +297,69 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 			}
 		}
 
-		// Materialize utilization for the timeline before any RemoveFlow
-		// below invalidates the indexed view.
-		util := make(map[fabric.ResourceID]float64, ia.NumResources())
-		for ri := 0; ri < ia.NumResources(); ri++ {
-			util[ia.ResourceID(ri)] = ia.Utilization(ri)
+		// Materialize the phase record before any removal below invalidates
+		// the indexed view. Only loaded resources appear in Utilization —
+		// an absent key reads as 0, which is also its value.
+		var phase Phase
+		if !fs.lean {
+			nres := ia.NumResources()
+			loaded := 0
+			for ri := 0; ri < nres; ri++ {
+				if ia.Utilization(ri) > 0 {
+					loaded++
+				}
+			}
+			util := make(map[fabric.ResourceID]float64, loaded)
+			for ri := 0; ri < nres; ri++ {
+				if u := ia.Utilization(ri); u > 0 {
+					util[ia.ResourceID(ri)] = u
+				}
+			}
+			phase = Phase{
+				Start:       units.Duration(now),
+				Duration:    units.Duration(dt),
+				Rates:       make(map[string]units.Bandwidth, activeCount),
+				Utilization: util,
+			}
 		}
-		phase := Phase{
-			Start:       units.Duration(now),
-			Duration:    units.Duration(dt),
-			Rates:       make(map[string]units.Bandwidth, activeCount),
-			Utilization: util,
-		}
+		// Completions are collected and removed in one compaction pass:
+		// batching the removals turns k tail-shifting splices into a single
+		// sweep over the flow table.
+		dropIdx := fs.dropIdx[:0]
+		k = 0
 		for i := range ord {
 			if done[i] {
 				continue
 			}
 			id := ord[i].ID
-			phase.Rates[id] = units.Bandwidth(rate[i])
+			if !fs.lean {
+				phase.Rates[id] = units.Bandwidth(rate[i])
+			}
 			if first {
-				res := results[id]
-				res.ID = id
-				res.InitialRate = units.Bandwidth(rate[i])
-				results[id] = res
+				results[i].ID = id
+				results[i].InitialRate = units.Bandwidth(rate[i])
 			}
 			remaining[i] -= rate[i] * dt
 			if remaining[i] <= 1e-3 { // sub-bit residue
-				res := results[id]
-				res.Bytes = ord[i].Bytes
-				res.Duration = units.Duration(now + dt)
-				res.Bandwidth = units.Rate(ord[i].Bytes, res.Duration)
-				results[id] = res
+				results[i].Bytes = ord[i].Bytes
+				results[i].Duration = units.Duration(now + dt)
+				results[i].Bandwidth = units.Rate(ord[i].Bytes, results[i].Duration)
 				totalBits += ord[i].Bytes.Bits()
-				phase.Completed = append(phase.Completed, id)
+				if !fs.lean {
+					phase.Completed = append(phase.Completed, id)
+				}
 				done[i] = true
 				activeCount--
-				s.RemoveFlow(id)
+				dropIdx = append(dropIdx, int32(k))
 			}
+			k++
 		}
-		timeline.Phases = append(timeline.Phases, phase)
-		phaseSpan.SetAttr(telemetry.Int("completed", len(phase.Completed)))
+		s.RemoveFlowsAt(dropIdx)
+		fs.dropIdx = dropIdx[:0]
+		if !fs.lean {
+			timeline.Phases = append(timeline.Phases, phase)
+			phaseSpan.SetAttr(telemetry.Int("completed", len(phase.Completed)))
+		}
 		phaseSpan.End()
 		phaseIdx++
 		now += dt
@@ -232,15 +367,17 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 	}
 
 	out := &SessionResult{
-		Transfers: results,
+		Transfers: make(map[string]TransferResult, n),
 		Makespan:  units.Duration(now),
 		Timeline:  timeline,
 	}
 	if now > 0 {
 		out.AggregateBandwidth = units.Bandwidth(totalBits / now)
 	}
-	for _, r := range results {
-		out.SteadyAggregate += r.InitialRate
+	// Accumulated in ord (ascending ID) order: deterministic float sum.
+	for i := range ord {
+		out.Transfers[ord[i].ID] = results[i]
+		out.SteadyAggregate += results[i].InitialRate
 	}
 	return out, nil
 }

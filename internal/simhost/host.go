@@ -76,6 +76,11 @@ type Buffer struct {
 // for non-interleaved buffers is the only node. Ties break toward the
 // lowest node ID.
 func (b *Buffer) HomeNode() topology.NodeID {
+	if len(b.Pages) == 1 {
+		for n := range b.Pages {
+			return n
+		}
+	}
 	var best topology.NodeID
 	var bestSize units.Size = -1
 	ids := make([]topology.NodeID, 0, len(b.Pages))

@@ -1,18 +1,28 @@
 package simhost
 
 import (
-	"hash/fnv"
 	"math"
+)
+
+// FNV-64a parameters (hash/fnv), inlined so the hot path neither heap-
+// allocates the hasher nor copies the key to []byte.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
 )
 
 // Hash01 maps a key to a deterministic uniform value in [0, 1). It is the
 // probability draw behind Jitter and the fault injector's decisions
 // (internal/faults): because the value depends only on the key, concurrent
-// and serial runs see identical faults.
+// and serial runs see identical faults. The inline FNV-64a below is
+// bit-identical to hash/fnv over the key's bytes.
 func Hash01(key string) float64 {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(key))
-	return float64(h.Sum64()%(1<<52)) / float64(int64(1)<<52)
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return float64(h%(1<<52)) / float64(int64(1)<<52)
 }
 
 // Jitter returns a deterministic multiplicative noise factor in

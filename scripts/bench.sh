@@ -44,7 +44,7 @@ if [ "${1:-}" = "-check" ]; then
     trap 'rm -rf "$tmp"' EXIT
     echo "bench.sh -check: comparing against $baseline (limit ${tolerance}x)"
     go test -run '^$' \
-        -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
+        -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolverIncremental|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
         -benchtime "${BENCHTIME:-1s}" . | tee "$tmp/bench.txt"
     awk -v limit="$tolerance" '
     FNR == NR {
@@ -77,6 +77,46 @@ if [ "${1:-}" = "-check" ]; then
         exit bad
     }
     ' "$baseline" "$tmp/bench.txt"
+    # Structural gates beyond per-benchmark regression: the dirty-set
+    # re-solve must beat the full re-level, and the parallel sweep must
+    # actually scale — the latter only where the host has cores to scale
+    # onto (the p1 and p8 sub-benchmarks run the same work on a 1-core
+    # box, so the ratio is noise there).
+    cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+    awk -v cores="$cores" '
+    /^BenchmarkSolverIncremental\/incremental/ { inc = $3 + 0 }
+    /^BenchmarkSolverIncremental\/full/        { full = $3 + 0 }
+    /^BenchmarkCharacterizeAll\/p1-/           { p1 = $3 + 0 }
+    /^BenchmarkCharacterizeAll\/p8-/           { p8 = $3 + 0 }
+    END {
+        bad = 0
+        if (inc && full) {
+            printf "incremental re-solve %.0f ns/op vs full %.0f ns/op (%.2fx)\n", inc, full, full / inc
+            if (inc >= full) {
+                print "bench.sh -check: incremental re-solve is not faster than the full re-level" > "/dev/stderr"
+                bad = 1
+            }
+        } else {
+            print "bench.sh -check: SolverIncremental results missing" > "/dev/stderr"
+            bad = 1
+        }
+        if (cores + 0 >= 4) {
+            if (p1 && p8) {
+                ratio = p1 / p8
+                printf "CharacterizeAll p8 speedup over p1: %.2fx (floor 2.5x)\n", ratio
+                if (ratio < 2.5) {
+                    print "bench.sh -check: parallel sweep scaling below the 2.5x floor" > "/dev/stderr"
+                    bad = 1
+                }
+            } else {
+                print "bench.sh -check: CharacterizeAll p1/p8 results missing" > "/dev/stderr"
+                bad = 1
+            }
+        } else {
+            printf "skipping p8/p1 scaling gate: only %d core(s) online\n", cores
+        }
+        exit bad
+    }' "$tmp/bench.txt"
     echo "bench.sh -check: no regression beyond ${tolerance}x"
     exit 0
 fi
@@ -88,7 +128,7 @@ txt="BENCH_${rev}.txt"
 json="BENCH_${rev}.json"
 
 go test -run '^$' \
-    -bench '^(BenchmarkCharacterize|BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolver|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
+    -bench '^(BenchmarkCharacterize|BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolver|BenchmarkSolverIncremental|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
     -benchmem -benchtime "$benchtime" -count "$count" . | tee "$txt"
 
 awk -v rev="$rev" -v benchtime="$benchtime" '

@@ -108,6 +108,10 @@ grep -q 'numaiod_breaker_open 0' "$workdir/metrics.txt" \
 # pre-existing names above must keep matching unchanged).
 grep -q 'numaiod_solver_solves_total' "$workdir/metrics.txt" \
     || fail "metrics missing solver counter"
+grep -Eq 'numaiod_solver_incremental_total [0-9]' "$workdir/metrics.txt" \
+    || fail "metrics missing incremental-solve counter"
+grep -Eq 'numaiod_solver_full_total [1-9]' "$workdir/metrics.txt" \
+    || fail "metrics missing full-solve counter"
 grep -q 'numaiod_solver_pool_hits_total' "$workdir/metrics.txt" \
     || fail "metrics missing solver pool counter"
 grep -q 'numaiod_measure_workers_busy' "$workdir/metrics.txt" \
