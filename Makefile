@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-check bench-paper experiments examples serve-smoke fleet-smoke trace-demo clean
+.PHONY: all build vet lint test race cover bench bench-check bench-paper experiments examples serve-smoke fleet-smoke scenario trace-demo clean
 
 all: build vet test
 
@@ -66,6 +66,12 @@ serve-smoke:
 # replica and verify degraded serving, then drain (docs/FLEET.md).
 fleet-smoke:
 	sh scripts/fleet-smoke.sh
+
+# Run the declarative scenario matrix (suites/*.json) as the CI gate does;
+# writes scenario-junit.xml and scenario-summary.md. Quick grid by default,
+# SCENARIO_FULL=1 for the suites' full repeat counts (docs/SCENARIOS.md).
+scenario:
+	sh scripts/scenario-ci.sh
 
 # Record a whole-host characterization as Chrome trace-event JSON and print
 # the per-stage breakdown; open trace-demo.json in https://ui.perfetto.dev

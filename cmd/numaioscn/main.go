@@ -1,0 +1,165 @@
+// Command numaioscn runs declarative scenario suites: grids of
+// (machine × mode × fault plan) characterizations with per-case assertions
+// on the resulting bandwidth-class models (internal/scenario). It prints a
+// summary table and can emit JUnit XML for CI and a Markdown summary for
+// job annotations.
+//
+// Usage:
+//
+//	numaioscn -suite suites/shapevalidation.json [-suite more.json ...]
+//	          [-junit out.xml] [-md summary.md] [-parallelism n]
+//	          [-repeats n] [-chaos-seed n] [-list]
+//	          [-trace trace.json] [-stage-report]
+//
+// Exit codes follow the repo contract: 0 when every case passes, 1 when
+// any case fails or errors (the JUnit file, if requested, is still
+// written), 2 on usage errors. -repeats overrides the repeat count of
+// cases that do not pin one — the quick-grid knob: PR CI passes a small
+// value, the nightly grid runs the suites' full counts. See
+// docs/SCENARIOS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"numaio/internal/cli"
+	"numaio/internal/report"
+	"numaio/internal/scenario"
+)
+
+func main() {
+	os.Exit(cli.Main("numaioscn", run(os.Args[1:], os.Stdout)))
+}
+
+// suitePaths collects a repeatable -suite flag.
+type suitePaths []string
+
+func (s *suitePaths) String() string     { return strings.Join(*s, ",") }
+func (s *suitePaths) Set(v string) error { *s = append(*s, v); return nil }
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("numaioscn", flag.ContinueOnError)
+	var paths suitePaths
+	fs.Var(&paths, "suite", "suite file to run (repeatable)")
+	junitPath := fs.String("junit", "", "write JUnit XML to this file")
+	mdPath := fs.String("md", "", "write a Markdown summary table to this file")
+	parallelism := fs.Int("parallelism", 0, "cases measured concurrently (0 = serial; results are identical at any setting)")
+	repeats := fs.Int("repeats", 0, "override repeats for cases that do not pin one (0 = suite values)")
+	chaosSeed := fs.Uint64("chaos-seed", 0, "override every fault plan's seed (0 keeps the plans' own)")
+	list := fs.Bool("list", false, "list the suites' cases without running them")
+	trace := cli.NewTraceFlags(fs)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	paths = append(paths, fs.Args()...)
+	if len(paths) == 0 {
+		return cli.Usagef("at least one -suite file is required")
+	}
+	if *repeats < 0 {
+		return cli.Usagef("-repeats must be >= 0")
+	}
+
+	suites := make([]*scenario.Suite, 0, len(paths))
+	for _, p := range paths {
+		s, err := scenario.LoadSuite(p)
+		if err != nil {
+			return err
+		}
+		suites = append(suites, s)
+	}
+
+	if *list {
+		return listCases(out, suites)
+	}
+
+	runner := scenario.Runner{
+		Parallelism: *parallelism,
+		Repeats:     *repeats,
+		ChaosSeed:   *chaosSeed,
+		Tracer:      trace.Tracer(),
+	}
+	results := runner.RunAll(suites)
+
+	if _, err := fmt.Fprint(out, scenario.Summarize(results).Render()); err != nil {
+		return err
+	}
+	for _, sr := range results {
+		for i := range sr.Cases {
+			cr := &sr.Cases[i]
+			for _, msg := range cr.Failures {
+				fmt.Fprintf(out, "FAIL %s/%s: %s\n", cr.Suite, cr.Case.Name, msg)
+			}
+			if cr.Err != nil {
+				fmt.Fprintf(out, "ERROR %s/%s: %v\n", cr.Suite, cr.Case.Name, cr.Err)
+			}
+		}
+	}
+
+	// The machine-readable outputs are written before the verdict decides
+	// the exit code, so a red grid still ships its JUnit evidence to CI.
+	if *junitPath != "" {
+		if err := writeFile(*junitPath, func(w io.Writer) error {
+			return scenario.WriteJUnit(w, results)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "junit: written to %s\n", *junitPath)
+	}
+	if *mdPath != "" {
+		if err := writeFile(*mdPath, func(w io.Writer) error {
+			_, err := io.WriteString(w, scenario.Summarize(results).Markdown())
+			return err
+		}); err != nil {
+			return err
+		}
+	}
+	if err := trace.Finish(out); err != nil {
+		return err
+	}
+
+	if failed := scenario.FailedCases(results); failed > 0 {
+		total := 0
+		for _, sr := range results {
+			t, _, _ := sr.Totals()
+			total += t
+		}
+		return fmt.Errorf("%d of %d cases failed", failed, total)
+	}
+	return nil
+}
+
+func listCases(out io.Writer, suites []*scenario.Suite) error {
+	tbl := report.NewTable("Scenario suites", "suite", "case", "machine", "target", "mode", "faults", "assertions")
+	for _, s := range suites {
+		for i := range s.Cases {
+			c := &s.Cases[i]
+			plan := "-"
+			if p := c.Plan(); p != nil {
+				plan = p.Name
+				if plan == "" {
+					plan = "(inline)"
+				}
+			}
+			tbl.AddRow(s.Name, c.Name, c.MachineModel().Name,
+				fmt.Sprintf("%d", c.Target), c.Mode, plan, fmt.Sprintf("%d", len(c.Assert)))
+		}
+	}
+	_, err := fmt.Fprint(out, tbl.Render())
+	return err
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

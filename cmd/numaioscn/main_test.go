@@ -1,0 +1,122 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"numaio/internal/cli"
+)
+
+// passingSuite holds by construction on intel-4s4n; brokenSuite pins an
+// impossible class count so the grid must go red.
+const passingSuite = `{
+  "suite": "cli-pass",
+  "defaults": {"repeats": 1, "sigma": -1},
+  "cases": [
+    {
+      "name": "a",
+      "machine": "intel-4s4n",
+      "target": 3,
+      "mode": "write",
+      "assert": [{"kind": "class-of", "node": 3, "rank": 1}]
+    }
+  ]
+}`
+
+const brokenSuite = `{
+  "suite": "cli-broken",
+  "defaults": {"repeats": 1, "sigma": -1},
+  "cases": [
+    {
+      "name": "impossible",
+      "machine": "intel-4s4n",
+      "target": 3,
+      "mode": "write",
+      "assert": [{"kind": "num-classes", "min": 9, "max": 9}]
+    }
+  ]
+}`
+
+func writeSuite(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Exit-code contract (internal/cli): 0 success or -h, 1 runtime failure,
+// 2 usage error.
+func TestExitCodes(t *testing.T) {
+	pass := writeSuite(t, "pass.json", passingSuite)
+	broken := writeSuite(t, "broken.json", brokenSuite)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"help", []string{"-h"}, 0},
+		{"unknown flag", []string{"-definitely-not-a-flag"}, 2},
+		{"no suite", nil, 2},
+		{"negative repeats", []string{"-repeats", "-1", "-suite", pass}, 2},
+		{"missing suite file", []string{"-suite", "no/such/suite.json"}, 1},
+		{"passing suite", []string{"-suite", pass}, 0},
+		{"passing suite positional", []string{pass}, 0},
+		{"list", []string{"-list", "-suite", pass, "-suite", broken}, 0},
+		{"broken assertion", []string{"-suite", broken}, 1},
+		{"broken among passing", []string{"-suite", pass, "-suite", broken}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(tc.args, io.Discard)
+			if got := cli.ExitCode(err); got != tc.want {
+				t.Errorf("args %v: exit code %d (err: %v), want %d", tc.args, got, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBrokenAssertionShipsJUnit is the acceptance criterion: a red grid
+// still writes the JUnit file, with the failing testcase recorded, before
+// exiting 1.
+func TestBrokenAssertionShipsJUnit(t *testing.T) {
+	broken := writeSuite(t, "broken.json", brokenSuite)
+	junit := filepath.Join(t.TempDir(), "out.xml")
+	err := run([]string{"-suite", broken, "-junit", junit}, io.Discard)
+	if got := cli.ExitCode(err); got != 1 {
+		t.Fatalf("exit code %d (err: %v), want 1", got, err)
+	}
+	data, rerr := os.ReadFile(junit)
+	if rerr != nil {
+		t.Fatalf("JUnit file not written on failure: %v", rerr)
+	}
+	xml := string(data)
+	for _, want := range []string{`failures="1"`, `<failure`, `name="impossible"`, "num-classes"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("JUnit output missing %q:\n%s", want, xml)
+		}
+	}
+}
+
+// TestMarkdownSummary: -md writes the GitHub-flavoured summary table.
+func TestMarkdownSummary(t *testing.T) {
+	pass := writeSuite(t, "pass.json", passingSuite)
+	md := filepath.Join(t.TempDir(), "summary.md")
+	if err := run([]string{"-suite", pass, "-md", md}, io.Discard); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(md)
+	if err != nil {
+		t.Fatalf("markdown summary not written: %v", err)
+	}
+	got := string(data)
+	for _, want := range []string{"| suite |", "cli-pass", "1 passed"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("markdown summary missing %q:\n%s", want, got)
+		}
+	}
+}

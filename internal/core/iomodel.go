@@ -354,6 +354,15 @@ func (c *Characterizer) Characterize(target topology.NodeID, mode Mode) (*Model,
 	return c.characterize(target, mode, -1, 0)
 }
 
+// CharacterizeOn is Characterize with the sweep's spans recorded on the
+// given trace track. Callers that fan whole sweeps out over their own
+// worker pools (the scenario grid runner) pass each worker's track so
+// concurrent sweeps nest cleanly in the trace; the model is identical to
+// Characterize's. Without a Config.Tracer the track is irrelevant.
+func (c *Characterizer) CharacterizeOn(target topology.NodeID, mode Mode, track int) (*Model, error) {
+	return c.characterize(target, mode, -1, track)
+}
+
 // characterize is Characterize with an explicit worker budget and trace
 // track; budget < 0 means use the configured parallelism. CharacterizeAll
 // passes 1 so that fanning out over (target, mode) pairs does not multiply

@@ -1,6 +1,8 @@
 package faults
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"sort"
@@ -100,4 +102,24 @@ func Load(ref string) (Plan, error) {
 		return Plan{}, err
 	}
 	return LoadPlan(ref)
+}
+
+// Resolve resolves a raw JSON plan value: a string — a Load reference
+// (built-in name or plan-file path) — or an inline plan object, strictly
+// decoded and validated. It is the form scenario suite files embed.
+func Resolve(raw json.RawMessage) (Plan, error) {
+	var ref string
+	if err := json.Unmarshal(raw, &ref); err == nil {
+		return Load(ref)
+	}
+	var p Plan
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Plan{}, fmt.Errorf("faults: plan must be a name, a .json path or an inline plan object: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
 }

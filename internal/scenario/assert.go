@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+
+	"numaio/internal/core"
+	"numaio/internal/topology"
+	"numaio/internal/units"
+)
+
+// Assertion is one declarative check against a characterized model. Kind
+// selects the check; the other fields parameterise it (each kind reads a
+// subset, validated at load time):
+//
+//	classes      — exact class memberships in rank order: sets [[6,7],[0,1]]
+//	num-classes  — class count within [min, max] (max 0 = unbounded)
+//	class-order  — class average bandwidths non-increasing with rank
+//	class-of     — node is a member of the class with the given rank
+//	bandwidth    — node's measured bandwidth within [min_gbps, max_gbps]
+//	predict      — Eq. 1 prediction for mix within [min_gbps, max_gbps]
+//	resilience   — resilience-report counters within the given bounds
+//	               (requires a fault plan on the case)
+type Assertion struct {
+	Kind string `json:"kind"`
+
+	// classes
+	Sets [][]int `json:"sets,omitempty"`
+
+	// num-classes
+	Min int `json:"min,omitempty"`
+	Max int `json:"max,omitempty"`
+
+	// class-of and bandwidth
+	Node *int `json:"node,omitempty"`
+	// class-of
+	Rank int `json:"rank,omitempty"`
+
+	// bandwidth and predict
+	MinGbps float64 `json:"min_gbps,omitempty"`
+	MaxGbps float64 `json:"max_gbps,omitempty"`
+	// predict
+	Mix map[string]float64 `json:"mix,omitempty"`
+
+	// resilience (pointers so 0 is an assertable bound)
+	MinRetries  *int `json:"min_retries,omitempty"`
+	MaxRetries  *int `json:"max_retries,omitempty"`
+	MinTimeouts *int `json:"min_timeouts,omitempty"`
+	MinFailures *int `json:"min_failures,omitempty"`
+	MinOutliers *int `json:"min_outliers,omitempty"`
+	MaxOutliers *int `json:"max_outliers,omitempty"`
+}
+
+// AssertionKinds lists the valid kinds, for error messages and docs.
+func AssertionKinds() []string {
+	return []string{"classes", "num-classes", "class-order", "class-of",
+		"bandwidth", "predict", "resilience"}
+}
+
+// validate checks the assertion is well formed for its kind and that every
+// node it references exists on the machine.
+func (a *Assertion) validate(m *topology.Machine, hasFaults bool) error {
+	switch a.Kind {
+	case "classes":
+		if len(a.Sets) == 0 {
+			return fmt.Errorf("needs non-empty sets")
+		}
+		for rank, set := range a.Sets {
+			if len(set) == 0 {
+				return fmt.Errorf("class %d is empty", rank+1)
+			}
+			for _, n := range set {
+				if err := nodeOn(m, n); err != nil {
+					return err
+				}
+			}
+		}
+	case "num-classes":
+		if a.Min < 1 {
+			return fmt.Errorf("needs min >= 1")
+		}
+		if a.Max != 0 && a.Max < a.Min {
+			return fmt.Errorf("max %d below min %d", a.Max, a.Min)
+		}
+	case "class-order":
+		// No parameters.
+	case "class-of":
+		if a.Node == nil {
+			return fmt.Errorf("needs node")
+		}
+		if err := nodeOn(m, *a.Node); err != nil {
+			return err
+		}
+		if a.Rank < 1 {
+			return fmt.Errorf("needs rank >= 1")
+		}
+	case "bandwidth":
+		if a.Node == nil {
+			return fmt.Errorf("needs node")
+		}
+		if err := nodeOn(m, *a.Node); err != nil {
+			return err
+		}
+		if err := checkBounds(a.MinGbps, a.MaxGbps); err != nil {
+			return err
+		}
+	case "predict":
+		if len(a.Mix) == 0 {
+			return fmt.Errorf("needs mix")
+		}
+		if _, err := parseMix(m, a.Mix); err != nil {
+			return err
+		}
+		if err := checkBounds(a.MinGbps, a.MaxGbps); err != nil {
+			return err
+		}
+	case "resilience":
+		if !hasFaults {
+			return fmt.Errorf("requires a fault plan on the case")
+		}
+		if a.MinRetries == nil && a.MaxRetries == nil && a.MinTimeouts == nil &&
+			a.MinFailures == nil && a.MinOutliers == nil && a.MaxOutliers == nil {
+			return fmt.Errorf("needs at least one bound")
+		}
+	case "":
+		return fmt.Errorf("missing kind (want one of %s)", strings.Join(AssertionKinds(), ", "))
+	default:
+		return fmt.Errorf("unknown kind %q (want one of %s)", a.Kind, strings.Join(AssertionKinds(), ", "))
+	}
+	return nil
+}
+
+func checkBounds(min, max float64) error {
+	if min < 0 || max <= 0 {
+		return fmt.Errorf("needs positive gbps bounds")
+	}
+	if max < min {
+		return fmt.Errorf("max_gbps %v below min_gbps %v", max, min)
+	}
+	return nil
+}
+
+// check evaluates the assertion against the model; a non-empty return is
+// the failure message.
+func (a *Assertion) check(m *topology.Machine, model *core.Model) string {
+	switch a.Kind {
+	case "classes":
+		return a.checkClasses(model)
+	case "num-classes":
+		got := model.NumClasses()
+		if got < a.Min || (a.Max != 0 && got > a.Max) {
+			return fmt.Sprintf("num-classes: got %d classes, want %s", got, rangeStr(a.Min, a.Max))
+		}
+	case "class-order":
+		for i := 1; i < len(model.Classes); i++ {
+			prev, cur := model.Classes[i-1], model.Classes[i]
+			if cur.Avg > prev.Avg {
+				return fmt.Sprintf("class-order: class %d avg %s above class %d avg %s",
+					cur.Rank, gbps(cur.Avg), prev.Rank, gbps(prev.Avg))
+			}
+		}
+	case "class-of":
+		cls, err := model.ClassOf(topology.NodeID(*a.Node))
+		if err != nil {
+			return fmt.Sprintf("class-of: %v", err)
+		}
+		if cls.Rank != a.Rank {
+			return fmt.Sprintf("class-of: node %d in class %d, want class %d", *a.Node, cls.Rank, a.Rank)
+		}
+	case "bandwidth":
+		bw, err := model.SampleOf(topology.NodeID(*a.Node))
+		if err != nil {
+			return fmt.Sprintf("bandwidth: %v", err)
+		}
+		if v := bw.Gbps(); v < a.MinGbps || v > a.MaxGbps {
+			return fmt.Sprintf("bandwidth: node %d at %s Gb/s, want [%g, %g]",
+				*a.Node, gbps(bw), a.MinGbps, a.MaxGbps)
+		}
+	case "predict":
+		mix, err := parseMix(m, a.Mix)
+		if err != nil {
+			return fmt.Sprintf("predict: %v", err)
+		}
+		bw, err := model.Predict(mix, nil)
+		if err != nil {
+			return fmt.Sprintf("predict: %v", err)
+		}
+		if v := bw.Gbps(); v < a.MinGbps || v > a.MaxGbps {
+			return fmt.Sprintf("predict: mix yields %s Gb/s, want [%g, %g]",
+				gbps(bw), a.MinGbps, a.MaxGbps)
+		}
+	case "resilience":
+		return a.checkResilience(model.Resilience)
+	}
+	return ""
+}
+
+func (a *Assertion) checkClasses(model *core.Model) string {
+	got := make([][]int, len(model.Classes))
+	for i, cls := range model.Classes {
+		for _, n := range cls.Nodes {
+			got[i] = append(got[i], int(n))
+		}
+	}
+	match := len(got) == len(a.Sets)
+	if match {
+	outer:
+		for i := range got {
+			if len(got[i]) != len(a.Sets[i]) {
+				match = false
+				break
+			}
+			for j := range got[i] {
+				if got[i][j] != a.Sets[i][j] {
+					match = false
+					break outer
+				}
+			}
+		}
+	}
+	if !match {
+		return fmt.Sprintf("classes: got %s, want %s", setsStr(got), setsStr(a.Sets))
+	}
+	return ""
+}
+
+func (a *Assertion) checkResilience(r *core.ResilienceReport) string {
+	if r == nil {
+		r = &core.ResilienceReport{}
+	}
+	type bound struct {
+		name     string
+		min, max *int
+		got      int
+	}
+	for _, b := range []bound{
+		{"retries", a.MinRetries, a.MaxRetries, r.Retries},
+		{"timeouts", a.MinTimeouts, nil, r.Timeouts},
+		{"failures", a.MinFailures, nil, r.Failures},
+		{"outliers", a.MinOutliers, a.MaxOutliers, r.Outliers},
+	} {
+		if b.min != nil && b.got < *b.min {
+			return fmt.Sprintf("resilience: %d %s, want >= %d", b.got, b.name, *b.min)
+		}
+		if b.max != nil && b.got > *b.max {
+			return fmt.Sprintf("resilience: %d %s, want <= %d", b.got, b.name, *b.max)
+		}
+	}
+	return ""
+}
+
+// setsStr formats class memberships like "{6,7} | {0,1,4,5}".
+func setsStr(sets [][]int) string {
+	parts := make([]string, len(sets))
+	for i, set := range sets {
+		ns := make([]string, len(set))
+		for j, n := range set {
+			ns[j] = fmt.Sprintf("%d", n)
+		}
+		parts[i] = "{" + strings.Join(ns, ",") + "}"
+	}
+	return strings.Join(parts, " | ")
+}
+
+func rangeStr(min, max int) string {
+	if max == 0 {
+		return fmt.Sprintf(">= %d", min)
+	}
+	return fmt.Sprintf("[%d, %d]", min, max)
+}
+
+func gbps(bw units.Bandwidth) string { return fmt.Sprintf("%.2f", bw.Gbps()) }

@@ -1,0 +1,120 @@
+package scenario
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// JUnit XML report, the CI-consumable half of the grid outcome. One
+// <testsuite> per scenario suite, one <testcase> per grid cell; assertion
+// failures become <failure> elements (one per failed assertion), engine
+// errors become <error>. The layout follows the common JUnit schema that
+// CI artifact viewers and merge gates consume.
+//
+// The output is a pure function of the results: attribute order is fixed
+// by the struct layout and times come from the Runner's clock, so a run
+// under a fake clock is byte-for-byte reproducible (the golden test pins
+// it).
+
+type junitFailure struct {
+	Message string `xml:"message,attr"`
+	Type    string `xml:"type,attr"`
+	Body    string `xml:",chardata"`
+}
+
+type junitCase struct {
+	XMLName   xml.Name       `xml:"testcase"`
+	Name      string         `xml:"name,attr"`
+	ClassName string         `xml:"classname,attr"`
+	Time      string         `xml:"time,attr"`
+	Failures  []junitFailure `xml:"failure"`
+	Errors    []junitFailure `xml:"error"`
+}
+
+type junitSuite struct {
+	XMLName   xml.Name    `xml:"testsuite"`
+	Name      string      `xml:"name,attr"`
+	Tests     int         `xml:"tests,attr"`
+	Failures  int         `xml:"failures,attr"`
+	Errors    int         `xml:"errors,attr"`
+	Time      string      `xml:"time,attr"`
+	Timestamp string      `xml:"timestamp,attr"`
+	Cases     []junitCase `xml:"testcase"`
+}
+
+type junitSuites struct {
+	XMLName  xml.Name     `xml:"testsuites"`
+	Tests    int          `xml:"tests,attr"`
+	Failures int          `xml:"failures,attr"`
+	Errors   int          `xml:"errors,attr"`
+	Time     string       `xml:"time,attr"`
+	Suites   []junitSuite `xml:"testsuite"`
+}
+
+// WriteJUnit renders the grid results as indented JUnit XML.
+func WriteJUnit(w io.Writer, results []*SuiteResult) error {
+	root := junitSuites{}
+	var totalTime time.Duration
+	for _, sr := range results {
+		total, failed, errored := sr.Totals()
+		js := junitSuite{
+			Name:      sr.Suite.Name,
+			Tests:     total,
+			Failures:  failed,
+			Errors:    errored,
+			Time:      junitSeconds(sr.Duration),
+			Timestamp: sr.Start.Format("2006-01-02T15:04:05Z"),
+		}
+		for i := range sr.Cases {
+			cr := &sr.Cases[i]
+			jc := junitCase{
+				Name:      cr.Case.Name,
+				ClassName: "scenario." + sr.Suite.Name,
+				Time:      junitSeconds(cr.Duration),
+			}
+			for _, msg := range cr.Failures {
+				jc.Failures = append(jc.Failures, junitFailure{
+					Message: firstLine(msg), Type: "assertion", Body: msg,
+				})
+			}
+			if cr.Err != nil {
+				jc.Errors = append(jc.Errors, junitFailure{
+					Message: firstLine(cr.Err.Error()), Type: "error", Body: cr.Err.Error(),
+				})
+			}
+			js.Cases = append(js.Cases, jc)
+		}
+		root.Tests += js.Tests
+		root.Failures += js.Failures
+		root.Errors += js.Errors
+		totalTime += sr.Duration
+		root.Suites = append(root.Suites, js)
+	}
+	root.Time = junitSeconds(totalTime)
+
+	out, err := xml.MarshalIndent(root, "", "  ")
+	if err != nil {
+		return fmt.Errorf("scenario: encoding junit: %w", err)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	if _, err := w.Write(append(out, '\n')); err != nil {
+		return err
+	}
+	return nil
+}
+
+func junitSeconds(d time.Duration) string {
+	return fmt.Sprintf("%.3f", d.Seconds())
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeClock steps 100ms per call, so durations and timestamps are exact.
+func fakeClock() func() time.Time {
+	t := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return func() time.Time {
+		t = t.Add(100 * time.Millisecond)
+		return t
+	}
+}
+
+// TestWriteJUnitGolden pins the XML byte-for-byte: one testsuite for the
+// grid suite, a clean testcase, a testcase with two <failure> elements and
+// a testcase with an <error>, under a stepping fake clock and a serial
+// runner. Engine output is deterministic, so the assertion-failure
+// messages (which embed measured bandwidths) are stable too.
+func TestWriteJUnitGolden(t *testing.T) {
+	r := Runner{Now: fakeClock()}
+	results := r.RunAll([]*Suite{mustParse(t, gridSuite)})
+
+	var sb strings.Builder
+	if err := WriteJUnit(&sb, results); err != nil {
+		t.Fatalf("WriteJUnit: %v", err)
+	}
+	got := sb.String()
+
+	want, err := os.ReadFile("testdata/junit.golden")
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("JUnit output differs from testdata/junit.golden — update it if the change is intentional.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteJUnitStructure sanity-checks the report semantics independent of
+// the golden bytes, so a deliberate golden refresh can't silently encode a
+// broken report.
+func TestWriteJUnitStructure(t *testing.T) {
+	r := Runner{Now: fakeClock()}
+	results := r.RunAll([]*Suite{mustParse(t, gridSuite)})
+
+	var sb strings.Builder
+	if err := WriteJUnit(&sb, results); err != nil {
+		t.Fatalf("WriteJUnit: %v", err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		`<testsuites tests="3" failures="1" errors="1"`,
+		`<testsuite name="grid" tests="3" failures="1" errors="1"`,
+		`timestamp="2026-01-02T03:04:05Z"`,
+		`classname="scenario.grid"`,
+		`<failure message=`,
+		`type="assertion"`,
+		`<error message=`,
+		`type="error"`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("JUnit output missing %q:\n%s", want, got)
+		}
+	}
+	if !strings.HasPrefix(got, "<?xml version=") {
+		t.Errorf("JUnit output missing the XML header")
+	}
+	if strings.Count(got, "<failure") != 2 {
+		t.Errorf("want exactly 2 <failure> elements (the fail case has 2 assertions):\n%s", got)
+	}
+}

@@ -11,6 +11,8 @@
 # developer's running daemon.
 set -eu
 
+. "$(dirname "$0")/smoke-lib.sh"
+
 GO=${GO:-go}
 base_port=${FLEET_SMOKE_BASE_PORT:-}
 pids=""
@@ -32,28 +34,6 @@ fail() {
         [ -f "$f" ] && { echo "--- $f" >&2; tail -5 "$f" >&2; }
     done
     exit 1
-}
-
-# wait_banner LOGFILE -> prints the announced base URL, empty on timeout.
-wait_banner() {
-    b=""
-    for _ in $(seq 1 100); do
-        b=$(sed -n 's/^listening on //p' "$1" | head -n 1)
-        [ -n "$b" ] && break
-        sleep 0.1
-    done
-    echo "$b"
-}
-
-# wait_metric URL PATTERN -> succeeds once PATTERN appears in /metrics.
-wait_metric() {
-    for _ in $(seq 1 100); do
-        if curl -fsS "$1/metrics" 2>/dev/null | grep -Eq "$2"; then
-            return 0
-        fi
-        sleep 0.1
-    done
-    return 1
 }
 
 echo "fleet-smoke: building numaiod, numaiogw and numaioload"
@@ -176,11 +156,6 @@ grep -q '"host"' "$workdir/resp" || fail "degraded fleet place returned no host"
 
 echo "fleet-smoke: sending SIGTERM to gateway"
 kill -TERM "$gw_pid"
-i=0
-while kill -0 "$gw_pid" 2>/dev/null; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "gateway did not exit after SIGTERM"
-    sleep 0.1
-done
+wait_exit "$gw_pid" || fail "gateway did not exit after SIGTERM"
 grep -q drained "$workdir/gw.out.log" || fail "gateway exited without draining"
 echo "fleet-smoke: ok"

@@ -1,0 +1,35 @@
+#!/bin/sh
+# scenario-ci: run the declarative scenario matrix (suites/*.json) the way
+# the CI gate does, writing scenario-junit.xml and scenario-summary.md.
+#
+# Grid depth: by default the run overrides unpinned repeat counts down to
+# a quick grid (-repeats 2), which is what PR CI runs. SCENARIO_FULL=1
+# drops the override so the suites run at their full repeat counts — the
+# nightly schedule and manual workflow_dispatch set it. Cases whose
+# assertions depend on exact per-repeat fault draws pin their own repeats
+# and are unaffected either way (docs/SCENARIOS.md).
+#
+# When GITHUB_STEP_SUMMARY is set (always, in Actions) the Markdown
+# verdict table is appended to the job summary — on failure too: the
+# summary and the JUnit file are written before the exit code is decided.
+set -eu
+
+GO=${GO:-go}
+junit=${SCENARIO_JUNIT:-scenario-junit.xml}
+md=${SCENARIO_MD:-scenario-summary.md}
+
+set -- -parallelism 4 -junit "$junit" -md "$md"
+if [ -n "${SCENARIO_FULL:-}" ]; then
+    echo "scenario-ci: full grid (suite repeat counts)"
+else
+    echo "scenario-ci: quick grid (-repeats 2; set SCENARIO_FULL=1 for the full counts)"
+    set -- "$@" -repeats 2
+fi
+
+status=0
+"$GO" run ./cmd/numaioscn "$@" suites/*.json || status=$?
+
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f "$md" ]; then
+    cat "$md" >>"$GITHUB_STEP_SUMMARY"
+fi
+exit "$status"

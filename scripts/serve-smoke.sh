@@ -13,6 +13,8 @@
 # pinned apart explicitly — without fixed-port collisions.
 set -eu
 
+. "$(dirname "$0")/smoke-lib.sh"
+
 GO=${GO:-go}
 port=${SERVE_SMOKE_PORT:-0}
 pid=""
@@ -40,14 +42,8 @@ echo "serve-smoke: building numaiod and numaioload"
 "$workdir/numaiod" -addr "127.0.0.1:$port" -quiet >"$workdir/out.log" 2>"$workdir/err.log" &
 pid=$!
 
-# Wait for the listen banner, bounded.
-base=""
-for _ in $(seq 1 100); do
-    base=$(sed -n 's/^listening on //p' "$workdir/out.log" | head -n 1)
-    [ -n "$base" ] && break
-    kill -0 "$pid" 2>/dev/null || break
-    sleep 0.1
-done
+# Wait for the listen banner, bounded (smoke-lib.sh).
+base=$(wait_banner "$workdir/out.log" "$pid")
 if [ -z "$base" ]; then
     echo "serve-smoke: daemon never announced its address" >&2
     cat "$workdir/err.log" >&2
@@ -55,16 +51,8 @@ if [ -z "$base" ]; then
 fi
 echo "serve-smoke: daemon at $base"
 
-# Wait until it actually serves, bounded: the banner precedes readiness.
-ready=""
-for _ in $(seq 1 100); do
-    if curl -fsS -o /dev/null "$base/healthz" 2>/dev/null; then
-        ready=1
-        break
-    fi
-    sleep 0.1
-done
-[ -n "$ready" ] || fail "daemon never became healthy at $base/healthz"
+# Wait until it actually serves: the banner precedes readiness.
+wait_http "$base/healthz" || fail "daemon never became healthy at $base/healthz"
 
 curl -fsS -o "$workdir/resp" "$base/healthz"
 grep -q ok "$workdir/resp" || fail "/healthz not ok"
@@ -143,12 +131,7 @@ fi
 
 echo "serve-smoke: sending SIGTERM"
 kill -TERM "$pid"
-i=0
-while kill -0 "$pid" 2>/dev/null; do
-    i=$((i + 1))
-    [ "$i" -gt 100 ] && fail "daemon did not exit after SIGTERM"
-    sleep 0.1
-done
+wait_exit "$pid" || fail "daemon did not exit after SIGTERM"
 pid=""
 grep -q drained "$workdir/out.log" || fail "daemon exited without draining"
 echo "serve-smoke: ok"

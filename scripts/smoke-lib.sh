@@ -1,0 +1,61 @@
+# smoke-lib: shared bounded-wait helpers for the smoke scripts
+# (serve-smoke.sh, fleet-smoke.sh). Source it, don't execute it:
+#
+#     . "$(dirname "$0")/smoke-lib.sh"
+#
+# Every wait polls at 100ms for up to SMOKE_WAIT_TRIES attempts (default
+# 100 = 10s), so a wedged process fails the caller instead of hanging it —
+# important under a CI timeout that would otherwise kill the job with no
+# diagnostics.
+
+SMOKE_WAIT_TRIES=${SMOKE_WAIT_TRIES:-100}
+
+# wait_banner LOGFILE [PID] -> prints the base URL from the daemon's
+# "listening on ..." banner, empty on timeout. With a PID, gives up early
+# if the process already died (its log will never grow a banner).
+wait_banner() {
+    b=""
+    for _ in $(seq 1 "$SMOKE_WAIT_TRIES"); do
+        b=$(sed -n 's/^listening on //p' "$1" | head -n 1)
+        [ -n "$b" ] && break
+        if [ -n "${2:-}" ]; then
+            kill -0 "$2" 2>/dev/null || break
+        fi
+        sleep 0.1
+    done
+    echo "$b"
+}
+
+# wait_http URL -> succeeds once URL answers with a 2xx. The listen banner
+# precedes readiness, so callers poll this before talking to the API.
+wait_http() {
+    for _ in $(seq 1 "$SMOKE_WAIT_TRIES"); do
+        if curl -fsS -o /dev/null "$1" 2>/dev/null; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+# wait_metric BASEURL PATTERN -> succeeds once PATTERN (an ERE) appears in
+# BASEURL/metrics.
+wait_metric() {
+    for _ in $(seq 1 "$SMOKE_WAIT_TRIES"); do
+        if curl -fsS "$1/metrics" 2>/dev/null | grep -Eq "$2"; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    return 1
+}
+
+# wait_exit PID -> succeeds once PID is gone; fails if it outlives the
+# bound (a daemon that ignored SIGTERM).
+wait_exit() {
+    for _ in $(seq 1 "$SMOKE_WAIT_TRIES"); do
+        kill -0 "$1" 2>/dev/null || return 0
+        sleep 0.1
+    done
+    return 1
+}
