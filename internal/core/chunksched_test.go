@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"numaio/internal/faults"
+	"numaio/internal/resilience"
+)
+
+// These tests pin the chunked (atomic-counter) scheduler introduced for the
+// zero-alloc sweep: workers claim contiguous ranges of (node, repeat) cells,
+// so the widths below are chosen to hit uneven chunk boundaries (3 does not
+// divide the cell count; 16 exceeds it). The determinism contract is the
+// same as parallel_test.go's: jitter and fault draws are keyed by job name,
+// so chunk shape must never change a value.
+
+// chunkWidths includes serial, even and uneven splits, and more workers
+// than cells.
+var chunkWidths = []int{1, 2, 3, 8, 16}
+
+// chunkChaosConfig builds the fault-plan config used by the boundary tests:
+// every resilience knob on, fake clock so retries don't sleep.
+func chunkChaosConfig(p int) Config {
+	return Config{
+		Repeats:     3,
+		Parallelism: p,
+		Faults: &faults.Plan{
+			Name: "chunk-bound",
+			Seed: 11,
+			Measurement: faults.MeasurementFault{
+				FailureRate:   0.10,
+				HangRate:      0.05,
+				OutlierRate:   0.10,
+				OutlierFactor: 0.4,
+				Noise:         0.03,
+			},
+		},
+		Clock: resilience.NewAutoClock(time.Unix(0, 0)),
+	}
+}
+
+// TestCharacterizeChunkBoundariesBitIdentical: one sweep (the path whose
+// cells go through the chunked scheduler) is identical at every width,
+// clean and under a fault plan.
+func TestCharacterizeChunkBoundariesBitIdentical(t *testing.T) {
+	sys := sysFor(t, "dl585g7")
+	for _, chaos := range []bool{false, true} {
+		name := "clean"
+		if chaos {
+			name = "faults"
+		}
+		t.Run(name, func(t *testing.T) {
+			var want *Model
+			for _, p := range chunkWidths {
+				cfg := Config{Repeats: 3, Parallelism: p}
+				if chaos {
+					cfg = chunkChaosConfig(p)
+				}
+				c, err := NewCharacterizer(sys, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := c.Characterize(7, ModeWrite)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if want == nil {
+					want = got
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("parallelism %d: model differs from serial", p)
+				}
+			}
+		})
+	}
+}
+
+// TestCharacterizeAllChunkBoundariesBitIdentical: the whole-host sweep
+// (pair-level atomic claiming, serial cells inside each sweep) serializes
+// to the same bytes at every width, clean and under a fault plan.
+func TestCharacterizeAllChunkBoundariesBitIdentical(t *testing.T) {
+	sys := sysFor(t, "magny-a")
+	for _, chaos := range []bool{false, true} {
+		name := "clean"
+		if chaos {
+			name = "faults"
+		}
+		t.Run(name, func(t *testing.T) {
+			var want []byte
+			for _, p := range chunkWidths {
+				cfg := Config{Repeats: 3, Parallelism: p}
+				if chaos {
+					cfg = chunkChaosConfig(p)
+				}
+				c, err := NewCharacterizer(sys, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mm, err := c.CharacterizeAll()
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := machineJSON(t, mm)
+				if want == nil {
+					want = got
+					continue
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("parallelism %d: machine model JSON differs from serial", p)
+				}
+			}
+		})
+	}
+}
+
+// TestChunkWorkerErrorDrains: a failure mid-chunk (no retry budget, partial
+// failure rate, so some cell deep inside a claimed range errors) must
+// surface the error and drain every worker — the test completing at all
+// proves no worker blocks on an orphaned handoff — and the characterizer
+// must stay usable for subsequent calls.
+func TestChunkWorkerErrorDrains(t *testing.T) {
+	cfg := Config{
+		Repeats:     5,
+		Parallelism: 4,
+		MaxRetries:  -1, // no retries: the first triggered fault is fatal
+		Faults: &faults.Plan{
+			Seed:        5,
+			Measurement: faults.MeasurementFault{FailureRate: 0.3},
+		},
+		Clock: resilience.NewAutoClock(time.Unix(0, 0)),
+	}
+	c, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Characterize(7, ModeWrite)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("certain mid-chunk failure with no retries must error")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker pool did not drain after mid-chunk failure")
+	}
+	// The pool must have recovered its runners: a second run on the same
+	// characterizer fails the same way rather than deadlocking or panicking.
+	if _, err := c.Characterize(7, ModeWrite); err == nil {
+		t.Fatal("second run after drain: expected injected failure, got nil")
+	}
+	// CharacterizeAll shares the pool; it must also drain cleanly.
+	if _, err := c.CharacterizeAll(); err == nil {
+		t.Fatal("CharacterizeAll under certain failure: expected error, got nil")
+	}
+}

@@ -37,11 +37,14 @@ import (
 
 // activeWorkers counts the measurement workers currently executing a
 // (node, repeat) cell, process-wide; numaiod exports it as the
-// numaiod_measure_workers_busy gauge.
+// numaiod_measure_workers_busy gauge. It is only maintained for traced
+// sweeps: untraced runs skip the two atomic adds per cell (a measurable
+// contention point at high parallelism) and the gauge reads 0.
 var activeWorkers atomic.Int64
 
 // ActiveMeasureWorkers returns the number of measurement cells currently
-// executing across all characterizations in the process.
+// executing across all *traced* characterizations in the process (untraced
+// sweeps skip the accounting — see activeWorkers).
 func ActiveMeasureWorkers() int64 { return activeWorkers.Load() }
 
 // Mode selects which I/O direction the model describes.
@@ -249,6 +252,10 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// runnerSlots is the number of per-worker runner slots (trace tracks 0 to
+// runnerSlots use the sharded path; beyond that the freelist takes over).
+const runnerSlots = 64
+
 // Characterizer runs Algorithm 1 on a system.
 type Characterizer struct {
 	sys   *numa.System
@@ -256,15 +263,30 @@ type Characterizer struct {
 	inj   *faults.Injector
 	retry resilience.RetryPolicy
 
-	// Runner freelist. Building a runner is the expensive part of a sweep —
+	// Runner pool. Building a runner is the expensive part of a sweep —
 	// resource table, fluid session, private host — so runners are pooled
 	// across sweeps and across CharacterizeAll calls instead of rebuilt per
 	// worker. Each runner owns a private numa.System over the shared machine:
 	// measured values never read host allocator state (memcpy buffer
 	// placement is explicit), and private hosts mean parallel workers never
 	// serialize on one allocator mutex.
+	//
+	// The pool is sharded per worker: slot[tid] parks the runner worker tid
+	// last used, so getRunner/putRunner are a single atomic swap mid-sweep
+	// (no global mutex) and each worker keeps hitting its own runner's warm
+	// caches. The mutex-guarded freelist only backs the slots up — slot
+	// collisions and out-of-range tids.
+	slot [runnerSlots + 1]atomic.Pointer[fio.Runner]
 	mu   sync.Mutex
 	idle []*fio.Runner
+
+	// names caches the per-sweep cell job names (see cellNames); fpOnce
+	// caches the machine fingerprint for CharacterizeAll.
+	nameMu sync.Mutex
+	names  map[sweepKey][]string
+	fpOnce sync.Once
+	fp     string
+	fpErr  error
 }
 
 // NewCharacterizer returns a characterizer for the system.
@@ -301,7 +323,14 @@ func NewCharacterizer(sys *numa.System, cfg Config) (*Characterizer, error) {
 
 // getRunner pops a pooled measurement runner (or builds one on a pool
 // miss), rebound to the given trace track. Return it with putRunner.
+// Worker tid's own slot is tried first — one atomic swap, warm caches.
 func (c *Characterizer) getRunner(tid int) (*fio.Runner, error) {
+	if tid >= 0 && tid <= runnerSlots {
+		if runner := c.slot[tid].Swap(nil); runner != nil {
+			runner.Tracer, runner.TraceTID = c.cfg.Tracer, tid
+			return runner, nil
+		}
+	}
 	c.mu.Lock()
 	if n := len(c.idle); n > 0 {
 		runner := c.idle[n-1]
@@ -317,7 +346,7 @@ func (c *Characterizer) getRunner(tid int) (*fio.Runner, error) {
 	}
 	runner := fio.NewRunner(sys)
 	runner.Sigma = c.cfg.Sigma
-	// The sweep reads only Report.Aggregate; skip the per-phase timeline.
+	// The sweep reads only the aggregate; skip the per-phase timeline.
 	runner.LeanTimeline = true
 	if err := runner.SetFaults(c.inj); err != nil {
 		return nil, err
@@ -326,9 +355,13 @@ func (c *Characterizer) getRunner(tid int) (*fio.Runner, error) {
 	return runner, nil
 }
 
-// putRunner parks a runner for reuse by later cells and sweeps.
-func (c *Characterizer) putRunner(runner *fio.Runner) {
+// putRunner parks a runner for reuse by later cells and sweeps, preferring
+// the worker's own slot.
+func (c *Characterizer) putRunner(runner *fio.Runner, tid int) {
 	runner.Tracer = nil
+	if tid >= 0 && tid <= runnerSlots && c.slot[tid].CompareAndSwap(nil, runner) {
+		return
+	}
 	c.mu.Lock()
 	c.idle = append(c.idle, runner)
 	c.mu.Unlock()
@@ -398,6 +431,7 @@ func (c *Characterizer) characterize(target topology.NodeID, mode Mode, budget, 
 		return nil, err
 	}
 	model := &Model{Machine: m.Name, Target: target, Mode: mode}
+	model.Samples = make([]Sample, 0, len(nodes))
 	totalOutliers := 0
 	for i, n := range nodes {
 		kept, rejected := vals[i], 0
@@ -443,12 +477,66 @@ func (s *cellStats) add(o cellStats) {
 	s.failures += o.failures
 }
 
+// measureScratch is one worker's reusable measurement state: the job slice
+// handed to the fio runner and the src/dst nodes its pointer fields bind
+// to. One per worker, so a cell allocates nothing to describe its job.
+type measureScratch struct {
+	jobs     [1]fio.Job
+	src, dst topology.NodeID
+}
+
+// newScratch seeds the sweep-invariant job fields; per-cell fields (Name,
+// src, dst) are filled by measureAttempt.
+func (c *Characterizer) newScratch(target topology.NodeID, threads int) *measureScratch {
+	sc := &measureScratch{}
+	sc.jobs[0] = fio.Job{
+		Engine:  device.EngineMemcpy,
+		Node:    target, // all copy threads bound to the target node
+		NumJobs: threads,
+		Size:    c.cfg.BytesPerThread,
+		SrcNode: &sc.src,
+		DstNode: &sc.dst,
+	}
+	return sc
+}
+
+// sweepKey identifies one (target, mode) sweep's cached cell names.
+type sweepKey struct {
+	target topology.NodeID
+	mode   Mode
+}
+
+// cellNames returns the attempt-0 job names of every (node, repeat) cell,
+// row-indexed [nodeIdx*reps+rep], built once per (target, mode) and cached:
+// the names carry the full cell coordinates (they key the jitter and fault
+// draws), and formatting them per cell was a measurable slice of the sweep.
+func (c *Characterizer) cellNames(target topology.NodeID, mode Mode, nodes []topology.NodeID, reps int) []string {
+	key := sweepKey{target: target, mode: mode}
+	c.nameMu.Lock()
+	defer c.nameMu.Unlock()
+	if row, ok := c.names[key]; ok && len(row) == len(nodes)*reps {
+		return row
+	}
+	row := make([]string, len(nodes)*reps)
+	for i, n := range nodes {
+		for rep := 0; rep < reps; rep++ {
+			row[i*reps+rep] = fmt.Sprintf("iomodel-%v-t%d-n%d-r%d", mode, int(target), int(n), rep)
+		}
+	}
+	if c.names == nil {
+		c.names = make(map[sweepKey][]string)
+	}
+	c.names[key] = row
+	return row
+}
+
 // measureCells runs every (node, repeat) measurement cell of one sweep and
 // returns vals[nodeIdx][rep] plus the summed resilience stats. Cells are
 // independent, so with workers > 1 they are distributed over a bounded
-// pool, one fio.Runner per worker. The result matrix (and the per-cell
-// stats it sums) is indexed, not appended, so scheduling order cannot
-// change the assembled model.
+// pool, one fio.Runner per worker: workers claim contiguous index ranges
+// off an atomic counter — no channel send per cell — and the result matrix
+// (and the per-cell stats it sums) is indexed, not appended, so scheduling
+// order cannot change the assembled model.
 func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads int, nodes []topology.NodeID, workers, tid int) ([][]float64, cellStats, error) {
 	reps := c.cfg.Repeats
 	flat := make([]float64, len(nodes)*reps)
@@ -458,24 +546,35 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 	}
 	total := len(nodes) * reps
 	perCell := make([]cellStats, total)
+	names := c.cellNames(target, mode, nodes, reps)
 	var sum cellStats
+	// Occupancy accounting (the process-wide busy-worker gauge and its
+	// trace counter series) costs two atomic adds per cell; pay it only
+	// when a tracer is actually consuming the series.
+	traced := c.cfg.Tracer != nil
 
 	if workers <= 1 {
 		runner, err := c.getRunner(tid)
 		if err != nil {
 			return nil, sum, err
 		}
-		defer c.putRunner(runner)
+		defer c.putRunner(runner, tid)
+		sc := c.newScratch(target, threads)
 		for i, n := range nodes {
 			for rep := 0; rep < reps; rep++ {
-				activeWorkers.Add(1)
-				v, st, err := c.measureCell(runner, target, n, mode, threads, rep, tid)
-				activeWorkers.Add(-1)
+				idx := i*reps + rep
+				if traced {
+					activeWorkers.Add(1)
+				}
+				v, st, err := c.measureCell(runner, sc, names[idx], target, n, mode, rep, tid)
+				if traced {
+					activeWorkers.Add(-1)
+				}
 				if err != nil {
 					return nil, sum, err
 				}
 				vals[i][rep] = v
-				perCell[i*reps+rep] = st
+				perCell[idx] = st
 			}
 		}
 		for _, st := range perCell {
@@ -484,52 +583,71 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 		return vals, sum, nil
 	}
 
-	cells := make(chan int)
+	// Workers grab chunkSize cells at a time: big enough that claiming is a
+	// handful of atomic adds per sweep, small enough (4 chunks per worker)
+	// that an unlucky worker cannot strand a long tail.
+	chunk := int64(total / (workers * 4))
+	if chunk < 1 {
+		chunk = 1
+	}
+	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		failed.Store(true)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(wtid int) {
 			defer wg.Done()
 			runner, err := c.getRunner(wtid)
 			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				for range cells {
-					// Drain so the feeder never blocks.
-				}
+				fail(err)
 				return
 			}
-			defer c.putRunner(runner)
-			for idx := range cells {
-				i, rep := idx/reps, idx%reps
-				// Worker-pool occupancy, sampled onto the trace as a counter
-				// series (parallel paths only, so serial traces stay
-				// byte-deterministic).
-				c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(1)))
-				v, st, err := c.measureCell(runner, target, nodes[i], mode, threads, rep, wtid)
-				c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(-1)))
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					continue
+			defer c.putRunner(runner, wtid)
+			sc := c.newScratch(target, threads)
+			for {
+				end := next.Add(chunk)
+				start := end - chunk
+				if start >= int64(total) {
+					return
 				}
-				vals[i][rep] = v
-				perCell[idx] = st
+				if end > int64(total) {
+					end = int64(total)
+				}
+				for idx := start; idx < end; idx++ {
+					if failed.Load() {
+						return
+					}
+					i, rep := int(idx)/reps, int(idx)%reps
+					if traced {
+						// Worker-pool occupancy, sampled onto the trace as a
+						// counter series (parallel paths only, so serial traces
+						// stay byte-deterministic).
+						c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(1)))
+					}
+					v, st, err := c.measureCell(runner, sc, names[idx], target, nodes[i], mode, rep, wtid)
+					if traced {
+						c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(-1)))
+					}
+					if err != nil {
+						fail(err)
+						return
+					}
+					vals[i][rep] = v
+					perCell[idx] = st
+				}
 			}
 		}(w + 1)
 	}
-	for idx := 0; idx < total; idx++ {
-		cells <- idx
-	}
-	close(cells)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, sum, firstErr
@@ -554,7 +672,7 @@ func retryable(err error) bool {
 // attempt-suffixed job name, so the retry deterministically re-rolls its
 // fault and jitter draws. The returned stats are a pure function of the
 // cell and the fault-plan seed.
-func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep, tid int) (float64, cellStats, error) {
+func (c *Characterizer) measureCell(runner *fio.Runner, sc *measureScratch, name string, target, n topology.NodeID, mode Mode, rep, tid int) (float64, cellStats, error) {
 	var cell *telemetry.Span
 	if c.cfg.Tracer != nil {
 		cell = c.cfg.Tracer.StartSpanOn(tid,
@@ -568,7 +686,7 @@ func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeI
 		maxAttempts = 1
 	}
 	for attempt := 0; ; attempt++ {
-		v, err := c.measureAttempt(runner, target, n, mode, threads, rep, attempt)
+		v, err := c.measureAttempt(runner, sc, name, target, n, mode, attempt)
 		if err == nil {
 			cell.SetAttr(telemetry.Int("attempts", attempt+1))
 			cell.End()
@@ -601,36 +719,31 @@ func (c *Characterizer) measureCell(runner *fio.Runner, target, n topology.NodeI
 // measureAttempt runs the memcpy engine once. The job name carries the
 // full cell coordinates (plus the attempt number on retries), so the
 // jitter and fault draws — and therefore the measured value — are a pure
-// function of the cell, independent of which worker runs it.
-func (c *Characterizer) measureAttempt(runner *fio.Runner, target, n topology.NodeID, mode Mode, threads, rep, attempt int) (float64, error) {
-	src, dst := n, target // device write: read from node i, store at target
+// function of the cell, independent of which worker runs it. The job rides
+// in the worker's scratch and the runner's aggregate-only path, so a clean
+// attempt allocates nothing.
+func (c *Characterizer) measureAttempt(runner *fio.Runner, sc *measureScratch, name string, target, n topology.NodeID, mode Mode, attempt int) (float64, error) {
+	sc.src, sc.dst = n, target // device write: read from node i, store at target
 	if mode == ModeRead {
-		src, dst = target, n // device read: read at target, store to node i
+		sc.src, sc.dst = target, n // device read: read at target, store to node i
 	}
-	name := fmt.Sprintf("iomodel-%v-t%d-n%d-r%d", mode, int(target), int(n), rep)
 	if attempt > 0 {
+		// Retries re-roll their draws under an attempt-suffixed name; the
+		// rare path keeps the Sprintf.
 		name = fmt.Sprintf("%s-a%d", name, attempt)
 	}
-	job := fio.Job{
-		Name:    name,
-		Engine:  device.EngineMemcpy,
-		Node:    target, // all copy threads bound to the target node
-		NumJobs: threads,
-		Size:    c.cfg.BytesPerThread,
-		SrcNode: &src,
-		DstNode: &dst,
-	}
+	sc.jobs[0].Name = name
 	ctx := context.Background()
 	if c.cfg.MeasureTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = resilience.ContextWithTimeout(ctx, c.cfg.Clock, c.cfg.MeasureTimeout)
 		defer cancel()
 	}
-	report, err := runner.RunContext(ctx, []fio.Job{job})
+	agg, err := runner.RunAggregate(ctx, sc.jobs[:])
 	if err != nil {
 		return 0, err
 	}
-	return float64(report.Aggregate), nil
+	return float64(agg), nil
 }
 
 // rejectOutliers drops the values whose modified z-score against the

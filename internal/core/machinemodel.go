@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"numaio/internal/topology"
 )
@@ -28,11 +29,14 @@ type MachineModel struct {
 // assembled in the same (target, mode) order as the serial run.
 func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 	m := c.sys.Machine()
-	fp, err := topology.Fingerprint(m)
-	if err != nil {
-		return nil, err
+	// The fingerprint is a pure function of the (immutable) machine; compute
+	// it once per Characterizer instead of re-encoding the topology to JSON
+	// on every call.
+	c.fpOnce.Do(func() { c.fp, c.fpErr = topology.Fingerprint(m) })
+	if c.fpErr != nil {
+		return nil, c.fpErr
 	}
-	out := &MachineModel{Machine: m.Name, Fingerprint: fp}
+	out := &MachineModel{Machine: m.Name, Fingerprint: c.fp}
 
 	modes := []Mode{ModeWrite, ModeRead}
 	targets := m.NodeIDs()
@@ -54,7 +58,10 @@ func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 		return out, nil
 	}
 
-	jobs := make(chan int)
+	// Workers claim (target, mode) pairs off an atomic counter — a sweep is
+	// long enough that one claim per sweep is the whole dispatch cost — and
+	// write each model at its pair index, so assembly order matches serial.
+	var next atomic.Int64
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -62,7 +69,11 @@ func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 		wg.Add(1)
 		go func(wtid int) {
 			defer wg.Done()
-			for idx := range jobs {
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= pairs {
+					return
+				}
 				target, mode := targets[idx/len(modes)], modes[idx%len(modes)]
 				model, err := c.characterize(target, mode, 1, wtid)
 				if err != nil {
@@ -78,10 +89,6 @@ func (c *Characterizer) CharacterizeAll() (*MachineModel, error) {
 			}
 		}(w + 1)
 	}
-	for idx := 0; idx < pairs; idx++ {
-		jobs <- idx
-	}
-	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr

@@ -153,6 +153,13 @@ type Runner struct {
 	// faults are deterministic regardless of scheduling.
 	faults    *faults.Injector
 	linkScale map[fabric.ResourceID]float64
+
+	// insts and transfers are per-run scratch reused across runs, and names
+	// memoizes instance IDs and jitter keys per job shape, so the
+	// characterization sweep's inner loop stays off the allocator.
+	insts     []instance
+	transfers []simhost.Transfer
+	names     map[nameKey]*instNames
 }
 
 type copyKey struct{ src, dst topology.NodeID }
@@ -192,14 +199,15 @@ func (r *Runner) SetFaults(inj *faults.Injector) error {
 
 // instance identifies one process while building flows.
 type instance struct {
-	job      Job
-	idx      int
-	id       string
-	buffer   *simhost.Buffer
-	bufNode  topology.NodeID
-	devID    string
-	isDevice bool
-	pathLat  units.Duration
+	job       Job
+	idx       int
+	id        string
+	jitterKey string
+	buffer    *simhost.Buffer
+	bufNode   topology.NodeID
+	devID     string
+	isDevice  bool
+	pathLat   units.Duration
 }
 
 // Run executes the jobs concurrently to completion and reports bandwidths.
@@ -213,117 +221,22 @@ func (r *Runner) Run(jobs []Job) (*Report, error) {
 // simulated engines themselves complete instantly, so without a fault plan
 // the context is never consulted and Run and RunContext are identical.
 func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
-	if len(jobs) == 0 {
-		return nil, fmt.Errorf("fio: no jobs")
+	fluid, err := r.runFluid(ctx, jobs)
+	defer r.freeBuffers()
+	if err != nil {
+		return nil, err
 	}
 	m := r.sys.Machine()
-
-	// Expand jobs into instances, allocating each process's buffer.
-	var insts []*instance
-	cleanup := func() {
-		for _, in := range insts {
-			if in.buffer != nil {
-				_ = r.sys.Host().Free(in.buffer)
-			}
-		}
+	insts := r.insts
+	rep := &Report{
+		Instances: make([]InstanceResult, 0, len(insts)),
+		PerJob:    make(map[string]units.Bandwidth, len(jobs)),
+		Timeline:  fluid.Timeline,
 	}
-	defer cleanup()
-
-	ssdRR := 0
-	var runKey string
-	for ji, j := range jobs {
-		j = j.withDefaults(ji)
-		if _, ok := m.Node(j.Node); !ok {
-			return nil, fmt.Errorf("fio: job %q: unknown node %d", j.Name, int(j.Node))
-		}
-		if runKey != "" {
-			runKey += "+"
-		}
-		runKey += j.Name
-		if r.faults != nil {
-			fkey := m.Name + "/" + j.Name
-			if r.faults.HangAttempt(fkey) {
-				// The induced hang: block until the caller's deadline.
-				<-ctx.Done()
-				return nil, fmt.Errorf("fio: injected hang in job %q: %w", j.Name, context.Cause(ctx))
-			}
-			if r.faults.FailAttempt(fkey) {
-				return nil, fmt.Errorf("fio: job %q: %w", j.Name, faults.ErrInjectedFailure)
-			}
-		}
-		for k := 0; k < j.NumJobs; k++ {
-			in := &instance{job: j, idx: k, id: j.Name + "/" + strconv.Itoa(k)}
-			switch j.Engine {
-			case device.EngineMemcpy:
-				if j.SrcNode == nil || j.DstNode == nil {
-					return nil, fmt.Errorf("fio: job %q: memcpy engine needs src/dst nodes", j.Name)
-				}
-				if _, ok := m.Node(*j.SrcNode); !ok {
-					return nil, fmt.Errorf("fio: job %q: unknown src node %d", j.Name, int(*j.SrcNode))
-				}
-				if _, ok := m.Node(*j.DstNode); !ok {
-					return nil, fmt.Errorf("fio: job %q: unknown dst node %d", j.Name, int(*j.DstNode))
-				}
-			default:
-				spec, err := r.spec(j.Engine)
-				if err != nil {
-					return nil, fmt.Errorf("fio: job %q: %w", j.Name, err)
-				}
-				in.isDevice = true
-				devID, err := r.pickDevice(j, spec, &ssdRR)
-				if err != nil {
-					return nil, fmt.Errorf("fio: job %q: %w", j.Name, err)
-				}
-				in.devID = devID
-			}
-			if err := r.allocBuffer(in); err != nil {
-				return nil, fmt.Errorf("fio: job %q: %w", j.Name, err)
-			}
-			insts = append(insts, in)
-		}
-	}
-
-	resources, hasDevice, err := r.buildResources(insts, runKey)
-	if err != nil {
-		return nil, err
-	}
-	transfers := make([]simhost.Transfer, 0, len(insts))
-	for _, in := range insts {
-		tr, err := r.buildTransfer(in)
-		if err != nil {
-			return nil, err
-		}
-		transfers = append(transfers, tr)
-	}
-
-	var fluid *simhost.SessionResult
-	if hasDevice {
-		fluid, err = simhost.RunFluidTraced(resources, transfers, r.Tracer, r.TraceTID)
-	} else {
-		// Device-free runs (the memcpy characterization path) always solve
-		// over exactly the base resource table — reuse one session.
-		if r.memSession == nil {
-			r.memSession, err = simhost.NewFluidSession(resources)
-			if err != nil {
-				return nil, err
-			}
-		}
-		r.memSession.SetTracer(r.Tracer, r.TraceTID)
-		r.memSession.SetLeanTimeline(r.LeanTimeline)
-		fluid, err = r.memSession.Run(transfers)
-	}
-	if err != nil {
-		return nil, err
-	}
-
-	rep := &Report{PerJob: make(map[string]units.Bandwidth), Timeline: fluid.Timeline}
-	for _, in := range insts {
+	for i := range insts {
+		in := &insts[i]
 		res := fluid.Transfers[in.id]
-		// Concatenation, byte-identical to the "%s/%s/%s/n%d" format this key
-		// has always used — same draws, no Sprintf on the sweep's hot path.
-		jitter := simhost.Jitter(
-			m.Name+"/"+in.job.Engine+"/"+in.id+"/n"+strconv.Itoa(int(in.job.Node)),
-			r.effectiveSigma(in.job))
+		jitter := simhost.Jitter(in.jitterKey, r.effectiveSigma(in.job))
 		if r.faults != nil {
 			// Outliers and extra noise, keyed per job: every instance of a
 			// measurement is disturbed together, producing the clean
@@ -353,11 +266,199 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Report, error) {
 			rep.Makespan = ir.Duration
 		}
 	}
-	sort.Slice(rep.Instances, func(i, k int) bool {
-		return rep.Instances[i].Job < rep.Instances[k].Job ||
-			(rep.Instances[i].Job == rep.Instances[k].Job && rep.Instances[i].Instance < rep.Instances[k].Instance)
-	})
+	sortInstances(rep.Instances)
 	return rep, nil
+}
+
+// RunAggregate is RunContext reduced to the steady aggregate: same jobs,
+// same jitter and fault draws, same float accumulation order — but no
+// Report, per-job map, latency stats or sort. The characterization sweep's
+// inner loop reads only the aggregate, and this path keeps a measurement
+// cell allocation-free.
+func (r *Runner) RunAggregate(ctx context.Context, jobs []Job) (units.Bandwidth, error) {
+	fluid, err := r.runFluid(ctx, jobs)
+	defer r.freeBuffers()
+	if err != nil {
+		return 0, err
+	}
+	m := r.sys.Machine()
+	var agg units.Bandwidth
+	for i := range r.insts {
+		in := &r.insts[i]
+		res := fluid.Transfers[in.id]
+		jitter := simhost.Jitter(in.jitterKey, r.effectiveSigma(in.job))
+		if r.faults != nil {
+			jitter *= r.faults.SampleFactor(m.Name + "/" + in.job.Name)
+		}
+		agg += units.Bandwidth(float64(res.InitialRate) * jitter)
+	}
+	return agg, nil
+}
+
+// runFluid expands jobs into r.insts (reused scratch), allocates buffers,
+// builds the resource table and transfers, and runs the fluid solve. The
+// caller owns freeing the buffers (freeBuffers), including on error. For
+// lean device-free runs the returned result is session-owned and only
+// valid until the next run.
+func (r *Runner) runFluid(ctx context.Context, jobs []Job) (*simhost.SessionResult, error) {
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("fio: no jobs")
+	}
+	m := r.sys.Machine()
+	r.insts = r.insts[:0]
+
+	ssdRR := 0
+	var runKey string
+	for ji, j := range jobs {
+		j = j.withDefaults(ji)
+		if _, ok := m.Node(j.Node); !ok {
+			return nil, fmt.Errorf("fio: job %q: unknown node %d", j.Name, int(j.Node))
+		}
+		if runKey != "" {
+			runKey += "+"
+		}
+		runKey += j.Name
+		if r.faults != nil {
+			fkey := m.Name + "/" + j.Name
+			if r.faults.HangAttempt(fkey) {
+				// The induced hang: block until the caller's deadline.
+				<-ctx.Done()
+				return nil, fmt.Errorf("fio: injected hang in job %q: %w", j.Name, context.Cause(ctx))
+			}
+			if r.faults.FailAttempt(fkey) {
+				return nil, fmt.Errorf("fio: job %q: %w", j.Name, faults.ErrInjectedFailure)
+			}
+		}
+		for k := 0; k < j.NumJobs; k++ {
+			id, jkey := r.instStrings(m, &j, k)
+			r.insts = append(r.insts, instance{job: j, idx: k, id: id, jitterKey: jkey})
+			in := &r.insts[len(r.insts)-1]
+			switch j.Engine {
+			case device.EngineMemcpy:
+				if j.SrcNode == nil || j.DstNode == nil {
+					return nil, fmt.Errorf("fio: job %q: memcpy engine needs src/dst nodes", j.Name)
+				}
+				if _, ok := m.Node(*j.SrcNode); !ok {
+					return nil, fmt.Errorf("fio: job %q: unknown src node %d", j.Name, int(*j.SrcNode))
+				}
+				if _, ok := m.Node(*j.DstNode); !ok {
+					return nil, fmt.Errorf("fio: job %q: unknown dst node %d", j.Name, int(*j.DstNode))
+				}
+			default:
+				spec, err := r.spec(j.Engine)
+				if err != nil {
+					return nil, fmt.Errorf("fio: job %q: %w", j.Name, err)
+				}
+				in.isDevice = true
+				devID, err := r.pickDevice(j, spec, &ssdRR)
+				if err != nil {
+					return nil, fmt.Errorf("fio: job %q: %w", j.Name, err)
+				}
+				in.devID = devID
+			}
+			if err := r.allocBuffer(in); err != nil {
+				return nil, fmt.Errorf("fio: job %q: %w", j.Name, err)
+			}
+		}
+	}
+
+	resources, hasDevice, err := r.buildResources(r.insts, runKey)
+	if err != nil {
+		return nil, err
+	}
+	r.transfers = r.transfers[:0]
+	for i := range r.insts {
+		tr, err := r.buildTransfer(&r.insts[i])
+		if err != nil {
+			return nil, err
+		}
+		r.transfers = append(r.transfers, tr)
+	}
+
+	if hasDevice {
+		return simhost.RunFluidTraced(resources, r.transfers, r.Tracer, r.TraceTID)
+	}
+	// Device-free runs (the memcpy characterization path) always solve
+	// over exactly the base resource table — reuse one session.
+	if r.memSession == nil {
+		r.memSession, err = simhost.NewFluidSession(resources)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.memSession.SetTracer(r.Tracer, r.TraceTID)
+	r.memSession.SetLeanTimeline(r.LeanTimeline)
+	if r.LeanTimeline {
+		// Lean callers only read scalar results before the next run, so the
+		// session-owned result avoids a SessionResult per measurement.
+		return r.memSession.RunShared(r.transfers)
+	}
+	return r.memSession.Run(r.transfers)
+}
+
+// freeBuffers releases every buffer the last runFluid allocated.
+func (r *Runner) freeBuffers() {
+	for i := range r.insts {
+		if b := r.insts[i].buffer; b != nil {
+			_ = r.sys.Host().Free(b)
+			r.insts[i].buffer = nil
+		}
+	}
+}
+
+// maxInstNames bounds the Runner's instance-name cache; past it (huge
+// generated sweeps with per-attempt renames) names are computed per run
+// instead of cached.
+const maxInstNames = 8192
+
+// instStrings returns the instance ID ("name/k") and jitter key
+// ("machine/engine/id/nNode" — byte-identical to the format these keys have
+// always used, so draws are unchanged) for process k of a job, memoized per
+// (name, engine, node): the characterization sweep re-runs every cell name
+// repeatedly and the concatenations were a top allocation site.
+func (r *Runner) instStrings(m *topology.Machine, j *Job, k int) (id, jitterKey string) {
+	key := nameKey{name: j.Name, engine: j.Engine, node: j.Node}
+	n := r.names[key]
+	if n == nil {
+		if len(r.names) >= maxInstNames {
+			id = j.Name + "/" + strconv.Itoa(k)
+			return id, m.Name + "/" + j.Engine + "/" + id + "/n" + strconv.Itoa(int(j.Node))
+		}
+		if r.names == nil {
+			r.names = make(map[nameKey]*instNames)
+		}
+		n = &instNames{}
+		r.names[key] = n
+	}
+	for len(n.ids) <= k {
+		kk := len(n.ids)
+		idk := j.Name + "/" + strconv.Itoa(kk)
+		n.ids = append(n.ids, idk)
+		n.jitterKeys = append(n.jitterKeys,
+			m.Name+"/"+j.Engine+"/"+idk+"/n"+strconv.Itoa(int(j.Node)))
+	}
+	return n.ids[k], n.jitterKeys[k]
+}
+
+type nameKey struct {
+	name, engine string
+	node         topology.NodeID
+}
+
+type instNames struct {
+	ids, jitterKeys []string
+}
+
+// sortInstances orders results by (Job, Instance) with an insertion sort:
+// expansion order is already nearly sorted, and sort.Slice's reflection
+// swapper allocates on every call.
+func sortInstances(s []InstanceResult) {
+	for i := 1; i < len(s); i++ {
+		for k := i; k > 0 && (s[k].Job < s[k-1].Job ||
+			(s[k].Job == s[k-1].Job && s[k].Instance < s[k-1].Instance)); k-- {
+			s[k], s[k-1] = s[k-1], s[k]
+		}
+	}
 }
 
 // effectiveSigma grows the reporting noise once streams oversubscribe the
@@ -465,11 +566,12 @@ func (r *Runner) baseResources() []fabric.Resource {
 // (device, engine) pair in use, and reports whether any device instance is
 // present. Under a fault plan the engine capacity is scaled per (device,
 // run) — or the run fails outright when the plan takes the device offline.
-func (r *Runner) buildResources(insts []*instance, runKey string) ([]fabric.Resource, bool, error) {
+func (r *Runner) buildResources(insts []instance, runKey string) ([]fabric.Resource, bool, error) {
 	resources := r.baseResources()
 	hasDevice := false
 	var seen map[fabric.ResourceID]bool
-	for _, in := range insts {
+	for i := range insts {
+		in := &insts[i]
 		if !in.isDevice {
 			continue
 		}

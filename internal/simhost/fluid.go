@@ -49,6 +49,14 @@ type SessionResult struct {
 	Timeline Timeline
 }
 
+// phaseSpan records one phase's scalars plus how many arena entries it
+// owns; the escaping Timeline is materialized from the arenas in one exact
+// allocation per kind at the end of a run.
+type phaseSpan struct {
+	start, dur           float64
+	ratesN, utilN, compN int32
+}
+
 // FluidSession runs fluid sessions over a fixed resource set, reusing one
 // solver (and its registered resource table) across runs plus the per-run
 // bookkeeping buffers, so steady-state runs stay off the allocator. Callers
@@ -64,8 +72,8 @@ type FluidSession struct {
 	tr  *telemetry.Tracer
 	tid int
 
-	// lean skips the phase-by-phase Timeline (its maps dominate the cost of
-	// a run); rates, durations and aggregates are unaffected. The
+	// lean skips the phase-by-phase Timeline (its entries dominate the cost
+	// of a run); rates, durations and aggregates are unaffected. The
 	// characterization sweep, which only reads aggregates, runs lean.
 	lean bool
 
@@ -82,6 +90,18 @@ type FluidSession struct {
 	done      []bool
 	results   []TransferResult // per ord index
 	dropIdx   []int32          // per-phase completed flow indices
+
+	// Timeline arenas: phase records accumulate here during a run and are
+	// copied out in one exact-size block per kind, so a run's timeline
+	// costs a handful of allocations instead of two maps per phase.
+	spans     []phaseSpan
+	rateArena []TransferRate
+	utilArena []ResourceUtil
+	compArena []string
+
+	// out is the session-owned result served by RunShared; its Transfers
+	// map is cleared and refilled per run instead of reallocated.
+	out SessionResult
 
 	// raw snapshots the caller's transfer slice (input order) from the last
 	// run that built the solver's flow table. When the next run passes an
@@ -199,8 +219,22 @@ func resourcesMatch(snap, resources []fabric.Resource) bool {
 	return true
 }
 
-// Run executes one fluid session over the session's fabric.
+// Run executes one fluid session over the session's fabric. The returned
+// result is freshly allocated and owned by the caller.
 func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
+	return fs.run(transfers, false)
+}
+
+// RunShared is Run with the result assembled into session-owned storage:
+// the returned SessionResult (including its Transfers map) is reused by the
+// next Run/RunShared call, so steady-state callers that consume the result
+// before running again — the characterization sweep's measurement loop —
+// stay entirely off the allocator. Do not retain the result.
+func (fs *FluidSession) RunShared(transfers []Transfer) (*SessionResult, error) {
+	return fs.run(transfers, true)
+}
+
+func (fs *FluidSession) run(transfers []Transfer, shared bool) (*SessionResult, error) {
 	n := len(transfers)
 	if n == 0 {
 		return &SessionResult{Transfers: map[string]TransferResult{}}, nil
@@ -217,7 +251,14 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 		}
 		fs.ord = append(fs.ord[:0], transfers...)
 		ord := fs.ord
-		if !sort.SliceIsSorted(ord, func(i, j int) bool { return ord[i].ID < ord[j].ID }) {
+		sorted := true
+		for i := 1; i < n; i++ {
+			if ord[i].ID < ord[i-1].ID {
+				sorted = false
+				break
+			}
+		}
+		if !sorted {
 			sort.Slice(ord, func(i, j int) bool { return ord[i].ID < ord[j].ID })
 		}
 		for i := 1; i < n; i++ {
@@ -249,6 +290,10 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 		done[i] = false
 		results[i] = TransferResult{}
 	}
+	fs.spans = fs.spans[:0]
+	fs.rateArena = fs.rateArena[:0]
+	fs.utilArena = fs.utilArena[:0]
+	fs.compArena = fs.compArena[:0]
 
 	var runSpan *telemetry.Span
 	if fs.tr != nil {
@@ -259,19 +304,18 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 
 	var now float64 // seconds
 	var totalBits float64
-	var timeline Timeline
 	activeCount := n
 	first := true
 	phaseIdx := 0
 	for activeCount > 0 {
-		var phaseSpan *telemetry.Span
+		var phaseSpanT *telemetry.Span
 		if fs.tr != nil {
-			phaseSpan = runSpan.StartSpan("fluid-phase", "fluid",
+			phaseSpanT = runSpan.StartSpan("fluid-phase", "fluid",
 				telemetry.Int("phase", phaseIdx), telemetry.Int("active", activeCount))
 		}
 		ia, err := s.SolveIndexed()
 		if err != nil {
-			phaseSpan.End()
+			phaseSpanT.End()
 			return nil, err
 		}
 
@@ -288,7 +332,7 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 			r := float64(ia.Rate(k))
 			k++
 			if r <= 0 {
-				phaseSpan.End()
+				phaseSpanT.End()
 				return nil, fmt.Errorf("simhost: transfer %q starved (zero rate)", ord[i].ID)
 			}
 			rate[i] = r
@@ -297,29 +341,18 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 			}
 		}
 
-		// Materialize the phase record before any removal below invalidates
-		// the indexed view. Only loaded resources appear in Utilization —
-		// an absent key reads as 0, which is also its value.
-		var phase Phase
+		// Record the phase into the arenas before any removal below
+		// invalidates the indexed view. Only loaded resources appear in the
+		// utilization list — an absent entry reads as 0, which is also its
+		// value.
+		sp := phaseSpan{start: now, dur: dt}
 		if !fs.lean {
 			nres := ia.NumResources()
-			loaded := 0
-			for ri := 0; ri < nres; ri++ {
-				if ia.Utilization(ri) > 0 {
-					loaded++
-				}
-			}
-			util := make(map[fabric.ResourceID]float64, loaded)
 			for ri := 0; ri < nres; ri++ {
 				if u := ia.Utilization(ri); u > 0 {
-					util[ia.ResourceID(ri)] = u
+					fs.utilArena = append(fs.utilArena, ResourceUtil{Resource: ia.ResourceID(ri), Util: u})
+					sp.utilN++
 				}
-			}
-			phase = Phase{
-				Start:       units.Duration(now),
-				Duration:    units.Duration(dt),
-				Rates:       make(map[string]units.Bandwidth, activeCount),
-				Utilization: util,
 			}
 		}
 		// Completions are collected and removed in one compaction pass:
@@ -333,7 +366,8 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 			}
 			id := ord[i].ID
 			if !fs.lean {
-				phase.Rates[id] = units.Bandwidth(rate[i])
+				fs.rateArena = append(fs.rateArena, TransferRate{ID: id, Rate: units.Bandwidth(rate[i])})
+				sp.ratesN++
 			}
 			if first {
 				results[i].ID = id
@@ -346,7 +380,8 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 				results[i].Bandwidth = units.Rate(ord[i].Bytes, results[i].Duration)
 				totalBits += ord[i].Bytes.Bits()
 				if !fs.lean {
-					phase.Completed = append(phase.Completed, id)
+					fs.compArena = append(fs.compArena, id)
+					sp.compN++
 				}
 				done[i] = true
 				activeCount--
@@ -357,19 +392,33 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 		s.RemoveFlowsAt(dropIdx)
 		fs.dropIdx = dropIdx[:0]
 		if !fs.lean {
-			timeline.Phases = append(timeline.Phases, phase)
-			phaseSpan.SetAttr(telemetry.Int("completed", len(phase.Completed)))
+			fs.spans = append(fs.spans, sp)
+			phaseSpanT.SetAttr(telemetry.Int("completed", int(sp.compN)))
 		}
-		phaseSpan.End()
+		phaseSpanT.End()
 		phaseIdx++
 		now += dt
 		first = false
 	}
 
-	out := &SessionResult{
-		Transfers: make(map[string]TransferResult, n),
-		Makespan:  units.Duration(now),
-		Timeline:  timeline,
+	var out *SessionResult
+	if shared {
+		out = &fs.out
+		if out.Transfers == nil {
+			out.Transfers = make(map[string]TransferResult, n)
+		} else {
+			clear(out.Transfers)
+		}
+		out.Makespan = units.Duration(now)
+		out.AggregateBandwidth = 0
+		out.SteadyAggregate = 0
+		out.Timeline = fs.materializeTimeline()
+	} else {
+		out = &SessionResult{
+			Transfers: make(map[string]TransferResult, n),
+			Makespan:  units.Duration(now),
+			Timeline:  fs.materializeTimeline(),
+		}
 	}
 	if now > 0 {
 		out.AggregateBandwidth = units.Bandwidth(totalBits / now)
@@ -380,4 +429,38 @@ func (fs *FluidSession) Run(transfers []Transfer) (*SessionResult, error) {
 		out.SteadyAggregate += results[i].InitialRate
 	}
 	return out, nil
+}
+
+// materializeTimeline copies the run's arena-accumulated phase records into
+// an exactly-sized, caller-owned Timeline: one allocation per entry kind
+// regardless of phase count. Lean runs return the zero Timeline.
+func (fs *FluidSession) materializeTimeline() Timeline {
+	if fs.lean || len(fs.spans) == 0 {
+		return Timeline{}
+	}
+	rates := make(RateList, len(fs.rateArena))
+	copy(rates, fs.rateArena)
+	utils := make(UtilList, len(fs.utilArena))
+	copy(utils, fs.utilArena)
+	var comp []string
+	if len(fs.compArena) > 0 {
+		comp = make([]string, len(fs.compArena))
+		copy(comp, fs.compArena)
+	}
+	phases := make([]Phase, len(fs.spans))
+	var ro, uo, co int32
+	for i, sp := range fs.spans {
+		p := &phases[i]
+		p.Start = units.Duration(sp.start)
+		p.Duration = units.Duration(sp.dur)
+		p.Rates = rates[ro : ro+sp.ratesN : ro+sp.ratesN]
+		p.Utilization = utils[uo : uo+sp.utilN : uo+sp.utilN]
+		if sp.compN > 0 {
+			p.Completed = comp[co : co+sp.compN : co+sp.compN]
+		}
+		ro += sp.ratesN
+		uo += sp.utilN
+		co += sp.compN
+	}
+	return Timeline{Phases: phases}
 }

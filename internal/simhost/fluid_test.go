@@ -35,7 +35,7 @@ func TestRunFluidSimultaneousCompletions(t *testing.T) {
 	}
 	// Both ran at 5 Gb/s for the whole makespan.
 	for _, id := range []string{"a", "b"} {
-		if got := p.Rates[id].Gbps(); math.Abs(got-5) > 1e-6 {
+		if got := p.Rates.Get(id).Gbps(); math.Abs(got-5) > 1e-6 {
 			t.Errorf("rate[%s] = %v, want 5", id, got)
 		}
 		tr := out.Transfers[id]
@@ -72,10 +72,10 @@ func TestRunFluidSimultaneousAmongStaggered(t *testing.T) {
 		t.Errorf("phase 1 completed = %v, want [big]", p1.Completed)
 	}
 	// Phase 0: 4 Gb/s each; phase 1: big alone at the full 12 Gb/s.
-	if got := p0.Rates["big"].Gbps(); math.Abs(got-4) > 1e-6 {
+	if got := p0.Rates.Get("big").Gbps(); math.Abs(got-4) > 1e-6 {
 		t.Errorf("phase 0 big rate = %v, want 4", got)
 	}
-	if got := p1.Rates["big"].Gbps(); math.Abs(got-12) > 1e-6 {
+	if got := p1.Rates.Get("big").Gbps(); math.Abs(got-12) > 1e-6 {
 		t.Errorf("phase 1 big rate = %v, want 12", got)
 	}
 	if len(p1.Rates) != 1 {
@@ -108,7 +108,7 @@ func TestRunFluidSingleTransferTimeline(t *testing.T) {
 	if !reflect.DeepEqual(p.Completed, []string{"only"}) {
 		t.Errorf("completed = %v, want [only]", p.Completed)
 	}
-	if got := p.Utilization["l"]; math.Abs(got-1) > 1e-9 {
+	if got := p.Utilization.Get("l"); math.Abs(got-1) > 1e-9 {
 		t.Errorf("utilization = %v, want 1", got)
 	}
 	if got := out.Transfers["only"].InitialRate.Gbps(); math.Abs(got-8) > 1e-6 {
@@ -138,17 +138,17 @@ func TestRunFluidRateCappedContention(t *testing.T) {
 		t.Fatalf("phases = %d, want 2\n%s", len(out.Timeline.Phases), out.Timeline.Summary())
 	}
 	p0, p1 := out.Timeline.Phases[0], out.Timeline.Phases[1]
-	if got := p0.Rates["capped"].Gbps(); math.Abs(got-2) > 1e-6 {
+	if got := p0.Rates.Get("capped").Gbps(); math.Abs(got-2) > 1e-6 {
 		t.Errorf("phase 0 capped rate = %v, want 2", got)
 	}
-	if got := p0.Rates["fast"].Gbps(); math.Abs(got-8) > 1e-6 {
+	if got := p0.Rates.Get("fast").Gbps(); math.Abs(got-8) > 1e-6 {
 		t.Errorf("phase 0 fast rate = %v, want 8", got)
 	}
 	if !reflect.DeepEqual(p0.Completed, []string{"fast"}) {
 		t.Errorf("phase 0 completed = %v, want [fast]", p0.Completed)
 	}
 	// After fast completes the cap still binds.
-	if got := p1.Rates["capped"].Gbps(); math.Abs(got-2) > 1e-6 {
+	if got := p1.Rates.Get("capped").Gbps(); math.Abs(got-2) > 1e-6 {
 		t.Errorf("phase 1 capped rate = %v, want 2", got)
 	}
 	if got := out.Transfers["capped"].Bandwidth.Gbps(); math.Abs(got-2) > 1e-6 {

@@ -101,14 +101,39 @@ func (b *Buffer) HomeNode() topology.NodeID {
 // host ("numactl --hardware" shows 1.5 GB free, Sec. IV-A).
 const DefaultOSReservation = units.Size(2.5 * float64(units.GiB))
 
-// Host is a runnable simulated NUMA host.
+// denseSlotLimit bounds the node-ID range covered by the dense slot table;
+// machines with IDs outside [0, denseSlotLimit) fall back to the sparse map.
+// Every shipped profile (and any sysfs-discovered host) is well inside it.
+const denseSlotLimit = 1 << 16
+
+// maxPooledBuffers caps the Host's buffer freelist so a burst of
+// allocations cannot pin memory forever.
+const maxPooledBuffers = 256
+
+// Host is a runnable simulated NUMA host. Free-memory and numastat state
+// are dense position-indexed slices (node ID → position via the slot
+// table), not maps: the allocator sits on the characterization sweep's
+// per-cell path, where map overhead and per-node pointer cells used to
+// dominate the allocation profile.
 type Host struct {
 	M *topology.Machine
 
-	mu     sync.Mutex
-	free   map[topology.NodeID]units.Size
-	stats  map[topology.NodeID]*NodeStats
+	mu sync.Mutex
+	// ids is the machine's node IDs in ascending order; free and stats are
+	// parallel to it.
+	ids   []topology.NodeID
+	free  []units.Size
+	stats []NodeStats
+	// slot maps a node ID to its position in ids/free/stats (-1 = unknown);
+	// wide covers IDs outside the dense range, and is nil for every normal
+	// machine.
+	slot   []int32
+	wide   map[topology.NodeID]int32
 	nextID int
+	// bufPool recycles Buffers (and their Pages maps) released by Free, so
+	// the alloc/free cycle of every measurement instance stays off the Go
+	// heap in steady state.
+	bufPool []*Buffer
 }
 
 // Option configures a Host.
@@ -132,39 +157,75 @@ func NewHost(m *topology.Machine, opts ...Option) (*Host, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	ids := m.NodeIDs()
 	h := &Host{
 		M:     m,
-		free:  make(map[topology.NodeID]units.Size),
-		stats: make(map[topology.NodeID]*NodeStats),
+		ids:   ids,
+		free:  make([]units.Size, len(ids)),
+		stats: make([]NodeStats, len(ids)),
 	}
-	for _, n := range m.Nodes {
-		h.free[n.ID] = n.Memory
-		h.stats[n.ID] = &NodeStats{}
+	maxID := int32(-1)
+	for _, id := range ids {
+		if id >= 0 && int(id) < denseSlotLimit {
+			if int32(id) > maxID {
+				maxID = int32(id)
+			}
+		}
+	}
+	if maxID >= 0 {
+		h.slot = make([]int32, maxID+1)
+		for i := range h.slot {
+			h.slot[i] = -1
+		}
+	}
+	for pos, id := range ids {
+		if id >= 0 && int(id) < len(h.slot) {
+			h.slot[id] = int32(pos)
+		} else {
+			if h.wide == nil {
+				h.wide = make(map[topology.NodeID]int32)
+			}
+			h.wide[id] = int32(pos)
+		}
+		h.free[pos] = m.MustNode(id).Memory
 	}
 	// The OS boots on node 0 (or the lowest node).
-	ids := m.NodeIDs()
-	boot := ids[0]
 	res := cfg.osReservation
-	if res > h.free[boot] {
-		res = h.free[boot]
+	if res > h.free[0] {
+		res = h.free[0]
 	}
-	h.free[boot] -= res
+	h.free[0] -= res
 	return h, nil
+}
+
+// pos returns the dense position of a node ID, or -1 when the machine has
+// no such node.
+func (h *Host) pos(n topology.NodeID) int32 {
+	if n >= 0 && int(n) < len(h.slot) {
+		return h.slot[n]
+	}
+	if p, ok := h.wide[n]; ok {
+		return p
+	}
+	return -1
 }
 
 // FreeMem returns the free memory on a node.
 func (h *Host) FreeMem(n topology.NodeID) units.Size {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.free[n]
+	if p := h.pos(n); p >= 0 {
+		return h.free[p]
+	}
+	return 0
 }
 
 // Stats returns a copy of a node's numastat counters.
 func (h *Host) Stats(n topology.NodeID) NodeStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if s, ok := h.stats[n]; ok {
-		return *s
+	if p := h.pos(n); p >= 0 {
+		return h.stats[p]
 	}
 	return NodeStats{}
 }
@@ -190,121 +251,123 @@ func (h *Host) Alloc(req AllocRequest) (*Buffer, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 
-	if _, ok := h.free[req.TaskNode]; !ok {
+	task := h.pos(req.TaskNode)
+	if task < 0 {
 		return nil, fmt.Errorf("simhost: unknown task node %d", int(req.TaskNode))
 	}
 
 	switch req.Policy {
 	case PolicyBind:
-		return h.allocOn(req.Target, req, true)
+		return h.allocOn(req.Target, req, task, true)
 	case PolicyPreferred:
-		return h.allocOn(req.Target, req, false)
+		return h.allocOn(req.Target, req, task, false)
 	case PolicyLocalPreferred:
-		return h.allocOn(req.TaskNode, req, false)
+		return h.allocOn(req.TaskNode, req, task, false)
 	case PolicyInterleave:
-		return h.allocInterleaved(req)
+		return h.allocInterleaved(req, task)
 	default:
 		return nil, fmt.Errorf("simhost: unknown policy %v", req.Policy)
 	}
 }
 
 // allocOn places the buffer on node want, falling back to the emptiest node
-// unless strict.
-func (h *Host) allocOn(want topology.NodeID, req AllocRequest, strict bool) (*Buffer, error) {
-	if _, ok := h.free[want]; !ok {
+// unless strict. Positions are dense indices into free/stats.
+func (h *Host) allocOn(want topology.NodeID, req AllocRequest, task int32, strict bool) (*Buffer, error) {
+	wantPos := h.pos(want)
+	if wantPos < 0 {
 		return nil, fmt.Errorf("simhost: unknown node %d", int(want))
 	}
-	got := want
-	if h.free[want] < req.Size {
+	got := wantPos
+	if h.free[wantPos] < req.Size {
 		if strict {
 			return nil, fmt.Errorf("simhost: node %d has %v free, need %v",
-				int(want), h.free[want], req.Size)
+				int(want), h.free[wantPos], req.Size)
 		}
-		got = h.emptiestNodeWith(req.Size)
+		got = h.emptiestPosWith(req.Size)
 		if got < 0 {
 			return nil, fmt.Errorf("simhost: no node can hold %v", req.Size)
 		}
 	}
 	h.free[got] -= req.Size
-	h.account(want, got, req.TaskNode, false)
-	return h.newBuffer(req.Size, map[topology.NodeID]units.Size{got: req.Size}), nil
+	h.account(wantPos, got, task, false)
+	b := h.takeBuffer(req.Size)
+	b.Pages[h.ids[got]] = req.Size
+	return b, nil
 }
 
-func (h *Host) allocInterleaved(req AllocRequest) (*Buffer, error) {
+func (h *Host) allocInterleaved(req AllocRequest, task int32) (*Buffer, error) {
 	nodes := req.InterleaveNodes
 	if len(nodes) == 0 {
-		nodes = h.M.NodeIDs()
+		nodes = h.ids
 	}
 	for _, n := range nodes {
-		if _, ok := h.free[n]; !ok {
+		if h.pos(n) < 0 {
 			return nil, fmt.Errorf("simhost: unknown interleave node %d", int(n))
 		}
 	}
-	pages := make(map[topology.NodeID]units.Size)
+	b := h.takeBuffer(req.Size)
+	pages := b.Pages
 	share := req.Size / units.Size(len(nodes))
 	rem := req.Size - share*units.Size(len(nodes))
-	type need struct {
-		node topology.NodeID
-		want units.Size
-	}
-	var needs []need
-	for i, n := range nodes {
-		w := share
-		if units.Size(i) < rem {
-			w++
-		}
-		needs = append(needs, need{n, w})
-	}
 	var spill units.Size
-	for _, nd := range needs {
-		take := nd.want
-		if h.free[nd.node] < take {
-			spill += take - h.free[nd.node]
-			take = h.free[nd.node]
+	for i, n := range nodes {
+		want := share
+		if units.Size(i) < rem {
+			want++
+		}
+		p := h.pos(n)
+		take := want
+		if h.free[p] < take {
+			spill += take - h.free[p]
+			take = h.free[p]
 		}
 		if take > 0 {
-			h.free[nd.node] -= take
-			pages[nd.node] += take
-			h.account(nd.node, nd.node, req.TaskNode, true)
+			h.free[p] -= take
+			pages[n] += take
+			h.account(p, p, task, true)
 		} else {
-			h.stats[nd.node].NumaForeign++
+			h.stats[p].NumaForeign++
 		}
 	}
 	// Spill overflow to the emptiest nodes.
 	for spill > 0 {
-		n := h.emptiestNodeWith(1)
-		if n < 0 {
+		p := h.emptiestPosWith(1)
+		if p < 0 {
 			// Roll back.
 			for node, sz := range pages {
-				h.free[node] += sz
+				h.free[h.pos(node)] += sz
 			}
+			h.releaseBuffer(b)
 			return nil, fmt.Errorf("simhost: interleave cannot place %v", req.Size)
 		}
 		take := spill
-		if h.free[n] < take {
-			take = h.free[n]
+		if h.free[p] < take {
+			take = h.free[p]
 		}
-		h.free[n] -= take
-		pages[n] += take
-		h.stats[n].NumaMiss++
+		h.free[p] -= take
+		pages[h.ids[p]] += take
+		h.stats[p].NumaMiss++
 		spill -= take
 	}
-	return h.newBuffer(req.Size, pages), nil
+	return b, nil
 }
 
-func (h *Host) emptiestNodeWith(size units.Size) topology.NodeID {
-	best := topology.NodeID(-1)
+// emptiestPosWith returns the position of the node with the most free
+// memory that can hold size, or -1. Ties break toward the lowest node ID
+// (ids is ascending), matching the historical map-iteration-free behaviour.
+func (h *Host) emptiestPosWith(size units.Size) int32 {
+	best := int32(-1)
 	var bestFree units.Size = -1
-	for _, n := range h.M.NodeIDs() {
-		if h.free[n] >= size && h.free[n] > bestFree {
-			best, bestFree = n, h.free[n]
+	for p := range h.free {
+		if h.free[p] >= size && h.free[p] > bestFree {
+			best, bestFree = int32(p), h.free[p]
 		}
 	}
 	return best
 }
 
-// account updates numastat counters for a placement decision.
-func (h *Host) account(want, got, task topology.NodeID, interleave bool) {
+// account updates numastat counters for a placement decision (positions).
+func (h *Host) account(want, got, task int32, interleave bool) {
 	if got == want {
 		h.stats[got].NumaHit++
 		if interleave {
@@ -321,12 +384,34 @@ func (h *Host) account(want, got, task topology.NodeID, interleave bool) {
 	}
 }
 
-func (h *Host) newBuffer(size units.Size, pages map[topology.NodeID]units.Size) *Buffer {
+// takeBuffer pops a pooled buffer (reusing its Pages map) or builds a fresh
+// one. Caller holds h.mu.
+func (h *Host) takeBuffer(size units.Size) *Buffer {
 	h.nextID++
-	return &Buffer{ID: h.nextID, Size: size, Pages: pages}
+	if n := len(h.bufPool); n > 0 {
+		b := h.bufPool[n-1]
+		h.bufPool[n-1] = nil
+		h.bufPool = h.bufPool[:n-1]
+		clear(b.Pages)
+		b.ID = h.nextID
+		b.Size = size
+		b.freed = false
+		return b
+	}
+	return &Buffer{ID: h.nextID, Size: size, Pages: make(map[topology.NodeID]units.Size, 1)}
 }
 
-// Free releases a buffer. Freeing twice is an error.
+// releaseBuffer parks a buffer for reuse. Caller holds h.mu.
+func (h *Host) releaseBuffer(b *Buffer) {
+	b.freed = true
+	if len(h.bufPool) < maxPooledBuffers {
+		h.bufPool = append(h.bufPool, b)
+	}
+}
+
+// Free releases a buffer. Freeing twice is an error. The buffer (and its
+// Pages map) may be recycled by a later Alloc, so callers must not retain
+// references past the Free.
 func (h *Host) Free(b *Buffer) error {
 	if b == nil {
 		return fmt.Errorf("simhost: Free(nil)")
@@ -337,18 +422,20 @@ func (h *Host) Free(b *Buffer) error {
 		return fmt.Errorf("simhost: double free of buffer %d", b.ID)
 	}
 	for n, sz := range b.Pages {
-		h.free[n] += sz
+		if p := h.pos(n); p >= 0 {
+			h.free[p] += sz
+		}
 	}
-	b.freed = true
+	h.releaseBuffer(b)
 	return nil
 }
 
 // Hardware renders "numactl --hardware"-style output.
 func (h *Host) Hardware() string {
 	h.mu.Lock()
-	ids := h.M.NodeIDs()
+	ids := h.ids
 	out := fmt.Sprintf("available: %d nodes (0-%d)\n", len(ids), int(ids[len(ids)-1]))
-	for _, id := range ids {
+	for pos, id := range ids {
 		n := h.M.MustNode(id)
 		cores := make([]string, 0, n.Cores)
 		for c := 0; c < n.Cores; c++ {
@@ -360,7 +447,7 @@ func (h *Host) Hardware() string {
 		}
 		out += "\n"
 		out += fmt.Sprintf("node %d size: %d MB\n", int(id), n.Memory/units.MiB)
-		out += fmt.Sprintf("node %d free: %d MB\n", int(id), h.free[id]/units.MiB)
+		out += fmt.Sprintf("node %d free: %d MB\n", int(id), h.free[pos]/units.MiB)
 	}
 	h.mu.Unlock()
 

@@ -9,15 +9,58 @@ import (
 	"numaio/internal/units"
 )
 
+// TransferRate is one transfer's allocation during a phase.
+type TransferRate struct {
+	ID   string
+	Rate units.Bandwidth
+}
+
+// RateList holds the per-transfer allocations of a phase in ascending
+// transfer-ID order. It replaced a map so a fluid run can arena-allocate
+// every phase's entries in one block (RunFluid's allocation budget is
+// gated in CI); lists are per-phase small, so lookups scan.
+type RateList []TransferRate
+
+// Get returns a transfer's rate (0 when inactive in the phase).
+func (rl RateList) Get(id string) units.Bandwidth {
+	for i := range rl {
+		if rl[i].ID == id {
+			return rl[i].Rate
+		}
+	}
+	return 0
+}
+
+// ResourceUtil is one resource's load fraction during a phase.
+type ResourceUtil struct {
+	Resource fabric.ResourceID
+	Util     float64
+}
+
+// UtilList holds the per-resource load fractions of a phase, only for
+// loaded resources, in the solver's resource-index order. An absent
+// resource reads as 0 — which is also its utilization.
+type UtilList []ResourceUtil
+
+// Get returns a resource's utilization (0 when unloaded).
+func (ul UtilList) Get(r fabric.ResourceID) float64 {
+	for i := range ul {
+		if ul[i].Resource == r {
+			return ul[i].Util
+		}
+	}
+	return 0
+}
+
 // Phase is one constant-rate interval of a fluid run: the allocation is
 // fixed between transfer completions.
 type Phase struct {
 	Start    units.Duration
 	Duration units.Duration
 	// Rates holds the per-transfer allocation during the phase.
-	Rates map[string]units.Bandwidth
+	Rates RateList
 	// Utilization holds the per-resource load fraction during the phase.
-	Utilization map[fabric.ResourceID]float64
+	Utilization UtilList
 	// Completed lists transfers that finish exactly at the end of the
 	// phase.
 	Completed []string
@@ -26,8 +69,8 @@ type Phase struct {
 // Aggregate returns the summed rate of the phase.
 func (p *Phase) Aggregate() units.Bandwidth {
 	var sum units.Bandwidth
-	for _, r := range p.Rates {
-		sum += r
+	for i := range p.Rates {
+		sum += p.Rates[i].Rate
 	}
 	return sum
 }
@@ -49,8 +92,9 @@ func (t *Timeline) Makespan() units.Duration {
 // AvgUtilization returns a resource's time-weighted mean utilization.
 func (t *Timeline) AvgUtilization(r fabric.ResourceID) float64 {
 	var weighted, total float64
-	for _, p := range t.Phases {
-		weighted += p.Utilization[r] * p.Duration.Seconds()
+	for i := range t.Phases {
+		p := &t.Phases[i]
+		weighted += p.Utilization.Get(r) * p.Duration.Seconds()
 		total += p.Duration.Seconds()
 	}
 	if total == 0 {
@@ -63,10 +107,10 @@ func (t *Timeline) AvgUtilization(r fabric.ResourceID) float64 {
 // least one phase, sorted by ID.
 func (t *Timeline) Bottlenecks(thresh float64) []fabric.ResourceID {
 	seen := make(map[fabric.ResourceID]bool)
-	for _, p := range t.Phases {
-		for id, u := range p.Utilization {
-			if u >= thresh {
-				seen[id] = true
+	for i := range t.Phases {
+		for _, u := range t.Phases[i].Utilization {
+			if u.Util >= thresh {
+				seen[u.Resource] = true
 			}
 		}
 	}
@@ -83,7 +127,7 @@ func (t *Timeline) RateOf(id string, i int) units.Bandwidth {
 	if i < 0 || i >= len(t.Phases) {
 		return 0
 	}
-	return t.Phases[i].Rates[id]
+	return t.Phases[i].Rates.Get(id)
 }
 
 // Summary renders a compact per-phase view: time span, aggregate rate,
@@ -91,7 +135,8 @@ func (t *Timeline) RateOf(id string, i int) units.Bandwidth {
 func (t *Timeline) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "timeline: %d phases, makespan %v\n", len(t.Phases), t.Makespan())
-	for i, p := range t.Phases {
+	for i := range t.Phases {
+		p := &t.Phases[i]
 		fmt.Fprintf(&b, "  phase %d @%v (+%v): %d active, aggregate %v",
 			i, p.Start, p.Duration, len(p.Rates), p.Aggregate())
 		if len(p.Completed) > 0 {

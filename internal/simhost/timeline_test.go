@@ -41,8 +41,8 @@ func TestTimelinePhases(t *testing.T) {
 	if math.Abs(p0.Aggregate().Gbps()-10) > 1e-6 {
 		t.Errorf("phase 0 aggregate = %v", p0.Aggregate().Gbps())
 	}
-	if math.Abs(p1.Rates["big"].Gbps()-10) > 1e-6 {
-		t.Errorf("phase 1 big rate = %v", p1.Rates["big"].Gbps())
+	if math.Abs(p1.Rates.Get("big").Gbps()-10) > 1e-6 {
+		t.Errorf("phase 1 big rate = %v", p1.Rates.Get("big").Gbps())
 	}
 	if len(p0.Completed) != 1 || p0.Completed[0] != "small" {
 		t.Errorf("phase 0 completed = %v", p0.Completed)

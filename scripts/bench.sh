@@ -8,10 +8,13 @@
 # Compare two revisions with: benchstat BENCH_<old>.txt BENCH_<new>.txt
 #
 # With -check the script instead runs the CharacterizeAll/RunFluid and
-# PredictRequest/PlaceRequest hot paths once and compares their ns/op
-# against the most recent recorded
-# BENCH_*.json, failing on a slowdown beyond TOLERANCE — the CI
-# bench-regression guard. Nothing is recorded in this mode.
+# PredictRequest/PlaceRequest hot paths once and compares their ns/op,
+# B/op and allocs/op against the most recent recorded BENCH_*.json,
+# failing on a slowdown — or an allocation regression — beyond TOLERANCE,
+# plus absolute gates on the sweep hot path (CharacterizeAll <= 500 KB/op,
+# RunFluid <= 10 allocs/op) — the CI bench-regression guard. Nothing is
+# recorded in this mode. When GITHUB_STEP_SUMMARY is set, a benchstat-style
+# old/new delta table is appended to it.
 #
 # Environment knobs:
 #   REV        label for the output files (default: git short hash)
@@ -45,28 +48,69 @@ if [ "${1:-}" = "-check" ]; then
     echo "bench.sh -check: comparing against $baseline (limit ${tolerance}x)"
     go test -run '^$' \
         -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolverIncremental|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
-        -benchtime "${BENCHTIME:-1s}" . | tee "$tmp/bench.txt"
-    awk -v limit="$tolerance" '
+        -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$tmp/bench.txt"
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        {
+            echo "### Bench regression guard (vs $baseline)"
+            echo ""
+            echo "| benchmark | old ns/op | new ns/op | delta | old B/op | new B/op | old allocs | new allocs |"
+            echo "|---|---|---|---|---|---|---|---|"
+        } >> "$GITHUB_STEP_SUMMARY"
+    fi
+    awk -v limit="$tolerance" -v summary="${GITHUB_STEP_SUMMARY:-}" '
+    # extract pulls one numeric JSON field out of a baseline line; returns
+    # -1 when the field is absent (older records without -benchmem data).
+    function extract(line, field,    v) {
+        if (line !~ ("\"" field "\": "))
+            return -1
+        v = line
+        sub(".*\"" field "\": ", "", v)
+        sub(/[,}].*/, "", v)
+        return v + 0
+    }
+    # gate compares one metric against its baseline with the tolerance
+    # ratio; a zero baseline (e.g. a 0 allocs/op benchmark) must stay zero.
+    function gate(name, metric, b, now,    ratio, verdict) {
+        if (b < 0)
+            return 0
+        if (b == 0) {
+            verdict = (now > 0) ? "REGRESSION" : "ok"
+            printf "%-34s %-13s baseline %12.0f, now %12.0f            %s\n",
+                name, metric, b, now, verdict
+            return now > 0
+        }
+        ratio = now / b
+        verdict = (ratio > limit) ? "REGRESSION" : "ok"
+        printf "%-34s %-13s baseline %12.0f, now %12.0f (%+6.1f%%)  %s\n",
+            name, metric, b, now, (ratio - 1) * 100, verdict
+        return ratio > limit
+    }
     FNR == NR {
-        # Baseline JSON: one {"name": ..., "ns_per_op": ...} object per line.
+        # Baseline JSON: one benchmark object per line.
         if ($0 ~ /"name"/ && $0 ~ /"ns_per_op"/) {
             name = $0; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
-            ns = $0; sub(/.*"ns_per_op": /, "", ns); sub(/[,}].*/, "", ns)
-            base[name] = ns + 0
+            base_ns[name] = extract($0, "ns_per_op")
+            base_b[name] = extract($0, "B_per_op")
+            base_allocs[name] = extract($0, "allocs_per_op")
         }
         next
     }
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
-        if (!(name in base))
+        if (!(name in base_ns))
             next
-        ratio = ($3 + 0) / base[name]
-        verdict = (ratio > limit) ? "REGRESSION" : "ok"
-        printf "%-34s baseline %12.0f ns/op, now %12.0f ns/op (%+6.1f%%)  %s\n",
-            name, base[name], $3 + 0, (ratio - 1) * 100, verdict
-        if (ratio > limit)
-            bad = 1
+        ns = $3 + 0; bop = $5 + 0; allocs = $7 + 0
+        bad += gate(name, "ns/op", base_ns[name], ns)
+        bad += gate(name, "B/op", base_b[name], bop)
+        bad += gate(name, "allocs/op", base_allocs[name], allocs)
+        if (summary != "") {
+            dns = (base_ns[name] > 0) ? sprintf("%+.1f%%", (ns / base_ns[name] - 1) * 100) : "n/a"
+            printf "| %s | %.0f | %.0f | %s | %.0f | %.0f | %.0f | %.0f |\n",
+                name, base_ns[name], ns, dns,
+                (base_b[name] < 0 ? 0 : base_b[name]), bop,
+                (base_allocs[name] < 0 ? 0 : base_allocs[name]), allocs >> summary
+        }
         checked++
     }
     END {
@@ -74,7 +118,7 @@ if [ "${1:-}" = "-check" ]; then
             print "bench.sh -check: no benchmark matched the baseline" > "/dev/stderr"
             exit 1
         }
-        exit bad
+        exit bad > 0
     }
     ' "$baseline" "$tmp/bench.txt"
     # Structural gates beyond per-benchmark regression: the dirty-set
@@ -82,12 +126,19 @@ if [ "${1:-}" = "-check" ]; then
     # actually scale — the latter only where the host has cores to scale
     # onto (the p1 and p8 sub-benchmarks run the same work on a 1-core
     # box, so the ratio is noise there).
+    # Structural gates also cover the sweep's absolute allocation budget:
+    # a zero-alloc hot path is the PR-9 contract, and a ratio-only gate
+    # would let it erode a few percent at a time.
     cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
     awk -v cores="$cores" '
     /^BenchmarkSolverIncremental\/incremental/ { inc = $3 + 0 }
     /^BenchmarkSolverIncremental\/full/        { full = $3 + 0 }
     /^BenchmarkCharacterizeAll\/p1-/           { p1 = $3 + 0 }
     /^BenchmarkCharacterizeAll\/p8-/           { p8 = $3 + 0 }
+    /^BenchmarkCharacterizeAll\// {
+        if (($5 + 0) > maxsweepb) { maxsweepb = $5 + 0; maxsweepname = $1 }
+    }
+    /^BenchmarkRunFluid/ { fluidallocs = $7 + 0; seenfluid = 1 }
     END {
         bad = 0
         if (inc && full) {
@@ -103,9 +154,9 @@ if [ "${1:-}" = "-check" ]; then
         if (cores + 0 >= 4) {
             if (p1 && p8) {
                 ratio = p1 / p8
-                printf "CharacterizeAll p8 speedup over p1: %.2fx (floor 2.5x)\n", ratio
-                if (ratio < 2.5) {
-                    print "bench.sh -check: parallel sweep scaling below the 2.5x floor" > "/dev/stderr"
+                printf "CharacterizeAll p8 speedup over p1: %.2fx (floor 3.0x)\n", ratio
+                if (ratio < 3.0) {
+                    print "bench.sh -check: parallel sweep scaling below the 3.0x floor" > "/dev/stderr"
                     bad = 1
                 }
             } else {
@@ -114,6 +165,26 @@ if [ "${1:-}" = "-check" ]; then
             }
         } else {
             printf "skipping p8/p1 scaling gate: only %d core(s) online\n", cores
+        }
+        if (maxsweepname != "") {
+            printf "CharacterizeAll peak heap: %.0f B/op at %s (ceiling 512000)\n", maxsweepb, maxsweepname
+            if (maxsweepb > 512000) {
+                print "bench.sh -check: CharacterizeAll B/op above the 500 KB ceiling" > "/dev/stderr"
+                bad = 1
+            }
+        } else {
+            print "bench.sh -check: CharacterizeAll results missing" > "/dev/stderr"
+            bad = 1
+        }
+        if (seenfluid) {
+            printf "RunFluid allocations: %.0f allocs/op (ceiling 10)\n", fluidallocs
+            if (fluidallocs > 10) {
+                print "bench.sh -check: RunFluid above the 10 allocs/op ceiling" > "/dev/stderr"
+                bad = 1
+            }
+        } else {
+            print "bench.sh -check: RunFluid results missing" > "/dev/stderr"
+            bad = 1
         }
         exit bad
     }' "$tmp/bench.txt"

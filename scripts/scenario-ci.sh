@@ -32,4 +32,39 @@ status=0
 if [ -n "${GITHUB_STEP_SUMMARY:-}" ] && [ -f "$md" ]; then
     cat "$md" >>"$GITHUB_STEP_SUMMARY"
 fi
+
+# Nightly (full-grid) runs also publish the CharacterizeAll parallel-scaling
+# sweep to the job summary, so the perf trajectory is visible from the run
+# page without downloading bench artifacts.
+if [ -n "${SCENARIO_FULL:-}" ] && [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    echo "scenario-ci: benchmarking CharacterizeAll p-sweep for the summary"
+    sweep=$("$GO" test -run '^$' -bench '^BenchmarkCharacterizeAll$' \
+        -benchmem -benchtime "${SWEEP_BENCHTIME:-1s}" . 2>/dev/null || true)
+    if [ -n "$sweep" ]; then
+        {
+            echo ""
+            echo "### CharacterizeAll parallel scaling (nightly)"
+            echo ""
+            echo "| width | ns/op | B/op | allocs/op | speedup vs p1 |"
+            echo "|---|---|---|---|---|"
+            printf '%s\n' "$sweep" | awk '
+            /^BenchmarkCharacterizeAll\// {
+                name = $1
+                sub(/^BenchmarkCharacterizeAll\//, "", name)
+                sub(/-[0-9]+$/, "", name)
+                ns[name] = $3 + 0; b[name] = $5 + 0; al[name] = $7 + 0
+                order[++cnt] = name
+            }
+            END {
+                for (i = 1; i <= cnt; i++) {
+                    p = order[i]
+                    speed = (ns["p1"] > 0) ? sprintf("%.2fx", ns["p1"] / ns[p]) : "n/a"
+                    printf "| %s | %.0f | %.0f | %.0f | %s |\n", p, ns[p], b[p], al[p], speed
+                }
+            }'
+        } >>"$GITHUB_STEP_SUMMARY"
+    else
+        echo "scenario-ci: p-sweep benchmark produced no output (skipped)" >&2
+    fi
+fi
 exit "$status"
