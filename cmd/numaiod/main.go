@@ -9,10 +9,18 @@
 //	        [-cache-entries n] [-cache-ttl d] [-resp-cache-entries n]
 //	        [-request-timeout d] [-retries n] [-retry-backoff d]
 //	        [-breaker-threshold n] [-breaker-cooldown d] [-pprof]
+//	        [-flight-events n] [-flight-dump]
 //
 // The daemon prints "listening on http://ADDR" once the socket is bound
 // (use -addr 127.0.0.1:0 for an ephemeral port) and shuts down gracefully
 // on SIGINT/SIGTERM, draining in-flight characterization jobs.
+//
+// An always-on flight recorder keeps the last -flight-events request and
+// resilience events (default 4096; negative disables) in a fixed ring,
+// served at GET /debug/flightrecorder. -flight-dump additionally writes
+// the ring to stderr on request failures and breaker-open transitions
+// (rate-limited to one dump per second); SIGQUIT dumps it on demand
+// without stopping the daemon. See docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -55,6 +63,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	breakerThreshold := fs.Int("breaker-threshold", 5, "consecutive failures that open a model's circuit breaker (0 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "open-breaker cooldown before a probe is admitted")
 	pprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flightEvents := fs.Int("flight-events", 0, "flight recorder ring capacity (0 = 4096, negative disables)")
+	flightDump := fs.Bool("flight-dump", false, "dump the flight recorder to stderr on failures and breaker opens")
 	quiet := fs.Bool("quiet", false, "suppress request logs")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -82,19 +92,40 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
+	var dumpDst io.Writer
+	if *flightDump {
+		dumpDst = os.Stderr
+	}
 	svc := service.New(service.Config{
-		Workers:          *workers,
-		Parallelism:      *parallelism,
-		CacheEntries:     *cacheEntries,
-		CacheTTL:         *cacheTTL,
-		RespCacheEntries: *respCacheEntries,
-		Logger:           logger,
-		RequestTimeout:   *requestTimeout,
-		Retries:          *retries,
-		RetryBackoff:     *retryBackoff,
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
+		Workers:            *workers,
+		Parallelism:        *parallelism,
+		CacheEntries:       *cacheEntries,
+		CacheTTL:           *cacheTTL,
+		RespCacheEntries:   *respCacheEntries,
+		Logger:             logger,
+		RequestTimeout:     *requestTimeout,
+		Retries:            *retries,
+		RetryBackoff:       *retryBackoff,
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		FlightRecorderSize: *flightEvents,
+		FlightDump:         dumpDst,
 	})
+
+	// SIGQUIT dumps the flight recorder to stderr without stopping the
+	// daemon — the "what just happened" lever for a wedged process.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			fmt.Fprintln(os.Stderr, "numaiod flight recorder dump (SIGQUIT):")
+			if err := svc.DumpFlightRecorder(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

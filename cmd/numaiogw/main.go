@@ -11,6 +11,12 @@
 //	numaiogw -replicas http://h1:8081,http://h2:8082 [-addr host:port]
 //	         [-vnodes n] [-replication n] [-hot-threshold n]
 //	         [-health-interval d] [-breaker-threshold n] [-breaker-cooldown d]
+//	         [-flight-events n] [-flight-dump]
+//
+// Like numaiod, the gateway keeps an always-on flight recorder of recent
+// forwards and failovers (GET /debug/flightrecorder; -flight-events sizes
+// the ring, negative disables). -flight-dump writes it to stderr on 5xx
+// responses, and SIGQUIT dumps it on demand without stopping the gateway.
 //
 // Membership is static: a JSON config file ({"replicas": [{"name", "url"},
 // ...], "vnodes", "replication", "hot_threshold"}) or a -replicas URL list
@@ -96,6 +102,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive failures that pull a replica out of rotation")
 	breakerCooldown := fs.Duration("breaker-cooldown", 10*time.Second, "open-breaker cooldown before a replica is retried")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-forward HTTP timeout")
+	flightEvents := fs.Int("flight-events", 0, "flight recorder ring capacity (0 = 4096, negative disables)")
+	flightDump := fs.Bool("flight-dump", false, "dump the flight recorder to stderr on 5xx responses")
 	quiet := fs.Bool("quiet", false, "suppress request and forward logs")
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -122,17 +130,38 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	logger := slog.New(slog.NewTextHandler(logDst, nil))
 
+	var dumpDst io.Writer
+	if *flightDump {
+		dumpDst = os.Stderr
+	}
 	gw, err := fleet.NewGateway(fleet.GatewayConfig{
-		Fleet:            cfg,
-		Logger:           logger,
-		Client:           &http.Client{Timeout: *timeout},
-		BreakerThreshold: *breakerThreshold,
-		BreakerCooldown:  *breakerCooldown,
-		HealthInterval:   *healthInterval,
+		Fleet:              cfg,
+		Logger:             logger,
+		Client:             &http.Client{Timeout: *timeout},
+		BreakerThreshold:   *breakerThreshold,
+		BreakerCooldown:    *breakerCooldown,
+		HealthInterval:     *healthInterval,
+		FlightRecorderSize: *flightEvents,
+		FlightDump:         dumpDst,
 	})
 	if err != nil {
 		return err
 	}
+
+	// SIGQUIT dumps the flight recorder to stderr without stopping the
+	// gateway, mirroring numaiod.
+	quitc := make(chan os.Signal, 1)
+	signal.Notify(quitc, syscall.SIGQUIT)
+	defer signal.Stop(quitc)
+	go func() {
+		for range quitc {
+			fmt.Fprintln(os.Stderr, "numaiogw flight recorder dump (SIGQUIT):")
+			if err := gw.DumpFlightRecorder(os.Stderr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -18,6 +18,13 @@
 // across the targets, so a fleet of daemons — or several gateways — can be
 // driven from one harness. -url remains as a single-target synonym.
 //
+// Every request carries a generated X-Request-Id and a fresh X-Trace-Ctx,
+// so server-side logs, flight recorders, and traces link back to the
+// report. Besides end-to-end latency, the report splits each request into
+// client-observed stages (connect / ttfb / decode) and names exemplar
+// request IDs from the slowest decile — the IDs to grep for in numaiod's
+// logs or /debug/flightrecorder when chasing the p99.
+//
 // -hist-dump writes the raw measured-window latency histogram (bucket
 // uppers and counts, nanoseconds) as JSON for offline analysis. -trace
 // records one span per measured request as Chrome trace-event JSON;
@@ -34,9 +41,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/httptrace"
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -67,6 +76,61 @@ func parseMix(s string) (map[string]float64, error) {
 		mix[node] = f
 	}
 	return mix, nil
+}
+
+// stageHists splits each request's latency into the client-observed
+// stages: connect (dial or connection-pool checkout), ttfb (request fully
+// written to first response byte — the server-side span, roughly), and
+// decode (first byte to body fully read). The three histograms are shared
+// across workers, so records take a mutex; the lock covers an
+// allocation-free histogram insert and is negligible next to an HTTP
+// round trip.
+type stageHists struct {
+	mu      sync.Mutex
+	connect *loadgen.Histogram
+	ttfb    *loadgen.Histogram
+	decode  *loadgen.Histogram
+}
+
+func newStageHists() *stageHists {
+	return &stageHists{
+		connect: loadgen.NewHistogram(),
+		ttfb:    loadgen.NewHistogram(),
+		decode:  loadgen.NewHistogram(),
+	}
+}
+
+func (s *stageHists) record(connect, ttfb, decode time.Duration) {
+	s.mu.Lock()
+	s.connect.Record(connect)
+	s.ttfb.Record(ttfb)
+	s.decode.Record(decode)
+	s.mu.Unlock()
+}
+
+func (s *stageHists) reset() {
+	s.mu.Lock()
+	s.connect = loadgen.NewHistogram()
+	s.ttfb = loadgen.NewHistogram()
+	s.decode = loadgen.NewHistogram()
+	s.mu.Unlock()
+}
+
+func (s *stageHists) report(out io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, row := range []struct {
+		name string
+		h    *loadgen.Histogram
+	}{{"connect", s.connect}, {"ttfb", s.ttfb}, {"decode", s.decode}} {
+		if row.h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "stage %s p50 %s p95 %s p99 %s\n", row.name,
+			row.h.Quantile(0.50).Round(time.Microsecond),
+			row.h.Quantile(0.95).Round(time.Microsecond),
+			row.h.Quantile(0.99).Round(time.Microsecond))
+	}
 }
 
 // endpointPath maps the -endpoint kind to its URL path. fleet-place is
@@ -159,25 +223,46 @@ func run(args []string, out io.Writer) error {
 	}
 
 	client := &http.Client{Timeout: *timeout}
-	postTo := func(base string) (int, string, error) {
-		resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+	stages := newStageHists()
+	// Every request carries its generated X-Request-Id and a fresh
+	// X-Trace-Ctx, so server-side flight recorders and traces link back to
+	// the harness's report (and its slowest-decile exemplars) by ID.
+	postTo := func(base, id string, tc telemetry.TraceContext) (int, string, error) {
+		req, err := http.NewRequest(http.MethodPost, base+path, bytes.NewReader(body))
+		if err != nil {
+			return 0, "", err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Request-Id", id)
+		req.Header.Set(telemetry.TraceCtxHeader, tc.String())
+		var connStart, connDone, wrote, first time.Time
+		req = req.WithContext(httptrace.WithClientTrace(req.Context(), &httptrace.ClientTrace{
+			GetConn:              func(string) { connStart = time.Now() },
+			GotConn:              func(httptrace.GotConnInfo) { connDone = time.Now() },
+			WroteRequest:         func(httptrace.WroteRequestInfo) { wrote = time.Now() },
+			GotFirstResponseByte: func() { first = time.Now() },
+		}))
+		resp, err := client.Do(req)
 		if err != nil {
 			return 0, "", err
 		}
 		defer resp.Body.Close()
 		b, _ := io.ReadAll(resp.Body)
+		if !connStart.IsZero() && !wrote.IsZero() && !first.IsZero() {
+			stages.record(connDone.Sub(connStart), first.Sub(wrote), time.Since(first))
+		}
 		return resp.StatusCode, string(b), nil
 	}
 	// Round-robin across the targets so load spreads over a fleet.
 	var next atomic.Uint64
-	post := func() (int, string, error) {
-		return postTo(addrs[(next.Add(1)-1)%uint64(len(addrs))])
+	post := func(id string, tc telemetry.TraceContext) (int, string, error) {
+		return postTo(addrs[(next.Add(1)-1)%uint64(len(addrs))], id, tc)
 	}
 
 	// Warm-up: characterize once per target outside the measured window,
 	// and fail fast on an unreachable daemon or a rejected request shape.
 	for _, base := range addrs {
-		status, respBody, err := postTo(base)
+		status, respBody, err := postTo(base, "load-warmup", telemetry.NewTraceContext())
 		if err != nil {
 			return fmt.Errorf("warm-up request to %s: %w", base, err)
 		}
@@ -185,6 +270,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("warm-up request to %s: %d %s", base, status, strings.TrimSpace(respBody))
 		}
 	}
+	stages.reset() // the warm-ups are not part of the measured window
 
 	tr := trace.Tracer()
 	runSpan := tr.StartSpan("load-run", "load")
@@ -192,9 +278,12 @@ func run(args []string, out io.Writer) error {
 		Concurrency: *concurrency,
 		Requests:    *requests,
 		Duration:    *duration,
-		Do: func() error {
+		DoTagged: func(id string) error {
+			tc := telemetry.NewTraceContext()
 			span := tr.StartSpan(path, "request")
-			st, _, err := post()
+			span.SetAttr(telemetry.String("request_id", id))
+			span.SetAttr(telemetry.String("trace_id", tc.TraceID))
+			st, _, err := post(id, tc)
 			span.SetAttr(telemetry.Int("status", st))
 			span.End()
 			if err != nil {
@@ -230,6 +319,15 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "latency p50 %s p95 %s p99 %s max %s\n",
 		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),
 		res.P99.Round(time.Microsecond), res.Max.Round(time.Microsecond))
+	stages.report(out)
+	if n := len(res.SlowExemplars); n > 0 {
+		// ExemplarsAbove is fastest-first; name the slowest few.
+		ids := make([]string, 0, n)
+		for _, ex := range res.SlowExemplars[max(0, n-5):] {
+			ids = append(ids, ex.ID)
+		}
+		fmt.Fprintf(out, "slowest decile exemplars %s\n", strings.Join(ids, " "))
+	}
 	if err := trace.Finish(out); err != nil {
 		return err
 	}

@@ -1,0 +1,199 @@
+// Command numaiotrace stitches per-process Chrome trace dumps — numaioload's
+// -trace file, numaiogw's and numaiod's /debug/trace downloads — into one
+// fleet timeline loadable by chrome://tracing or https://ui.perfetto.dev.
+//
+// Usage:
+//
+//	numaiotrace [-o merged.json] [-trace-id id] name=trace.json [name=trace.json ...]
+//
+// Each argument names one process's dump; the name becomes the process
+// label in the viewer (a process_name metadata event) and the file's
+// events keep their relative order on their own pid lane. Dumps recorded
+// by live tracers carry an "epochNanos" wall-clock anchor; numaiotrace
+// shifts every file's timestamps onto the earliest anchor so spans from
+// different processes line up on one absolute timeline. Files without an
+// anchor (synthetic or fake-clock dumps) are merged unshifted.
+//
+// -trace-id keeps only events whose trace_id argument matches — the way to
+// carve one request's end-to-end story (load client span, gateway forward,
+// replica handling) out of three busy recordings. Metadata events are
+// always kept.
+//
+// Output is a pure function of the inputs: same files in the same order
+// yield identical bytes, so merged timelines diff cleanly in CI.
+//
+// Exit status: 0 on success, 1 when a dump is unreadable or malformed,
+// 2 on usage errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"numaio/internal/cli"
+)
+
+func main() {
+	os.Exit(cli.Main("numaiotrace", run(os.Args[1:], os.Stdout)))
+}
+
+// traceFile is one loaded per-process dump.
+type traceFile struct {
+	name   string
+	epoch  int64 // unix ns wall-clock anchor; 0 when absent
+	events []map[string]any
+}
+
+// loadTrace reads one Chrome trace dump. The epochNanos anchor is a JSON
+// string (unix nanoseconds exceed float64's integer range); older dumps
+// without it load with epoch 0.
+func loadTrace(name, path string) (*traceFile, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc struct {
+		EpochNanos  string           `json:"epochNanos"`
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: not a Chrome trace dump: %v", path, err)
+	}
+	tf := &traceFile{name: name, events: doc.TraceEvents}
+	if doc.EpochNanos != "" {
+		tf.epoch, err = strconv.ParseInt(doc.EpochNanos, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: epochNanos %q: %v", path, doc.EpochNanos, err)
+		}
+	}
+	return tf, nil
+}
+
+// matchesTraceID reports whether the event carries a trace_id argument
+// equal to id.
+func matchesTraceID(e map[string]any, id string) bool {
+	args, ok := e["args"].(map[string]any)
+	if !ok {
+		return false
+	}
+	v, ok := args["trace_id"].(string)
+	return ok && v == id
+}
+
+// merge rewrites each file's events onto its own pid lane, shifts
+// timestamps onto the earliest wall-clock anchor, applies the optional
+// trace-id filter, and prepends process_name metadata. Events are ordered
+// by shifted timestamp (stable, so same-instant events keep file order).
+func merge(files []*traceFile, traceID string) []map[string]any {
+	var minEpoch int64
+	for _, f := range files {
+		if f.epoch != 0 && (minEpoch == 0 || f.epoch < minEpoch) {
+			minEpoch = f.epoch
+		}
+	}
+	var meta, events []map[string]any
+	for i, f := range files {
+		pid := i + 1
+		meta = append(meta, map[string]any{
+			"name": "process_name", "ph": "M", "pid": pid,
+			"args": map[string]any{"name": f.name},
+		})
+		// Shifts are relative to the earliest anchor, so they stay small
+		// (seconds, not a 2026 unix timestamp) and survive the trip
+		// through float64 microseconds intact.
+		var shift float64
+		if f.epoch != 0 && minEpoch != 0 {
+			shift = float64(f.epoch-minEpoch) / 1e3
+		}
+		for _, e := range f.events {
+			if traceID != "" && !matchesTraceID(e, traceID) {
+				continue
+			}
+			e["pid"] = pid
+			if ts, ok := e["ts"].(float64); ok {
+				e["ts"] = ts + shift
+			}
+			events = append(events, e)
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		ti, _ := events[i]["ts"].(float64)
+		tj, _ := events[j]["ts"].(float64)
+		return ti < tj
+	})
+	return append(meta, events...)
+}
+
+// writeTrace renders the merged document in the tracer's own style: args
+// maps marshal with sorted keys, so output bytes are a pure function of
+// the merged events.
+func writeTrace(w io.Writer, events []map[string]any) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	for i, e := range events {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		b, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("encoding merged event: %w", err)
+		}
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("numaiotrace", flag.ContinueOnError)
+	output := fs.String("o", "", "write the merged trace to this file (default stdout)")
+	traceID := fs.String("trace-id", "", "keep only events whose trace_id argument matches")
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return cli.Usagef("at least one name=trace.json argument is required")
+	}
+	var files []*traceFile
+	for _, arg := range fs.Args() {
+		name, path, ok := strings.Cut(arg, "=")
+		if !ok || name == "" || path == "" {
+			return cli.Usagef("argument %q is not name=trace.json", arg)
+		}
+		tf, err := loadTrace(name, path)
+		if err != nil {
+			return err
+		}
+		files = append(files, tf)
+	}
+
+	merged := merge(files, *traceID)
+	if *output == "" {
+		return writeTrace(out, merged)
+	}
+	f, err := os.Create(*output)
+	if err != nil {
+		return err
+	}
+	if err := writeTrace(f, merged); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"numaio/internal/cli"
+	"numaio/internal/telemetry"
+)
+
+// writeDump writes a synthetic Chrome trace dump with a wall-clock anchor.
+func writeDump(t *testing.T, dir, file, epochNanos string, events string) string {
+	t.Helper()
+	doc := `{"displayTimeUnit":"ms",`
+	if epochNanos != "" {
+		doc += `"epochNanos":"` + epochNanos + `",`
+	}
+	doc += `"traceEvents":[` + events + `]}`
+	path := filepath.Join(dir, file)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+type mergedDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Pid  int            `json:"pid"`
+		Ts   float64        `json:"ts"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func runMerge(t *testing.T, args []string) (mergedDoc, []byte) {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc mergedDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("merged output is not valid JSON: %v\n%s", err, out.String())
+	}
+	return doc, out.Bytes()
+}
+
+// TestMergeAlignsEpochs: two dumps whose anchors are 2s apart land on one
+// timeline — the later file's timestamps shift by 2e6 µs — with each
+// file's events on its own pid lane behind a process_name label.
+func TestMergeAlignsEpochs(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDump(t, dir, "a.json", "1700000000000000000",
+		`{"name":"req","ph":"X","ts":100,"dur":50,"pid":1,"tid":0}`)
+	b := writeDump(t, dir, "b.json", "1700000002000000000",
+		`{"name":"serve","ph":"X","ts":10,"dur":20,"pid":1,"tid":0}`)
+
+	doc, _ := runMerge(t, []string{"load=" + a, "replica=" + b})
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	byName := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		byName[e.Name] = i
+	}
+	for _, want := range []string{"process_name", "req", "serve"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("merged trace lacks %q:\n%+v", want, doc.TraceEvents)
+		}
+	}
+	req := doc.TraceEvents[byName["req"]]
+	serve := doc.TraceEvents[byName["serve"]]
+	if req.Pid == serve.Pid {
+		t.Errorf("both processes merged onto pid %d", req.Pid)
+	}
+	if req.Ts != 100 {
+		t.Errorf("earliest-anchor file shifted: ts = %v, want 100", req.Ts)
+	}
+	if want := 10 + 2e6; serve.Ts != want {
+		t.Errorf("later file's ts = %v, want %v (+2s shift)", serve.Ts, want)
+	}
+	labels := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		if e.Name == "process_name" {
+			labels[e.Args["name"].(string)] = true
+		}
+	}
+	if !labels["load"] || !labels["replica"] {
+		t.Errorf("process_name labels = %v, want load and replica", labels)
+	}
+}
+
+// TestTraceIDFilter keeps only the events carrying the requested trace_id
+// argument, plus the process metadata.
+func TestTraceIDFilter(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDump(t, dir, "a.json", "",
+		`{"name":"hit","ph":"X","ts":1,"dur":1,"pid":1,"tid":0,"args":{"trace_id":"abc"}},
+		 {"name":"miss","ph":"X","ts":2,"dur":1,"pid":1,"tid":0,"args":{"trace_id":"zzz"}},
+		 {"name":"bare","ph":"X","ts":3,"dur":1,"pid":1,"tid":0}`)
+
+	doc, _ := runMerge(t, []string{"-trace-id", "abc", "p=" + a})
+	var names []string
+	for _, e := range doc.TraceEvents {
+		names = append(names, e.Name)
+	}
+	if len(names) != 2 || names[0] != "process_name" || names[1] != "hit" {
+		t.Errorf("filtered events = %v, want [process_name hit]", names)
+	}
+}
+
+// TestMergeRealTracers merges two dumps produced by live tracers through
+// the real export path, checking the epochNanos string anchor round-trips.
+func TestMergeRealTracers(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"gw.json", "d.json"} {
+		tr := telemetry.NewTracer()
+		span := tr.StartSpan("/v1/predict", "http", telemetry.String("trace_id", "deadbeef"))
+		span.End()
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	doc, _ := runMerge(t, []string{
+		"gw=" + filepath.Join(dir, "gw.json"), "numaiod=" + filepath.Join(dir, "d.json")})
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Name == "/v1/predict" {
+			spans++
+			if e.Args["trace_id"] != "deadbeef" {
+				t.Errorf("span lost its trace_id: %v", e.Args)
+			}
+		}
+	}
+	if spans != 2 {
+		t.Errorf("merged %d /v1/predict spans, want 2 (one per process)", spans)
+	}
+}
+
+// TestMergeDeterministic: same inputs, same bytes.
+func TestMergeDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDump(t, dir, "a.json", "1700000000000000000",
+		`{"name":"x","ph":"X","ts":5,"dur":1,"pid":1,"tid":0,"args":{"k":"v"}}`)
+	b := writeDump(t, dir, "b.json", "1700000001000000000",
+		`{"name":"y","ph":"i","ts":5,"pid":1,"tid":0,"s":"t"}`)
+	_, first := runMerge(t, []string{"a=" + a, "b=" + b})
+	_, second := runMerge(t, []string{"a=" + a, "b=" + b})
+	if !bytes.Equal(first, second) {
+		t.Error("two merges of the same inputs differ")
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if err := run(nil, io.Discard); cli.ExitCode(err) != 2 {
+		t.Errorf("no args: exit %d, want 2", cli.ExitCode(err))
+	}
+	if err := run([]string{"not-a-pair"}, io.Discard); cli.ExitCode(err) != 2 {
+		t.Errorf("malformed arg: exit %d, want 2", cli.ExitCode(err))
+	}
+	if err := run([]string{"a=/does/not/exist.json"}, io.Discard); err == nil || cli.ExitCode(err) == 2 {
+		t.Errorf("missing file should be a runtime error, got %v", err)
+	}
+}

@@ -37,14 +37,14 @@ import (
 
 // activeWorkers counts the measurement workers currently executing a
 // (node, repeat) cell, process-wide; numaiod exports it as the
-// numaiod_measure_workers_busy gauge. It is only maintained for traced
-// sweeps: untraced runs skip the two atomic adds per cell (a measurable
-// contention point at high parallelism) and the gauge reads 0.
+// numaiod_measure_workers_busy gauge. The two plain atomic adds per cell
+// are always paid — the gauge must read correctly for untraced sweeps
+// too — while the trace counter series built on top of them (a Sprintf
+// and an event append per sample) stays gated on an active tracer.
 var activeWorkers atomic.Int64
 
 // ActiveMeasureWorkers returns the number of measurement cells currently
-// executing across all *traced* characterizations in the process (untraced
-// sweeps skip the accounting — see activeWorkers).
+// executing across all characterizations in the process, traced or not.
 func ActiveMeasureWorkers() int64 { return activeWorkers.Load() }
 
 // Mode selects which I/O direction the model describes.
@@ -548,9 +548,10 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 	perCell := make([]cellStats, total)
 	names := c.cellNames(target, mode, nodes, reps)
 	var sum cellStats
-	// Occupancy accounting (the process-wide busy-worker gauge and its
-	// trace counter series) costs two atomic adds per cell; pay it only
-	// when a tracer is actually consuming the series.
+	// The busy-worker gauge is always maintained — two plain atomic adds
+	// per cell — so /metrics reads true occupancy whether or not a trace
+	// is running. Only the trace counter series (Sprintf + event append)
+	// is gated on an active tracer.
 	traced := c.cfg.Tracer != nil
 
 	if workers <= 1 {
@@ -563,13 +564,9 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 		for i, n := range nodes {
 			for rep := 0; rep < reps; rep++ {
 				idx := i*reps + rep
-				if traced {
-					activeWorkers.Add(1)
-				}
+				activeWorkers.Add(1)
 				v, st, err := c.measureCell(runner, sc, names[idx], target, n, mode, rep, tid)
-				if traced {
-					activeWorkers.Add(-1)
-				}
+				activeWorkers.Add(-1)
 				if err != nil {
 					return nil, sum, err
 				}
@@ -628,15 +625,17 @@ func (c *Characterizer) measureCells(target topology.NodeID, mode Mode, threads 
 						return
 					}
 					i, rep := int(idx)/reps, int(idx)%reps
+					busy := activeWorkers.Add(1)
 					if traced {
 						// Worker-pool occupancy, sampled onto the trace as a
 						// counter series (parallel paths only, so serial traces
 						// stay byte-deterministic).
-						c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(1)))
+						c.cfg.Tracer.Count("measure-workers-busy", float64(busy))
 					}
 					v, st, err := c.measureCell(runner, sc, names[idx], target, nodes[i], mode, rep, wtid)
+					busy = activeWorkers.Add(-1)
 					if traced {
-						c.cfg.Tracer.Count("measure-workers-busy", float64(activeWorkers.Add(-1)))
+						c.cfg.Tracer.Count("measure-workers-busy", float64(busy))
 					}
 					if err != nil {
 						fail(err)

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"numaio/internal/faults"
+)
+
+// TestUntracedOccupancyGauge guards against the regression where the
+// busy-worker gauge was only maintained for traced sweeps: an untraced
+// characterization must still drive ActiveMeasureWorkers (the
+// numaiod_measure_workers_busy gauge) above zero while cells execute,
+// and back to zero once the sweep completes. Some cells are made to hang
+// (and time out) under a fault plan so a worker reliably sits inside a
+// counted cell long enough for the poller to observe it even on a
+// single-CPU host.
+func TestUntracedOccupancyGauge(t *testing.T) {
+	cfg := Config{
+		Sigma:       -1,
+		Repeats:     4,
+		Parallelism: 2,
+		Faults: &faults.Plan{
+			Name:        "occupancy",
+			Seed:        1,
+			Measurement: faults.MeasurementFault{HangRate: 0.3},
+		},
+		MeasureTimeout: 50 * time.Millisecond,
+		MaxRetries:     30,
+	}
+	c, err := NewCharacterizer(sysFor(t, "dl585g7"), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Characterize(0, ModeWrite)
+		done <- err
+	}()
+
+	sawBusy := false
+	deadline := time.After(60 * time.Second)
+poll:
+	for {
+		if ActiveMeasureWorkers() > 0 {
+			sawBusy = true
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("characterize: %v", err)
+			}
+			break poll
+		case <-deadline:
+			t.Fatal("characterization did not finish")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if !sawBusy {
+		t.Error("ActiveMeasureWorkers never went above 0 during an untraced sweep")
+	}
+	if got := ActiveMeasureWorkers(); got != 0 {
+		t.Errorf("ActiveMeasureWorkers = %d after the sweep, want 0", got)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,16 @@ type GatewayConfig struct {
 	BreakerCooldown time.Duration
 	// HealthInterval is the active health-check period for Run; 0 means 2s.
 	HealthInterval time.Duration
+
+	// FlightRecorderSize bounds the always-on flight recorder ring (recent
+	// forwards and failovers, dumped via /debug/flightrecorder and on
+	// failures); 0 means 4096 events, negative disables the recorder.
+	FlightRecorderSize int
+	// FlightDump, when non-nil, receives an automatic flight-recorder dump
+	// on gateway 5xx responses, rate-limited to one dump per second.
+	// cmd/numaiogw points it at stderr and also dumps on SIGQUIT via
+	// DumpFlightRecorder.
+	FlightDump io.Writer
 }
 
 // Gateway terminates the numaiod v1 API in front of a fleet of replicas:
@@ -84,7 +95,19 @@ type Gateway struct {
 	fleetPlaces telemetry.Counter
 	pulls       telemetry.Counter
 	pullErrors  telemetry.Counter
+	reqLat      *telemetry.BucketHistogram
 	registry    *telemetry.Registry
+
+	// traces owns the /debug/trace lifecycle, mirroring numaiod's, so a
+	// fleet-wide recording can include the gateway's own spans.
+	traces telemetry.TraceControl
+
+	// flight is the always-on flight recorder (nil when disabled);
+	// flightDump receives automatic dumps on gateway failures, rate-limited
+	// via lastFlightDump.
+	flight         *telemetry.FlightRecorder
+	flightDump     io.Writer
+	lastFlightDump atomic.Int64
 
 	// Hot-model tracking: routed requests per fingerprint, and the set
 	// already replicated so each fingerprint replicates once.
@@ -126,6 +149,14 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	if _, err := rand.Read(pre[:]); err != nil {
 		return nil, err
 	}
+	var flight *telemetry.FlightRecorder
+	if cfg.FlightRecorderSize >= 0 {
+		size := cfg.FlightRecorderSize
+		if size == 0 {
+			size = 4096
+		}
+		flight = telemetry.NewFlightRecorder(size)
+	}
 	g := &Gateway{
 		ring:        ring,
 		members:     NewMembership(cfg.Fleet.Replicas, cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock, client),
@@ -139,11 +170,26 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 		ridPrefix:   "gw-" + hex.EncodeToString(pre[:]) + "-",
 		requests:    make(map[string]*telemetry.IntCounterVec),
 		forwards:    make(map[string]*telemetry.Counter, len(names)),
+		reqLat:      telemetry.NewBucketHistogram(gatewayLatencyBuckets),
+		flight:      flight,
+		flightDump:  cfg.FlightDump,
 		hotCounts:   make(map[string]int),
 		replicated:  make(map[string]bool),
 	}
 	for _, name := range names {
 		g.forwards[name] = new(telemetry.Counter)
+	}
+	// A breaker opening is exactly the moment the recent-history ring is
+	// for: leave a resilience breadcrumb and trigger the automatic dump.
+	g.members.OnBreakerOpen = func(name string) {
+		g.flight.Record(telemetry.FlightEvent{
+			Time:   time.Now().UnixNano(),
+			Name:   "breaker_open",
+			Cat:    "resilience",
+			Detail: "replica=" + name,
+		})
+		g.log.Warn("breaker open", "replica", name)
+		g.dumpFlight("breaker open on " + name)
 	}
 	g.registry = g.newRegistry()
 	g.routes()
@@ -181,12 +227,27 @@ func (g *Gateway) routes() {
 			g.shardProxy(w, r, ep, "")
 		})
 	}
+	g.handle("POST /debug/trace/start", "/debug/trace/start", g.handleTraceStart)
+	g.handle("POST /debug/trace/stop", "/debug/trace/stop", g.handleTraceStop)
+	g.handle("GET /debug/trace", "/debug/trace", g.handleTraceDownload)
+	g.handle("GET /debug/flightrecorder", "/debug/flightrecorder", g.handleFlightRecorder)
 }
+
+// gatewayLatencyBuckets cover a proxied hop: forward latency dominates, so
+// the range matches numaiod's request buckets.
+var gatewayLatencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1, 5}
 
 // handle registers a pattern under the logging/metrics middleware, like
 // numaiod's. Every response carries the request ID (incoming or freshly
-// assigned) so clients can correlate.
+// assigned) so clients can correlate, plus the trace context the gateway
+// minted (or derived as a child of the caller's) — the same context it
+// forwards to replicas, so one trace ID spans the whole proxied chain. v1
+// endpoints additionally report the gateway's own stage breakdown (route,
+// forward, failover) via Server-Timing alongside the replica's, feed the
+// latency histogram with request-ID exemplars, and leave a flight-recorder
+// event.
 func (g *Gateway) handle(pattern, endpoint string, h http.HandlerFunc) {
+	isV1 := strings.HasPrefix(endpoint, "/v1/")
 	g.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rid := r.Header.Get(RequestIDHeader)
@@ -195,28 +256,109 @@ func (g *Gateway) handle(pattern, endpoint string, h http.HandlerFunc) {
 			r.Header.Set(RequestIDHeader, rid)
 		}
 		w.Header().Set(RequestIDHeader, rid)
+		var tc telemetry.TraceContext
+		if in, ok := telemetry.ParseTraceContext(r.Header.Get(telemetry.TraceCtxHeader)); ok {
+			tc = in.Child()
+		} else {
+			tc = telemetry.NewTraceContext()
+		}
+		w.Header().Set(telemetry.TraceCtxHeader, tc.String())
+		r = r.WithContext(telemetry.ContextWithTrace(r.Context(), tc))
 		rec := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if isV1 {
+			rec.stages = telemetry.NewStages()
+			r = r.WithContext(telemetry.ContextWithStages(r.Context(), rec.stages))
+		}
+		var span *telemetry.Span
+		if tr := g.traces.Active(); tr != nil {
+			span = tr.StartSpan(endpoint, "http",
+				telemetry.String("method", r.Method),
+				telemetry.String("trace_id", tc.TraceID),
+				telemetry.String("span_id", tc.SpanID))
+		}
 		h(rec, r)
+		if span != nil {
+			span.SetAttr(telemetry.Int("status", rec.status))
+			span.End()
+		}
+		elapsed := time.Since(start)
 		g.observeRequest(endpoint, rec.status)
-		g.log.Info("request",
+		if isV1 {
+			g.reqLat.ObserveExemplar(elapsed.Seconds(), rid)
+			g.flight.Record(telemetry.FlightEvent{
+				Time:    start.UnixNano(),
+				Dur:     elapsed,
+				Status:  rec.status,
+				Name:    endpoint,
+				Cat:     "http",
+				RID:     rid,
+				TraceID: tc.TraceID,
+			})
+			if rec.status >= http.StatusInternalServerError {
+				g.dumpFlight(fmt.Sprintf("status %d on %s", rec.status, endpoint))
+			}
+		}
+		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
-			"duration", time.Since(start),
+			"duration", elapsed,
 			"request_id", rid,
-			"remote", r.RemoteAddr)
+			"remote", r.RemoteAddr,
+			"trace_id", tc.TraceID,
+		}
+		attrs = rec.stages.AppendLogAttrs(attrs)
+		g.log.Info("request", attrs...)
 	})
 }
 
+// statusWriter captures the response status and injects the gateway's own
+// stage breakdown as an additional Server-Timing value at WriteHeader time
+// — replica-reported stages pass through as their own header line, so the
+// client sees both hops' attributions.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	stages *telemetry.Stages
 }
 
 func (w *statusWriter) WriteHeader(code int) {
+	if st := w.stages.Header(); st != "" {
+		w.ResponseWriter.Header().Add("Server-Timing", st)
+	}
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
 }
+
+// dumpFlight writes one flight-recorder dump to the configured FlightDump
+// writer, rate-limited to one per second.
+func (g *Gateway) dumpFlight(reason string) {
+	if g.flightDump == nil || g.flight == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := g.lastFlightDump.Load()
+	if now-last < int64(time.Second) || !g.lastFlightDump.CompareAndSwap(last, now) {
+		return
+	}
+	fmt.Fprintf(g.flightDump, "numaiogw flight recorder dump (%s):\n", reason)
+	_ = g.flight.WriteJSON(g.flightDump)
+	fmt.Fprintln(g.flightDump)
+}
+
+// DumpFlightRecorder writes the flight recorder's JSON snapshot to w —
+// cmd/numaiogw wires it to SIGQUIT. It reports an error when the recorder
+// is disabled.
+func (g *Gateway) DumpFlightRecorder(w io.Writer) error {
+	if g.flight == nil {
+		return fmt.Errorf("fleet: flight recorder disabled")
+	}
+	return g.flight.WriteJSON(w)
+}
+
+// WriteMetrics renders the gateway's /metrics payload. Exported so tests
+// can pin the exposition format without an HTTP round trip.
+func (g *Gateway) WriteMetrics(w io.Writer) { g.registry.Render(w) }
 
 func (g *Gateway) observeRequest(endpoint string, status int) {
 	g.reqMu.RLock()
@@ -246,7 +388,7 @@ func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	g.registry.Render(w)
+	g.WriteMetrics(w)
 }
 
 // newRegistry wires the gateway gauge/counter families. Sample order is
@@ -305,6 +447,45 @@ func (g *Gateway) newRegistry() *telemetry.Registry {
 			defer g.hotMu.Unlock()
 			return int64(len(g.replicated))
 		})
+	r.IntGaugeFunc("numaiogw_trace_active",
+		"Whether a /debug/trace recording is in progress.",
+		func() int64 {
+			if g.traces.Tracing() {
+				return 1
+			}
+			return 0
+		})
+	r.IntGaugeFunc("numaiogw_trace_events",
+		"Events recorded by the active (or last stopped) trace.",
+		func() int64 { return int64(g.traces.Current().Len()) })
+	r.IntGaugeFunc("numaiogw_flight_events",
+		"Events currently retained by the always-on flight recorder.",
+		func() int64 { return int64(g.flight.Len()) })
+	r.Register(telemetry.Series{
+		Name: "numaiogw_request_seconds",
+		Type: "histogram",
+		Help: "v1 request latency through the gateway, with the last request ID per bucket as an exemplar.",
+		Collect: func(w io.Writer) {
+			counts := g.reqLat.Counts()
+			bounds := g.reqLat.Bounds()
+			var cum int64
+			writeBucket := func(le string, i int) {
+				fmt.Fprintf(w, "numaiogw_request_seconds_bucket{le=%q} %d", le, cum)
+				if ex := g.reqLat.Exemplar(i); ex != "" {
+					fmt.Fprintf(w, " # {request_id=%q}", ex)
+				}
+				fmt.Fprintln(w)
+			}
+			for i, le := range bounds {
+				cum += counts[i]
+				writeBucket(strconv.FormatFloat(le, 'g', -1, 64), i)
+			}
+			cum += counts[len(bounds)]
+			writeBucket("+Inf", len(bounds))
+			fmt.Fprintf(w, "numaiogw_request_seconds_sum %g\n", g.reqLat.Sum())
+			fmt.Fprintf(w, "numaiogw_request_seconds_count %d\n", g.reqLat.Total())
+		},
+	})
 	r.Register(telemetry.Series{
 		Name: "numaiogw_requests_total", Type: "counter",
 		Help: "Gateway requests served, by endpoint and status.",
@@ -368,6 +549,8 @@ func (g *Gateway) handleModelGet(w http.ResponseWriter, r *http.Request) {
 // answers. The owner gets the request when it is routable; successors (and
 // then the rest of the ring) absorb it when not — degraded but serving.
 func (g *Gateway) shardProxy(w http.ResponseWriter, r *http.Request, endpoint, key string) {
+	stg := telemetry.StagesFromContext(r.Context())
+	routeStart := time.Now()
 	body, err := io.ReadAll(r.Body)
 	if err != nil {
 		writeGatewayError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -383,6 +566,7 @@ func (g *Gateway) shardProxy(w http.ResponseWriter, r *http.Request, endpoint, k
 	rid := r.Header.Get(RequestIDHeader)
 	order := g.ring.Owners(key, g.ring.Len())
 	owner := order[0]
+	stg.Add("route", time.Since(routeStart))
 
 	tryOne := func(name string) (*http.Response, error) {
 		rep, _ := g.members.Replica(name)
@@ -396,6 +580,11 @@ func (g *Gateway) shardProxy(w http.ResponseWriter, r *http.Request, endpoint, k
 		}
 		req.Header.Set(RequestIDHeader, rid)
 		req.Header.Set(forwardedByHeader, "numaiogw")
+		// Forward the gateway's span context, so the replica's span becomes
+		// a child in the same trace.
+		if tc, ok := telemetry.TraceFromContext(r.Context()); ok {
+			req.Header.Set(telemetry.TraceCtxHeader, tc.String())
+		}
 		return g.client.Do(req)
 	}
 
@@ -419,6 +608,12 @@ func (g *Gateway) shardProxy(w http.ResponseWriter, r *http.Request, endpoint, k
 		if ct := resp.Header.Get("Content-Type"); ct != "" {
 			w.Header().Set("Content-Type", ct)
 		}
+		// The replica's own stage breakdown passes through as additional
+		// Server-Timing values; the statusWriter adds the gateway's on
+		// WriteHeader, so the client sees both hops' attributions.
+		for _, st := range resp.Header.Values("Server-Timing") {
+			w.Header().Add("Server-Timing", st)
+		}
 		w.WriteHeader(resp.StatusCode)
 		io.Copy(w, resp.Body)
 		if resp.StatusCode == http.StatusOK {
@@ -427,12 +622,15 @@ func (g *Gateway) shardProxy(w http.ResponseWriter, r *http.Request, endpoint, k
 	}
 
 	attempt := func(name string, markFailures bool) bool {
+		attemptStart := time.Now()
 		resp, err := tryOne(name)
 		if err != nil {
+			stg.Add("failover", time.Since(attemptStart))
 			g.fwdErrors.Inc()
 			if markFailures {
 				g.members.ReportFailure(name)
 			}
+			g.recordFailover(endpoint, name, rid, r.Context())
 			g.log.Warn("forward failed", "endpoint", endpoint, "replica", name,
 				"request_id", rid, "error", err)
 			return false
@@ -444,10 +642,13 @@ func (g *Gateway) shardProxy(w http.ResponseWriter, r *http.Request, endpoint, k
 		case http.StatusBadGateway, http.StatusServiceUnavailable, http.StatusGatewayTimeout:
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
+			stg.Add("failover", time.Since(attemptStart))
 			g.fwdErrors.Inc()
+			g.recordFailover(endpoint, name, rid, r.Context())
 			return false
 		}
 		g.members.ReportSuccess(name)
+		stg.Add("forward", time.Since(attemptStart))
 		serve(name, resp)
 		return true
 	}
@@ -728,6 +929,9 @@ func (g *Gateway) placeOnReplica(ctx context.Context, rep Replica, body []byte, 
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(RequestIDHeader, rid)
 	req.Header.Set(forwardedByHeader, "numaiogw")
+	if tc, ok := telemetry.TraceFromContext(ctx); ok {
+		req.Header.Set(telemetry.TraceCtxHeader, tc.String())
+	}
 	resp, err := g.client.Do(req)
 	if err != nil {
 		g.members.ReportFailure(rep.Name)

@@ -97,6 +97,12 @@ type Membership struct {
 	replicas []*replicaState // config order
 	byName   map[string]*replicaState
 	client   *http.Client
+
+	// OnBreakerOpen, when set, is called with the replica name each time a
+	// recorded failure is the one that opens its breaker — the gateway hangs
+	// its flight-recorder breadcrumb and automatic dump off this. Set it
+	// before the first probe or forward; it may be called from any of them.
+	OnBreakerOpen func(name string)
 }
 
 // NewMembership builds the tracker. threshold consecutive failures open a
@@ -171,7 +177,17 @@ func (m *Membership) observe(st *replicaState, ok bool) {
 	if ok {
 		st.breaker.Success()
 	} else {
-		st.breaker.Failure()
+		m.noteFailure(st)
+	}
+}
+
+// noteFailure records one failure on st's breaker and fires OnBreakerOpen
+// when that failure is the one that opened it.
+func (m *Membership) noteFailure(st *replicaState) {
+	before := st.breaker.State()
+	st.breaker.Failure()
+	if m.OnBreakerOpen != nil && before != resilience.BreakerOpen && st.breaker.State() == resilience.BreakerOpen {
+		m.OnBreakerOpen(st.replica.Name)
 	}
 }
 
@@ -188,7 +204,7 @@ func (m *Membership) ReportSuccess(name string) {
 // a health probe succeeds.
 func (m *Membership) ReportFailure(name string) {
 	if st, ok := m.byName[name]; ok {
-		st.breaker.Failure()
+		m.noteFailure(st)
 	}
 }
 

@@ -1,0 +1,74 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"numaio/internal/telemetry"
+)
+
+// Gateway-side observability endpoints, mirroring numaiod's: the
+// /debug/trace lifecycle records the gateway's own request and failover
+// spans as Chrome trace-event JSON (stitched with replica recordings by
+// cmd/numaiotrace into one fleet timeline), and /debug/flightrecorder
+// dumps the always-on ring of recent forwards.
+
+type traceStateResponse struct {
+	Tracing bool `json:"tracing"`
+	Events  int  `json:"events"`
+}
+
+func (g *Gateway) handleTraceStart(w http.ResponseWriter, r *http.Request) {
+	g.traces.Start()
+	writeGatewayJSON(w, http.StatusOK, traceStateResponse{Tracing: true})
+}
+
+func (g *Gateway) handleTraceStop(w http.ResponseWriter, r *http.Request) {
+	writeGatewayJSON(w, http.StatusOK, traceStateResponse{Events: g.traces.Stop().Len()})
+}
+
+func (g *Gateway) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
+	tr := g.traces.Current()
+	if tr == nil {
+		writeGatewayError(w, http.StatusNotFound, "no trace recorded: POST /debug/trace/start first")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="numaiogw-trace.json"`)
+	if err := tr.WriteJSON(w); err != nil {
+		g.log.Error("writing trace", "error", err)
+	}
+}
+
+func (g *Gateway) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if g.flight == nil {
+		writeGatewayError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := g.flight.WriteJSON(w); err != nil {
+		g.log.Error("writing flight recorder", "error", err)
+	}
+}
+
+// recordFailover leaves a flight-recorder event (and a trace instant, when
+// recording) for one failed forward attempt — the breadcrumb trail a
+// kill-owner incident leaves behind.
+func (g *Gateway) recordFailover(endpoint, replica, rid string, ctx context.Context) {
+	var traceID string
+	if tc, ok := telemetry.TraceFromContext(ctx); ok {
+		traceID = tc.TraceID
+	}
+	g.flight.Record(telemetry.FlightEvent{
+		Time:    time.Now().UnixNano(),
+		Name:    "failover",
+		Cat:     "resilience",
+		RID:     rid,
+		TraceID: traceID,
+		Detail:  "endpoint=" + endpoint + " replica=" + replica,
+	})
+	g.traces.Active().Instant("failover", "resilience",
+		telemetry.String("endpoint", endpoint),
+		telemetry.String("replica", replica))
+}

@@ -7,9 +7,12 @@ package loadgen
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"numaio/internal/telemetry"
 )
 
 // Config shapes one load run. Exactly what "one request" means is the
@@ -27,6 +30,15 @@ type Config struct {
 	// Do issues one request and reports its failure. Must be safe for
 	// concurrent use.
 	Do func() error
+	// DoTagged, when set, is used instead of Do: each call receives a
+	// generated request ID unique within the run, and the driver remembers
+	// the ID as the latency bucket's exemplar — Result.SlowExemplars names
+	// concrete requests from the slowest decile. Must be safe for
+	// concurrent use.
+	DoTagged func(id string) error
+	// IDPrefix prefixes the generated request IDs for DoTagged runs; empty
+	// means "load-".
+	IDPrefix string
 }
 
 // Result is the merged outcome of a load run.
@@ -41,13 +53,19 @@ type Result struct {
 	Max           time.Duration
 	// Hist is the merged latency histogram for further quantiles.
 	Hist *Histogram
+	// SlowExemplars names concrete request IDs from the slowest-decile
+	// latency buckets, fastest-first. Only populated for DoTagged runs.
+	SlowExemplars []Exemplar
 }
+
+// Exemplar links a latency bucket back to a concrete request ID.
+type Exemplar = telemetry.Exemplar
 
 // Run drives Do from Concurrency workers until a cap is hit and merges the
 // per-worker latency histograms.
 func Run(cfg Config) (*Result, error) {
-	if cfg.Do == nil {
-		return nil, fmt.Errorf("loadgen: Do is required")
+	if cfg.Do == nil && cfg.DoTagged == nil {
+		return nil, fmt.Errorf("loadgen: Do or DoTagged is required")
 	}
 	if cfg.Requests <= 0 && cfg.Duration <= 0 {
 		return nil, fmt.Errorf("loadgen: either Requests or Duration must be set")
@@ -70,6 +88,12 @@ func Run(cfg Config) (*Result, error) {
 		defer stopTimer.Stop()
 	}
 
+	idPrefix := cfg.IDPrefix
+	if idPrefix == "" {
+		idPrefix = "load-"
+	}
+	var seq atomic.Int64 // shared request-ID sequence for DoTagged runs
+
 	type workerState struct {
 		hist   *Histogram
 		errors int64
@@ -91,9 +115,16 @@ func Run(cfg Config) (*Result, error) {
 				if quota.Add(-1) < 0 {
 					return
 				}
+				var err error
 				t0 := time.Now()
-				err := cfg.Do()
-				st.hist.Record(time.Since(t0))
+				if cfg.DoTagged != nil {
+					id := idPrefix + strconv.FormatInt(seq.Add(1), 10)
+					err = cfg.DoTagged(id)
+					st.hist.RecordExemplar(time.Since(t0), id)
+				} else {
+					err = cfg.Do()
+					st.hist.Record(time.Since(t0))
+				}
 				if err != nil {
 					st.errors++
 				}
@@ -117,5 +148,8 @@ func Run(cfg Config) (*Result, error) {
 	res.P95 = merged.Quantile(0.95)
 	res.P99 = merged.Quantile(0.99)
 	res.Max = merged.Max()
+	if cfg.DoTagged != nil {
+		res.SlowExemplars = merged.ExemplarsAbove(0.90)
+	}
 	return res, nil
 }

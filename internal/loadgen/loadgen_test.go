@@ -2,6 +2,8 @@ package loadgen
 
 import (
 	"errors"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -66,5 +68,50 @@ func TestRunConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(Config{Do: func() error { return nil }}); err == nil {
 		t.Error("no cap should fail")
+	}
+}
+
+// TestRunTagged: a DoTagged run hands every request a unique generated ID
+// and surfaces slowest-decile exemplar IDs in the result.
+func TestRunTagged(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string]bool)
+	var calls atomic.Int64
+	res, err := Run(Config{
+		Concurrency: 4,
+		Requests:    80,
+		IDPrefix:    "tag-",
+		DoTagged: func(id string) error {
+			mu.Lock()
+			dup := seen[id]
+			seen[id] = true
+			mu.Unlock()
+			if dup {
+				t.Errorf("request ID %q issued twice", id)
+			}
+			if !strings.HasPrefix(id, "tag-") {
+				t.Errorf("request ID %q lacks the configured prefix", id)
+			}
+			// Every ~10th request is slow, so the slowest decile is
+			// populated and its exemplars point at real IDs.
+			if calls.Add(1)%10 == 0 {
+				time.Sleep(5 * time.Millisecond)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 80 || len(seen) != 80 {
+		t.Errorf("requests = %d, distinct IDs = %d, want 80", res.Requests, len(seen))
+	}
+	if len(res.SlowExemplars) == 0 {
+		t.Fatal("no slowest-decile exemplars surfaced")
+	}
+	for _, ex := range res.SlowExemplars {
+		if !seen[ex.ID] {
+			t.Errorf("exemplar %q names an ID no request carried", ex.ID)
+		}
 	}
 }

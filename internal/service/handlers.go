@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"encoding/json"
 
@@ -15,6 +16,7 @@ import (
 	"numaio/internal/core"
 	"numaio/internal/numa"
 	"numaio/internal/sched"
+	"numaio/internal/telemetry"
 	"numaio/internal/topology"
 	"numaio/internal/units"
 )
@@ -54,12 +56,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.WriteTo(w, s.cache.Stats(), s.predictCache.Stats(), s.placeCache.Stats(),
-		s.pool.InFlight(), s.openBreakers())
-	// Additive series (solver, pool, occupancy, trace state) render after
-	// the historical block so its bytes — and every scraper grep — are
-	// untouched.
-	s.registry.Render(w)
+	// WriteMetrics renders the historical block first, then the additive
+	// series (solver, pool, occupancy, trace and flight state) — so the
+	// historical bytes, and every scraper grep, stay untouched.
+	s.WriteMetrics(w)
 }
 
 type characterizeRequest struct {
@@ -286,7 +286,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	cfg := req.Config.toCore()
 	key := predictCacheKey(&req, cfg)
-	if body, ok := s.predictCache.Get(key); ok {
+	lookupStart := time.Now()
+	body, hit := s.predictCache.Get(key)
+	telemetry.StagesFromContext(r.Context()).Add("cache", time.Since(lookupStart))
+	if hit {
 		writeJSONBytes(w, http.StatusOK, body)
 		return
 	}
@@ -478,7 +481,10 @@ func (s *Server) handlePlace(w http.ResponseWriter, r *http.Request) {
 	req.Engine = engine // canonical for the cache key
 	cfg := req.Config.toCore()
 	key := placeCacheKey(&req, cfg)
-	if body, ok := s.placeCache.Get(key); ok {
+	lookupStart := time.Now()
+	body, hit := s.placeCache.Get(key)
+	telemetry.StagesFromContext(r.Context()).Add("cache", time.Since(lookupStart))
+	if hit {
 		writeJSONBytes(w, http.StatusOK, body)
 		return
 	}

@@ -26,6 +26,11 @@ type Metrics struct {
 	// lat is the characterization latency histogram (seconds).
 	lat *telemetry.BucketHistogram
 
+	// reqLat is the whole-request (v1 endpoints) latency histogram, with
+	// the last request ID per bucket kept as an exemplar so a slow bucket
+	// in /metrics links to a concrete request in the flight recorder.
+	reqLat *telemetry.BucketHistogram
+
 	// parallelism is the daemon's configured measurement worker-pool
 	// width, exported as a gauge so latency shifts can be correlated with
 	// the setting.
@@ -42,11 +47,16 @@ type Metrics struct {
 // multi-second whole-host characterizations.
 var defaultLatencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30}
 
+// requestLatencyBuckets cover cache-hit responses (tens of microseconds)
+// up to characterize-on-miss requests.
+var requestLatencyBuckets = []float64{0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5, 1, 5}
+
 // NewMetrics builds an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
 		requests: make(map[string]*telemetry.IntCounterVec),
 		lat:      telemetry.NewBucketHistogram(defaultLatencyBuckets),
+		reqLat:   telemetry.NewBucketHistogram(requestLatencyBuckets),
 	}
 }
 
@@ -83,6 +93,15 @@ func (m *Metrics) ObserveRequest(endpoint string, status int) {
 func (m *Metrics) ObserveCharacterization(d time.Duration) {
 	m.lat.Observe(d.Seconds())
 }
+
+// ObserveRequestLatency records one v1 request's wall time in seconds,
+// keeping rid as the bucket's exemplar.
+func (m *Metrics) ObserveRequestLatency(seconds float64, rid string) {
+	m.reqLat.ObserveExemplar(seconds, rid)
+}
+
+// RequestLatency returns the v1 request latency histogram for rendering.
+func (m *Metrics) RequestLatency() *telemetry.BucketHistogram { return m.reqLat }
 
 // RequestCount returns the total requests seen for an endpoint (all
 // statuses); handy for tests.

@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"numaio/internal/core"
+	"numaio/internal/telemetry"
 )
 
 // Replication hooks: the fleet gateway (internal/fleet) replicates hot
@@ -89,6 +90,15 @@ func (s *Server) handleModelPull(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// The outbound fetch is a hop of the same logical operation: carry the
+	// request ID and trace context so the source replica's span joins the
+	// pulling request's trace.
+	if rid := r.Header.Get("X-Request-Id"); rid != "" {
+		preq.Header.Set("X-Request-Id", rid)
+	}
+	if tc, ok := telemetry.TraceFromContext(r.Context()); ok {
+		preq.Header.Set(telemetry.TraceCtxHeader, tc.String())
 	}
 	resp, err := s.pullClient.Do(preq)
 	if err != nil {

@@ -19,6 +19,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,6 +110,16 @@ type Config struct {
 	// PullClient performs outbound model fetches for the replication pull
 	// hook (POST /v1/models/pull); nil means a 30s-timeout client.
 	PullClient *http.Client
+
+	// FlightRecorderSize bounds the always-on flight recorder ring (recent
+	// request and resilience events, dumped via /debug/flightrecorder and
+	// on failures); 0 means 4096 events, negative disables the recorder.
+	FlightRecorderSize int
+	// FlightDump, when non-nil, receives an automatic flight-recorder dump
+	// on request failure (5xx) and breaker-open transitions, rate-limited
+	// to one dump per second. cmd/numaiod points it at stderr and also
+	// dumps on SIGQUIT via DumpFlightRecorder.
+	FlightDump io.Writer
 }
 
 // Server is the daemon state: cache, worker pool, job registry, metrics
@@ -130,11 +142,16 @@ type Server struct {
 	// (push or pull) — the numaiod_models_installed_total series.
 	installs telemetry.Counter
 
-	// activeTracer is the /debug/trace recording in progress (nil when
-	// tracing is off); lastTrace retains the most recently stopped one so
-	// it can still be downloaded.
-	activeTracer atomic.Pointer[telemetry.Tracer]
-	lastTrace    atomic.Pointer[telemetry.Tracer]
+	// traces owns the /debug/trace lifecycle: the active recording plus
+	// the last stopped one, both still readable by in-flight spans.
+	traces telemetry.TraceControl
+
+	// flight is the always-on flight recorder (nil when disabled);
+	// flightDump receives automatic dumps on request failures and
+	// breaker-open transitions, rate-limited via lastFlightDump.
+	flight         *telemetry.FlightRecorder
+	flightDump     io.Writer
+	lastFlightDump atomic.Int64
 
 	requestTimeout   time.Duration
 	retry            resilience.RetryPolicy
@@ -184,6 +201,14 @@ func New(cfg Config) *Server {
 	if pullClient == nil {
 		pullClient = &http.Client{Timeout: 30 * time.Second}
 	}
+	var flight *telemetry.FlightRecorder
+	if cfg.FlightRecorderSize >= 0 {
+		size := cfg.FlightRecorderSize
+		if size == 0 {
+			size = 4096
+		}
+		flight = telemetry.NewFlightRecorder(size)
+	}
 	s := &Server{
 		log:          logger,
 		cache:        NewModelCache(cfg.CacheEntries, ttl),
@@ -196,6 +221,8 @@ func New(cfg Config) *Server {
 		characterize: ch,
 		parallelism:  parallelism,
 		pullClient:   pullClient,
+		flight:       flight,
+		flightDump:   cfg.FlightDump,
 
 		requestTimeout:   cfg.RequestTimeout,
 		retry:            resilience.RetryPolicy{MaxRetries: cfg.Retries, Base: backoff},
@@ -247,20 +274,43 @@ func newExtraRegistry(s *Server) *telemetry.Registry {
 	r.IntGaugeFunc("numaiod_trace_active",
 		"Whether a /debug/trace recording is in progress.",
 		func() int64 {
-			if s.activeTracer.Load() != nil {
+			if s.traces.Tracing() {
 				return 1
 			}
 			return 0
 		})
 	r.IntGaugeFunc("numaiod_trace_events",
 		"Events recorded by the active (or last stopped) trace.",
-		func() int64 {
-			tr := s.activeTracer.Load()
-			if tr == nil {
-				tr = s.lastTrace.Load()
+		func() int64 { return int64(s.traces.Current().Len()) })
+	r.IntGaugeFunc("numaiod_flight_events",
+		"Events currently retained by the always-on flight recorder.",
+		func() int64 { return int64(s.flight.Len()) })
+	r.Register(telemetry.Series{
+		Name: "numaiod_request_seconds",
+		Type: "histogram",
+		Help: "v1 request latency, with the last request ID per bucket as an OpenMetrics-style exemplar.",
+		Collect: func(w io.Writer) {
+			h := s.metrics.RequestLatency()
+			counts := h.Counts()
+			bounds := h.Bounds()
+			var cum int64
+			writeBucket := func(le string, i int) {
+				fmt.Fprintf(w, "numaiod_request_seconds_bucket{le=%q} %d", le, cum)
+				if ex := h.Exemplar(i); ex != "" {
+					fmt.Fprintf(w, " # {request_id=%q}", ex)
+				}
+				fmt.Fprintln(w)
 			}
-			return int64(tr.Len())
-		})
+			for i, le := range bounds {
+				cum += counts[i]
+				writeBucket(strconv.FormatFloat(le, 'g', -1, 64), i)
+			}
+			cum += counts[len(bounds)]
+			writeBucket("+Inf", len(bounds))
+			fmt.Fprintf(w, "numaiod_request_seconds_sum %g\n", h.Sum())
+			fmt.Fprintf(w, "numaiod_request_seconds_count %d\n", h.Total())
+		},
+	})
 	return r
 }
 
@@ -279,13 +329,24 @@ func (s *Server) routes() {
 	s.handle("POST /debug/trace/start", "/debug/trace/start", s.handleTraceStart)
 	s.handle("POST /debug/trace/stop", "/debug/trace/stop", s.handleTraceStop)
 	s.handle("GET /debug/trace", "/debug/trace", s.handleTraceDownload)
+	s.handle("GET /debug/flightrecorder", "/debug/flightrecorder", s.handleFlightRecorder)
 }
 
 // handle registers a pattern under the logging/metrics middleware. The
 // endpoint label aggregates path parameters (e.g. every /v1/models/{fp}
 // request counts under "/v1/models"). A configured RequestTimeout becomes
 // the request context's deadline here, so every handler inherits it.
+//
+// The middleware also owns trace-context propagation: an inbound
+// X-Trace-Ctx header (W3C traceparent syntax) is parsed and a child span
+// context derived from it — or a fresh one minted when absent/malformed —
+// echoed on the response and threaded through the request context so
+// downstream hops (model pulls) carry the same trace ID. v1 endpoints
+// additionally get a per-request stage breakdown (Server-Timing header),
+// the whole-request latency histogram with request-ID exemplars, and a
+// flight-recorder event.
 func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
+	isV1 := strings.HasPrefix(endpoint, "/v1/")
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -296,6 +357,20 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 		if rid != "" {
 			w.Header().Set("X-Request-Id", rid)
 		}
+		var tc telemetry.TraceContext
+		if in, ok := telemetry.ParseTraceContext(r.Header.Get(telemetry.TraceCtxHeader)); ok {
+			tc = in.Child()
+		} else {
+			tc = telemetry.NewTraceContext()
+		}
+		w.Header().Set(telemetry.TraceCtxHeader, tc.String())
+		r = r.WithContext(telemetry.ContextWithTrace(r.Context(), tc))
+		var stg *telemetry.Stages
+		if isV1 {
+			stg = telemetry.NewStages()
+			rec.stages = stg
+			r = r.WithContext(telemetry.ContextWithStages(r.Context(), stg))
+		}
 		if s.requestTimeout > 0 {
 			ctx, cancel := resilience.ContextWithTimeout(r.Context(), s.clock, s.requestTimeout)
 			defer cancel()
@@ -305,37 +380,65 @@ func (s *Server) handle(pattern, endpoint string, h http.HandlerFunc) {
 		// (rather than relying on nil-tracer no-ops) keeps the untraced
 		// fast path free of the variadic attr allocations.
 		var span *telemetry.Span
-		if tr := s.activeTracer.Load(); tr != nil {
-			span = tr.StartSpan(endpoint, "http", telemetry.String("method", r.Method))
+		if tr := s.traces.Active(); tr != nil {
+			span = tr.StartSpan(endpoint, "http",
+				telemetry.String("method", r.Method),
+				telemetry.String("trace_id", tc.TraceID),
+				telemetry.String("span_id", tc.SpanID))
 		}
 		h(rec, r)
 		if span != nil {
 			span.SetAttr(telemetry.Int("status", rec.status))
 			span.End()
 		}
+		elapsed := time.Since(start)
 		s.metrics.ObserveRequest(endpoint, rec.status)
+		if isV1 {
+			s.metrics.ObserveRequestLatency(elapsed.Seconds(), rid)
+			s.flight.Record(telemetry.FlightEvent{
+				Time:    start.UnixNano(),
+				Dur:     elapsed,
+				Status:  rec.status,
+				Name:    endpoint,
+				Cat:     "http",
+				RID:     rid,
+				TraceID: tc.TraceID,
+			})
+			if rec.status >= http.StatusInternalServerError {
+				s.dumpFlight(fmt.Sprintf("status %d on %s", rec.status, endpoint))
+			}
+		}
 		attrs := []any{
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", rec.status,
-			"duration", time.Since(start),
+			"duration", elapsed,
 			"bytes", rec.bytes,
 			"remote", r.RemoteAddr,
+			"trace_id", tc.TraceID,
 		}
 		if rid != "" {
 			attrs = append(attrs, "request_id", rid)
 		}
+		attrs = stg.AppendLogAttrs(attrs)
 		s.log.Info("request", attrs...)
 	})
 }
 
+// statusRecorder captures the response status and byte count, and — when
+// the middleware attached a stage breakdown — injects the Server-Timing
+// header at WriteHeader time, the last moment headers are mutable.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
 	bytes  int
+	stages *telemetry.Stages
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
+	if st := r.stages.Header(); st != "" {
+		r.ResponseWriter.Header().Set("Server-Timing", st)
+	}
 	r.status = code
 	r.ResponseWriter.WriteHeader(code)
 }
@@ -344,6 +447,42 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	n, err := r.ResponseWriter.Write(p)
 	r.bytes += n
 	return n, err
+}
+
+// dumpFlight writes one flight-recorder dump to the configured FlightDump
+// writer, rate-limited to one per second so a failure storm cannot flood
+// the log stream.
+func (s *Server) dumpFlight(reason string) {
+	if s.flightDump == nil || s.flight == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.lastFlightDump.Load()
+	if now-last < int64(time.Second) || !s.lastFlightDump.CompareAndSwap(last, now) {
+		return
+	}
+	fmt.Fprintf(s.flightDump, "numaiod flight recorder dump (%s):\n", reason)
+	_ = s.flight.WriteJSON(s.flightDump)
+	fmt.Fprintln(s.flightDump)
+}
+
+// DumpFlightRecorder writes the flight recorder's JSON snapshot to w —
+// cmd/numaiod wires it to SIGQUIT. It reports an error when the recorder
+// is disabled.
+func (s *Server) DumpFlightRecorder(w io.Writer) error {
+	if s.flight == nil {
+		return errors.New("service: flight recorder disabled")
+	}
+	return s.flight.WriteJSON(w)
+}
+
+// WriteMetrics renders the full /metrics payload: the historical block
+// followed by the additive registry series. Exported so tests can pin the
+// exposition format without an HTTP round trip.
+func (s *Server) WriteMetrics(w io.Writer) {
+	s.metrics.WriteTo(w, s.cache.Stats(), s.predictCache.Stats(), s.placeCache.Stats(),
+		s.pool.InFlight(), s.openBreakers())
+	s.registry.Render(w)
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -377,7 +516,7 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 	// Record onto the active /debug/trace, if one is running. The tracer
 	// shapes no results and configKey never includes it, so traced and
 	// untraced runs share cache entries.
-	cfg.Tracer = s.activeTracer.Load()
+	cfg.Tracer = s.traces.Active()
 	key := fp + "|" + configKey(cfg)
 
 	br := s.breakerFor(key)
@@ -389,10 +528,19 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 		return nil, fp, false, false, fmt.Errorf("%w: model %s", ErrCircuitOpen, fp)
 	}
 
+	// Stage attribution: queue is the wait for a worker slot, solve the
+	// characterization itself (retries included), and cache whatever is
+	// left of the lookup — map access plus coalescing waits. A coalesced
+	// follower spends its whole wall time here under "cache", which is
+	// accurate: it waited on the cache, not on a solver.
+	stg := telemetry.StagesFromContext(ctx)
+	cacheStart := time.Now()
 	mm, cached, err := s.cache.GetOrCompute(key, func() (*core.MachineModel, error) {
+		queueStart := time.Now()
 		if err := s.pool.Acquire(ctx); err != nil {
 			return nil, err
 		}
+		stg.Add("queue", time.Since(queueStart))
 		defer s.pool.Release()
 		start := time.Now()
 		var mm *core.MachineModel
@@ -409,6 +557,7 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 			}
 			return cerr
 		})
+		stg.Add("solve", time.Since(start))
 		if rerr != nil {
 			return nil, rerr
 		}
@@ -416,6 +565,11 @@ func (s *Server) characterizeCached(ctx context.Context, m *topology.Machine, cf
 		mm.Fingerprint = fp
 		return mm, nil
 	})
+	if stg != nil {
+		if d := time.Since(cacheStart) - stg.Get("queue") - stg.Get("solve"); d > 0 {
+			stg.Add("cache", d)
+		}
+	}
 	// Only the caller that actually computed (or failed to) moves the
 	// breaker; cache hits and coalesced followers say nothing about the
 	// machine's health.
@@ -450,9 +604,18 @@ func (s *Server) breakerFor(key string) *resilience.Breaker {
 	if !ok {
 		br = resilience.NewBreaker(s.breakerThreshold, s.breakerCooldown, s.clock)
 		br.SetTransitionHook(func(from, to resilience.BreakerState) {
-			s.activeTracer.Load().Instant("breaker-"+to.String(), "resilience",
+			s.traces.Active().Instant("breaker-"+to.String(), "resilience",
 				telemetry.String("from", from.String()),
 				telemetry.String("key", key))
+			s.flight.Record(telemetry.FlightEvent{
+				Time:   time.Now().UnixNano(),
+				Name:   "breaker-" + to.String(),
+				Cat:    "resilience",
+				Detail: "key=" + key + " from=" + from.String(),
+			})
+			if to == resilience.BreakerOpen {
+				s.dumpFlight("breaker open: " + key)
+			}
 		})
 		s.breakers[key] = br
 	}
@@ -525,8 +688,10 @@ func encodeJSON(v any) ([]byte, error) {
 	return body, nil
 }
 
-// writeJSON encodes v with a status code.
+// writeJSON encodes v with a status code, charging the encode time to the
+// request's "encode" stage when the middleware attached one.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	start := time.Now()
 	e := encPool.Get().(*jsonEncoder)
 	e.buf.Reset()
 	if err := e.enc.Encode(v); err != nil {
@@ -534,10 +699,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	addEncodeStage(w, time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_, _ = w.Write(e.buf.Bytes())
 	encPool.Put(e)
+}
+
+// addEncodeStage attributes one encode duration to the request's stage
+// breakdown, reaching the Stages through the middleware's statusRecorder.
+func addEncodeStage(w http.ResponseWriter, d time.Duration) {
+	if rec, ok := w.(*statusRecorder); ok {
+		rec.stages.Add("encode", d)
+	}
 }
 
 // writeJSONBytes serves an already rendered JSON body (response-cache
@@ -556,11 +730,13 @@ func writeJSONCached(w http.ResponseWriter, status int, v any, cache *RespCache,
 		writeJSON(w, status, v)
 		return
 	}
+	start := time.Now()
 	body, err := encodeJSON(v)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	addEncodeStage(w, time.Since(start))
 	cache.Put(key, body)
 	writeJSONBytes(w, status, body)
 }

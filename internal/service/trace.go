@@ -2,15 +2,16 @@ package service
 
 import (
 	"net/http"
-
-	"numaio/internal/telemetry"
 )
 
 // Trace control endpoints. POST /debug/trace/start begins recording every
 // request span, characterization cell, solver phase and resilience event
 // onto a fresh tracer; POST /debug/trace/stop freezes it; GET /debug/trace
 // downloads the recording (active or last stopped) as Chrome trace-event
-// JSON loadable in Perfetto or chrome://tracing.
+// JSON loadable in Perfetto or chrome://tracing — or, stitched together
+// with recordings from the gateway and other replicas by cmd/numaiotrace,
+// as one fleet-wide timeline. GET /debug/flightrecorder dumps the
+// always-on flight recorder's recent events.
 
 type traceStateResponse struct {
 	Tracing bool `json:"tracing"`
@@ -23,28 +24,18 @@ func (s *Server) handleTraceStart(w http.ResponseWriter, r *http.Request) {
 	// Starting while already tracing discards the in-progress recording
 	// and begins a fresh one — idempotent for scripts, and the old tracer
 	// stays readable by in-flight spans that captured it.
-	old := s.activeTracer.Swap(telemetry.NewTracer())
-	if old != nil {
-		s.lastTrace.Store(old)
-	}
+	s.traces.Start()
 	writeJSON(w, http.StatusOK, traceStateResponse{Tracing: true})
 }
 
 func (s *Server) handleTraceStop(w http.ResponseWriter, r *http.Request) {
-	old := s.activeTracer.Swap(nil)
-	if old != nil {
-		s.lastTrace.Store(old)
-	}
 	// Report the frozen recording's size; stop without start answers with
 	// whatever was last retained (zero events when nothing ever ran).
-	writeJSON(w, http.StatusOK, traceStateResponse{Events: s.lastTrace.Load().Len()})
+	writeJSON(w, http.StatusOK, traceStateResponse{Events: s.traces.Stop().Len()})
 }
 
 func (s *Server) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
-	tr := s.activeTracer.Load()
-	if tr == nil {
-		tr = s.lastTrace.Load()
-	}
+	tr := s.traces.Current()
 	if tr == nil {
 		writeError(w, http.StatusNotFound, "no trace recorded: POST /debug/trace/start first")
 		return
@@ -53,5 +44,16 @@ func (s *Server) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Disposition", `attachment; filename="numaiod-trace.json"`)
 	if err := tr.WriteJSON(w); err != nil {
 		s.log.Error("writing trace", "error", err)
+	}
+}
+
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.flight.WriteJSON(w); err != nil {
+		s.log.Error("writing flight recorder", "error", err)
 	}
 }

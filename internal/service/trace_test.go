@@ -124,6 +124,80 @@ func TestTraceMetricsGauges(t *testing.T) {
 	}
 }
 
+// TestTraceLifecycleConcurrent races the /debug/trace control plane —
+// start, stop, download — against live characterizations. The trace
+// control must never lose the downloadable recording, panic, or hand a
+// request span a tracer mid-teardown; every download must be either a 404
+// or a well-formed Chrome trace. Run under -race in CI.
+func TestTraceLifecycleConcurrent(t *testing.T) {
+	var runs atomic.Int64
+	ts := newTestServer(t, &runs)
+
+	bodies := []string{
+		fastBody,
+		`{"machine": "amd-4s8n", "config": {"repeats": 1, "sigma": -1}}`,
+	}
+	const iters = 20
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if status, body := postJSON(t, ts.URL+"/debug/trace/start", ""); status != http.StatusOK {
+				t.Errorf("start = %d %s", status, body)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if status, body := postJSON(t, ts.URL+"/debug/trace/stop", ""); status != http.StatusOK {
+				t.Errorf("stop = %d %s", status, body)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			status, body := getJSON(t, ts.URL+"/debug/trace")
+			switch status {
+			case http.StatusNotFound:
+			case http.StatusOK:
+				var doc struct {
+					TraceEvents []json.RawMessage `json:"traceEvents"`
+				}
+				if err := json.Unmarshal(body, &doc); err != nil {
+					t.Errorf("downloaded trace is not valid JSON: %v", err)
+					return
+				}
+			default:
+				t.Errorf("download = %d", status)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if status, body := postJSON(t, ts.URL+"/v1/characterize", bodies[i%len(bodies)]); status != http.StatusOK {
+				t.Errorf("characterize = %d %s", status, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	// After the dust settles the lifecycle still works end to end.
+	postJSON(t, ts.URL+"/debug/trace/start", "")
+	postJSON(t, ts.URL+"/v1/characterize", fastBody)
+	postJSON(t, ts.URL+"/debug/trace/stop", "")
+	if status, _ := getJSON(t, ts.URL+"/debug/trace"); status != http.StatusOK {
+		t.Errorf("post-race download = %d, want 200", status)
+	}
+}
+
 // TestMetricsAndRespCacheConcurrent hammers the request-path counters from
 // 32 goroutines — the sharded-counter replacement for the old single-mutex
 // Metrics — alongside a RespCache, and checks nothing is lost. Run under

@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistogramExemplars checks RecordExemplar keeps the last ID per
+// bucket and ExemplarsAbove surfaces only the slow tail.
+func TestHistogramExemplars(t *testing.T) {
+	h := NewHistogram()
+	if got := h.ExemplarsAbove(0.9); got != nil {
+		t.Fatalf("empty histogram exemplars = %v", got)
+	}
+	// 90 fast observations without IDs, 10 slow ones with.
+	for i := 0; i < 90; i++ {
+		h.Record(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.RecordExemplar(time.Second+time.Duration(i)*time.Millisecond, "slow-9")
+	}
+	ex := h.ExemplarsAbove(0.9)
+	if len(ex) == 0 {
+		t.Fatal("no exemplars above p90")
+	}
+	var total int64
+	for _, e := range ex {
+		if e.ID != "slow-9" {
+			t.Errorf("exemplar ID %q, want slow-9", e.ID)
+		}
+		if e.Upper < time.Second/2 {
+			t.Errorf("exemplar bucket %v is not in the slow tail", e.Upper)
+		}
+		total += e.Count
+	}
+	if total != 10 {
+		t.Errorf("exemplar buckets cover %d observations, want 10", total)
+	}
+	// The fast buckets carry no IDs, so p0 surfaces the same slow set.
+	if got := len(h.ExemplarsAbove(0)); got != len(ex) {
+		t.Errorf("ExemplarsAbove(0) = %d buckets, want %d", got, len(ex))
+	}
+}
+
+// TestHistogramExemplarMerge checks per-worker exemplars survive the
+// loadgen merge.
+func TestHistogramExemplarMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.RecordExemplar(10*time.Millisecond, "a-1")
+	b.RecordExemplar(10*time.Second, "b-1")
+	a.Merge(b)
+	ex := a.ExemplarsAbove(0)
+	if len(ex) != 2 {
+		t.Fatalf("merged exemplars = %d, want 2", len(ex))
+	}
+	if ex[0].ID != "a-1" || ex[1].ID != "b-1" {
+		t.Errorf("merged exemplars = %+v", ex)
+	}
+	if a.Count() != 2 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+}
+
+// TestBucketHistogramExemplars checks the /metrics-side histogram keeps
+// the latest request ID per bucket.
+func TestBucketHistogramExemplars(t *testing.T) {
+	h := NewBucketHistogram([]float64{0.01, 0.1, 1})
+	if got := h.Exemplar(0); got != "" {
+		t.Fatalf("fresh exemplar = %q", got)
+	}
+	h.ObserveExemplar(0.005, "fast-1")
+	h.ObserveExemplar(0.005, "fast-2") // latest wins
+	h.ObserveExemplar(0.5, "mid-1")
+	h.ObserveExemplar(50, "inf-1") // +Inf overflow bucket
+	h.Observe(0.5)                 // plain Observe leaves exemplars alone
+	if got := h.Exemplar(0); got != "fast-2" {
+		t.Errorf("bucket 0 exemplar = %q, want fast-2", got)
+	}
+	if got := h.Exemplar(2); got != "mid-1" {
+		t.Errorf("bucket 2 exemplar = %q, want mid-1", got)
+	}
+	if got := h.Exemplar(3); got != "inf-1" {
+		t.Errorf("+Inf exemplar = %q, want inf-1", got)
+	}
+	if got := h.Exemplar(99); got != "" {
+		t.Errorf("out-of-range exemplar = %q", got)
+	}
+	if h.Total() != 5 {
+		t.Errorf("total = %d, want 5", h.Total())
+	}
+}

@@ -21,6 +21,7 @@ import (
 // that needs full-range quantiles without preconfigured bounds.
 type Histogram struct {
 	counts []int64
+	ex     []string // lazily sized; last exemplar ID per bucket
 	total  int64
 	sum    int64
 	max    int64
@@ -79,7 +80,32 @@ func (h *Histogram) Record(d time.Duration) {
 	}
 }
 
-// Merge folds another histogram into this one.
+// RecordExemplar records d and remembers id as the bucket's latest
+// exemplar, linking the bucket back to a concrete request ID. An empty id
+// degrades to a plain Record.
+func (h *Histogram) RecordExemplar(d time.Duration, id string) {
+	h.Record(d)
+	if id == "" {
+		return
+	}
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	i := bucketIndex(v)
+	for i >= len(h.ex) {
+		if len(h.ex) == 0 {
+			h.ex = make([]string, subCount)
+			continue
+		}
+		h.ex = append(h.ex, make([]string, len(h.ex))...)
+	}
+	h.ex[i] = id
+}
+
+// Merge folds another histogram into this one. Exemplars from o overwrite
+// this histogram's where o has one — merge order decides ties, which is
+// fine for "a concrete example per bucket".
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil {
 		return
@@ -89,6 +115,20 @@ func (h *Histogram) Merge(o *Histogram) {
 	}
 	for i, c := range o.counts {
 		h.counts[i] += c
+	}
+	if len(o.ex) > 0 {
+		for len(h.ex) < len(o.ex) {
+			if len(h.ex) == 0 {
+				h.ex = make([]string, subCount)
+				continue
+			}
+			h.ex = append(h.ex, make([]string, len(h.ex))...)
+		}
+		for i, id := range o.ex {
+			if id != "" {
+				h.ex[i] = id
+			}
+		}
 	}
 	h.total += o.total
 	h.sum += o.sum
@@ -140,6 +180,55 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(h.max)
+}
+
+// Exemplar is one bucket's request-ID exemplar: the bucket's upper edge,
+// its observation count, and the last recorded ID.
+type Exemplar struct {
+	Upper time.Duration
+	Count int64
+	ID    string
+}
+
+// ExemplarsAbove returns the exemplars recorded at or above the bucket
+// containing quantile q, fastest-first — "name a concrete request from
+// the slowest decile" is ExemplarsAbove(0.9). Buckets without a recorded
+// ID are skipped.
+func (h *Histogram) ExemplarsAbove(q float64) []Exemplar {
+	if h.total == 0 || len(h.ex) == 0 {
+		return nil
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	start := len(h.counts) - 1
+	var seen int64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			start = i
+			break
+		}
+	}
+	var out []Exemplar
+	for i := start; i < len(h.counts) && i < len(h.ex); i++ {
+		if h.counts[i] == 0 || h.ex[i] == "" {
+			continue
+		}
+		out = append(out, Exemplar{
+			Upper: time.Duration(bucketUpper(i)),
+			Count: h.counts[i],
+			ID:    h.ex[i],
+		})
+	}
+	return out
 }
 
 // WriteJSON dumps the raw histogram as JSON: total count, nanosecond sum

@@ -119,10 +119,11 @@ func (v *IntCounterVec) Value(key int) int64 {
 // explicit upper bounds plus a +Inf overflow, an observation sum and a
 // total count, all updated atomically so Observe takes no lock.
 type BucketHistogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last is +Inf
-	sum    atomic.Uint64  // float64 bits, updated by CAS
-	total  atomic.Int64
+	bounds    []float64
+	counts    []atomic.Int64           // len(bounds)+1; last is +Inf
+	exemplars []atomic.Pointer[string] // len(bounds)+1; latest request ID per bucket
+	sum       atomic.Uint64            // float64 bits, updated by CAS
+	total     atomic.Int64
 }
 
 // NewBucketHistogram builds a histogram over the given ascending upper
@@ -130,7 +131,11 @@ type BucketHistogram struct {
 func NewBucketHistogram(bounds []float64) *BucketHistogram {
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &BucketHistogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &BucketHistogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[string], len(b)+1),
+	}
 }
 
 // Observe records one value into the first bucket whose bound contains it.
@@ -145,6 +150,29 @@ func (h *BucketHistogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// ObserveExemplar records v and keeps id as the bucket's latest exemplar,
+// so a /metrics bucket links to a concrete request in the flight recorder
+// (OpenMetrics-style). An empty id degrades to a plain Observe.
+func (h *BucketHistogram) ObserveExemplar(v float64, id string) {
+	if id != "" {
+		i := sort.SearchFloat64s(h.bounds, v)
+		h.exemplars[i].Store(&id)
+	}
+	h.Observe(v)
+}
+
+// Exemplar returns the latest exemplar ID recorded for bucket i ("" when
+// none). Bucket indexing matches Counts: the final index is +Inf.
+func (h *BucketHistogram) Exemplar(i int) string {
+	if i < 0 || i >= len(h.exemplars) {
+		return ""
+	}
+	if p := h.exemplars[i].Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Bounds returns the configured upper bounds.

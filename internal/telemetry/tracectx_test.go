@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid() {
+		t.Fatal("fresh context is invalid")
+	}
+	if len(tc.TraceID) != 32 || len(tc.SpanID) != 16 {
+		t.Fatalf("ID lengths: trace %d, span %d", len(tc.TraceID), len(tc.SpanID))
+	}
+	got, ok := ParseTraceContext(tc.String())
+	if !ok || got != tc {
+		t.Fatalf("round trip %q -> %+v ok=%v, want %+v", tc.String(), got, ok, tc)
+	}
+}
+
+func TestTraceContextChild(t *testing.T) {
+	tc := NewTraceContext()
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Error("child changed the trace ID")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Error("child kept the parent span ID")
+	}
+	if _, ok := ParseTraceContext(child.String()); !ok {
+		t.Errorf("child renders unparseable: %q", child.String())
+	}
+}
+
+func TestParseTraceContextRejects(t *testing.T) {
+	valid := NewTraceContext().String()
+	bad := []string{
+		"",
+		"garbage",
+		valid[:len(valid)-1],                // truncated
+		valid + "0",                         // too long
+		"01" + valid[2:],                    // unknown version
+		strings.Replace(valid, "-", "_", 1), // wrong separator
+		strings.ToUpper(valid),              // uppercase hex
+		"00-" + strings.Repeat("0", 32) + "-" + valid[36:], // all-zero trace ID
+		valid[:36] + strings.Repeat("0", 16) + "-01",       // all-zero span ID
+		"00-" + strings.Repeat("zz", 16) + valid[35:],      // non-hex trace ID
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceContext(s); ok {
+			t.Errorf("ParseTraceContext(%q) accepted a malformed value", s)
+		}
+	}
+}
+
+func TestTraceContextInContext(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("empty context yielded a trace context")
+	}
+	tc := NewTraceContext()
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFromContext = %+v ok=%v, want %+v", got, ok, tc)
+	}
+}
+
+func TestStagesHeaderAndAttrs(t *testing.T) {
+	var nilStages *Stages
+	nilStages.Add("queue", time.Second) // must not panic
+	if nilStages.Header() != "" || nilStages.Len() != 0 {
+		t.Fatal("nil stages are not empty")
+	}
+
+	s := NewStages()
+	s.Add("queue", 132*time.Microsecond)
+	s.Add("solve", 5210*time.Microsecond)
+	s.Add("queue", 868*time.Microsecond) // accumulates, keeps first-add order
+	if got := s.Header(); got != "queue;dur=1.000, solve;dur=5.210" {
+		t.Errorf("Header() = %q", got)
+	}
+	if got := s.Get("queue"); got != time.Millisecond {
+		t.Errorf("Get(queue) = %v", got)
+	}
+	attrs := s.AppendLogAttrs([]any{"endpoint", "/v1/predict"})
+	if len(attrs) != 6 || attrs[2] != "stage_queue" || attrs[4] != "stage_solve" {
+		t.Errorf("AppendLogAttrs = %v", attrs)
+	}
+
+	// Past the bound, extra stages are dropped, not grown.
+	for i := 0; i < 2*maxStages; i++ {
+		s.Add(strings.Repeat("x", i+1), time.Millisecond)
+	}
+	if s.Len() != maxStages {
+		t.Errorf("Len() = %d after overflow, want %d", s.Len(), maxStages)
+	}
+}
+
+func TestStagesObserveAndContext(t *testing.T) {
+	s := NewStages()
+	s.Observe("solve", func() {})
+	if s.Len() != 1 || s.Get("solve") < 0 {
+		t.Fatal("Observe did not record the stage")
+	}
+	if StagesFromContext(context.Background()) != nil {
+		t.Fatal("empty context yielded stages")
+	}
+	ctx := ContextWithStages(context.Background(), s)
+	if StagesFromContext(ctx) != s {
+		t.Fatal("stages lost in context round trip")
+	}
+}

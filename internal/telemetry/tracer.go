@@ -64,17 +64,22 @@ type Event struct {
 // tracer's construction; tests inject a deterministic step function so
 // identical runs serialize byte-identically.
 type Tracer struct {
-	now func() time.Duration
+	now   func() time.Duration
+	epoch int64 // wall-clock unix ns at construction; 0 for fake clocks
 
 	mu     sync.Mutex
 	events []Event
 }
 
 // NewTracer returns a tracer stamping events with real monotonic time
-// since construction.
+// since construction. The construction wall-clock instant is kept as the
+// trace epoch so numaiotrace can align dumps from different processes.
 func NewTracer() *Tracer {
 	start := time.Now()
-	return &Tracer{now: func() time.Duration { return time.Since(start) }}
+	return &Tracer{
+		now:   func() time.Duration { return time.Since(start) },
+		epoch: start.UnixNano(),
+	}
 }
 
 // NewTracerFunc returns a tracer whose timestamps come from now — a fake
@@ -181,6 +186,15 @@ func (t *Tracer) append(e Event) {
 	t.mu.Unlock()
 }
 
+// Epoch returns the wall-clock unix-nanosecond instant of the tracer's
+// construction, or 0 for fake-clock tracers.
+func (t *Tracer) Epoch() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch
+}
+
 // Len returns the number of recorded events.
 func (t *Tracer) Len() int {
 	if t == nil {
@@ -210,7 +224,19 @@ func (t *Tracer) Events() []Event {
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	events := t.Events()
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+	if _, err := bw.WriteString(`{"displayTimeUnit":"ms",`); err != nil {
+		return err
+	}
+	// The epoch is emitted as a string: unix nanoseconds exceed float64's
+	// integer range, and trace tooling must not round it. Fake-clock
+	// tracers (golden tests) have no epoch and keep their historical
+	// byte-exact output.
+	if t != nil && t.epoch != 0 {
+		if _, err := fmt.Fprintf(bw, `"epochNanos":"%d",`, t.epoch); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString(`"traceEvents":[`); err != nil {
 		return err
 	}
 	for i, e := range events {

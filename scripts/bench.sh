@@ -12,15 +12,19 @@
 # B/op and allocs/op against the most recent recorded BENCH_*.json,
 # failing on a slowdown — or an allocation regression — beyond TOLERANCE,
 # plus absolute gates on the sweep hot path (CharacterizeAll <= 500 KB/op,
-# RunFluid <= 10 allocs/op) — the CI bench-regression guard. Nothing is
-# recorded in this mode. When GITHUB_STEP_SUMMARY is set, a benchstat-style
-# old/new delta table is appended to it.
+# RunFluid <= 10 allocs/op) and on the telemetry tax (flight recorder
+# on/off request ratio <= RECORDER_TOLERANCE, FlightRecorderRecord at 0
+# allocs/op) — the CI bench-regression guard. Nothing is recorded in this
+# mode. When GITHUB_STEP_SUMMARY is set, a benchstat-style old/new delta
+# table is appended to it.
 #
 # Environment knobs:
 #   REV        label for the output files (default: git short hash)
 #   BENCHTIME  per-benchmark budget (default 2s; use e.g. 10x for CI)
 #   COUNT      repetitions per benchmark (default 1; benchstat wants >= 6)
 #   TOLERANCE  -check slowdown limit as a ratio (default 1.25 = +25%)
+#   RECORDER_TOLERANCE  -check ceiling on the flight-recorder on/off
+#              request-latency ratio (default 1.05 = +5%)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -47,8 +51,14 @@ if [ "${1:-}" = "-check" ]; then
     trap 'rm -rf "$tmp"' EXIT
     echo "bench.sh -check: comparing against $baseline (limit ${tolerance}x)"
     go test -run '^$' \
-        -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolverIncremental|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
+        -bench '^(BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolverIncremental|BenchmarkPredictRequest|BenchmarkPlaceRequest|BenchmarkRecorderOverhead|BenchmarkFlightRecorderRecord)$' \
         -benchmem -benchtime "${BENCHTIME:-1s}" . | tee "$tmp/bench.txt"
+    # The recorder on/off ratio compares two ~16us request paths, so its
+    # signal (~0.4us) is the same size as scheduler noise in one sample.
+    # Take extra repetitions and gate on per-mode minima: the best-case
+    # run of each mode is the measurement least polluted by interference.
+    go test -run '^$' -bench '^BenchmarkRecorderOverhead$' \
+        -benchmem -benchtime "${BENCHTIME:-1s}" -count 2 . | tee -a "$tmp/bench.txt"
     if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
         {
             echo "### Bench regression guard (vs $baseline)"
@@ -130,7 +140,11 @@ if [ "${1:-}" = "-check" ]; then
     # a zero-alloc hot path is the PR-9 contract, and a ratio-only gate
     # would let it erode a few percent at a time.
     cores=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
-    awk -v cores="$cores" '
+    recorder_limit=${RECORDER_TOLERANCE:-1.05}
+    awk -v cores="$cores" -v reclimit="$recorder_limit" '
+    /^BenchmarkRecorderOverhead\/off/  { if (!recoff || $3 + 0 < recoff) recoff = $3 + 0 }
+    /^BenchmarkRecorderOverhead\/on/   { if (!recon || $3 + 0 < recon) recon = $3 + 0 }
+    /^BenchmarkFlightRecorderRecord/   { recallocs = $7 + 0; seenrec = 1 }
     /^BenchmarkSolverIncremental\/incremental/ { inc = $3 + 0 }
     /^BenchmarkSolverIncremental\/full/        { full = $3 + 0 }
     /^BenchmarkCharacterizeAll\/p1-/           { p1 = $3 + 0 }
@@ -186,6 +200,28 @@ if [ "${1:-}" = "-check" ]; then
             print "bench.sh -check: RunFluid results missing" > "/dev/stderr"
             bad = 1
         }
+        if (recoff && recon) {
+            ratio = recon / recoff
+            printf "flight recorder request tax: off %.0f ns/op, on %.0f ns/op (%.3fx, ceiling %.2fx)\n",
+                recoff, recon, ratio, reclimit
+            if (ratio > reclimit) {
+                print "bench.sh -check: flight recorder overhead above the on/off ceiling" > "/dev/stderr"
+                bad = 1
+            }
+        } else {
+            print "bench.sh -check: RecorderOverhead off/on results missing" > "/dev/stderr"
+            bad = 1
+        }
+        if (seenrec) {
+            printf "FlightRecorderRecord allocations: %.0f allocs/op (ceiling 0)\n", recallocs
+            if (recallocs > 0) {
+                print "bench.sh -check: FlightRecorderRecord must stay allocation-free" > "/dev/stderr"
+                bad = 1
+            }
+        } else {
+            print "bench.sh -check: FlightRecorderRecord results missing" > "/dev/stderr"
+            bad = 1
+        }
         exit bad
     }' "$tmp/bench.txt"
     echo "bench.sh -check: no regression beyond ${tolerance}x"
@@ -199,7 +235,7 @@ txt="BENCH_${rev}.txt"
 json="BENCH_${rev}.json"
 
 go test -run '^$' \
-    -bench '^(BenchmarkCharacterize|BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolver|BenchmarkSolverIncremental|BenchmarkPredictRequest|BenchmarkPlaceRequest)$' \
+    -bench '^(BenchmarkCharacterize|BenchmarkCharacterizeAll|BenchmarkRunFluid|BenchmarkSolver|BenchmarkSolverIncremental|BenchmarkPredictRequest|BenchmarkPlaceRequest|BenchmarkRecorderOverhead|BenchmarkFlightRecorderRecord)$' \
     -benchmem -benchtime "$benchtime" -count "$count" . | tee "$txt"
 
 awk -v rev="$rev" -v benchtime="$benchtime" '

@@ -1,0 +1,82 @@
+// Telemetry-overhead microbenchmarks: the always-on flight recorder is
+// only "always-on" because it is nearly free. BenchmarkRecorderOverhead
+// serves the same hot /v1/predict request with the recorder disabled and
+// enabled; scripts/bench.sh -check gates the on/off ratio at 5% so the
+// observability tax on the serving path stays invisible.
+// BenchmarkFlightRecorderRecord pins the recorder's own insert at zero
+// allocations — the bounded-memory contract that makes a failure-storm
+// dump safe.
+package numaio
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"numaio/internal/service"
+	"numaio/internal/telemetry"
+)
+
+// benchTelemetryHandler builds a warmed daemon with the given flight
+// recorder size (negative disables).
+func benchTelemetryHandler(b *testing.B, flightSize int) http.Handler {
+	b.Helper()
+	svc := service.New(service.Config{Workers: 2, FlightRecorderSize: flightSize})
+	h := svc.Handler()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(benchPredictBody))
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("warm-up request = %d %s", rec.Code, rec.Body.String())
+	}
+	return h
+}
+
+// BenchmarkRecorderOverhead measures one hot prediction with the flight
+// recorder off and on; the delta is the recorder's per-request cost.
+func BenchmarkRecorderOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		size int
+	}{{"off", -1}, {"on", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			h := benchTelemetryHandler(b, mode.size)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(benchPredictBody))
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("predict = %d %s", rec.Code, rec.Body.String())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlightRecorderRecord measures the recorder's raw insert on a
+// full (wrapping) ring — the steady state of a long-lived daemon. The
+// bench.sh gate holds it at zero allocations per record.
+func BenchmarkFlightRecorderRecord(b *testing.B) {
+	fr := telemetry.NewFlightRecorder(4096)
+	ev := telemetry.FlightEvent{
+		Time:    time.Now().UnixNano(),
+		Dur:     3 * time.Millisecond,
+		Status:  200,
+		Name:    "/v1/predict",
+		Cat:     "http",
+		RID:     "bench-rid",
+		TraceID: "0123456789abcdef0123456789abcdef",
+	}
+	for i := 0; i < 4096; i++ {
+		fr.Record(ev)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr.Record(ev)
+	}
+}
